@@ -1,0 +1,196 @@
+// Package autowebcache is a Go reproduction of AutoWebCache (Bouchenak,
+// Cox, Dropsho, Mittal, Zwaenepoel — "Caching Dynamic Web Content:
+// Designing and Analysing an Aspect-Oriented Solution", Middleware 2006): a
+// middleware that transparently caches fully formed dynamic web pages in
+// front of a web application while keeping them strongly consistent with
+// the backing database.
+//
+// The package is a thin façade over the implementation packages:
+//
+//   - memdb — the embedded SQL database substrate (the paper's MySQL);
+//   - sqlparser — the SQL dialect, templates and value vectors;
+//   - analysis — the query-analysis engine with the paper's three
+//     invalidation strategies (ColumnOnly, WhereMatch, AC-extraQuery);
+//   - cache — the page cache: page table + dependency table, TTL and
+//     semantic windows, replacement policies;
+//   - weave — the AOP substitute: handler advice (around/after) and the
+//     query-capturing connection;
+//   - rubis, tpcw — the paper's two benchmark applications;
+//   - workload, bench — the client emulator and the per-figure experiment
+//     harness.
+//
+// # Usage
+//
+// Build a database, create a Runtime with the caching configuration, hand
+// the Runtime's Conn to your application handlers, and weave them:
+//
+//	db := autowebcache.NewDB()
+//	// ... create tables, load data ...
+//	rt, err := autowebcache.New(db, autowebcache.Config{Strategy: autowebcache.ExtraQuery})
+//	// build handlers that query rt.Conn(), then:
+//	h, err := rt.Weave(handlers, autowebcache.Rules{})
+//	http.ListenAndServe(addr, h)
+//
+// Handlers remain ordinary http.HandlerFuncs with no caching code — the
+// paper's transparency claim, realised with middleware interposition
+// instead of AspectJ weaving.
+package autowebcache
+
+import (
+	"fmt"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/cache"
+	"autowebcache/internal/memdb"
+	"autowebcache/internal/qrcache"
+	"autowebcache/internal/servlet"
+	"autowebcache/internal/weave"
+)
+
+// Re-exported types: the public names a downstream user needs.
+type (
+	// DB is the embedded SQL database.
+	DB = memdb.DB
+	// Conn is the query interface handlers use (the JDBC analogue).
+	Conn = memdb.Conn
+	// Rows is a query result set.
+	Rows = memdb.Rows
+	// TableSpec declares a table.
+	TableSpec = memdb.TableSpec
+	// Column declares a table column.
+	Column = memdb.Column
+	// HandlerInfo describes one web interaction.
+	HandlerInfo = servlet.HandlerInfo
+	// Rules are the weaving rules (uncacheable pages, semantic windows).
+	Rules = weave.Rules
+	// Woven is a cache-enabled application handler.
+	Woven = weave.Woven
+	// Strategy selects the invalidation strategy.
+	Strategy = analysis.Strategy
+	// Replacement selects the eviction policy.
+	Replacement = cache.ReplacementPolicy
+	// PageCache is the page cache with its statistics.
+	PageCache = cache.Cache
+	// Engine is the query-analysis engine.
+	Engine = analysis.Engine
+	// QueryResultCache is the §9-extension back-end result cache.
+	QueryResultCache = qrcache.Conn
+)
+
+// Column types for TableSpec declarations.
+const (
+	TypeInt    = memdb.TypeInt
+	TypeFloat  = memdb.TypeFloat
+	TypeString = memdb.TypeString
+)
+
+// Invalidation strategies (§3.2 of the paper), in increasing precision.
+const (
+	ColumnOnly = analysis.StrategyColumnOnly
+	WhereMatch = analysis.StrategyWhereMatch
+	// ExtraQuery is the paper's default ("AC-extraQuery").
+	ExtraQuery = analysis.StrategyExtraQuery
+)
+
+// Replacement policies for bounded caches.
+const (
+	LRU  = cache.LRU
+	LFU  = cache.LFU
+	FIFO = cache.FIFO
+)
+
+// NewDB creates an empty embedded database.
+func NewDB() *DB { return memdb.New() }
+
+// Config configures a Runtime.
+type Config struct {
+	// Strategy is the invalidation strategy; defaults to ExtraQuery.
+	Strategy Strategy
+	// MaxEntries bounds the page cache (0 = unbounded).
+	MaxEntries int
+	// Replacement picks the eviction policy for bounded caches (default
+	// LRU).
+	Replacement Replacement
+	// Disabled builds the baseline configuration: handlers still work and
+	// statistics are collected, but nothing is cached (the paper's
+	// "No cache" comparison).
+	Disabled bool
+	// QueryCache additionally stacks a back-end query-result cache under
+	// the page cache — the paper's §9 extension ("A database query-results
+	// cache is complementary to webpage caching"). QueryCacheEntries bounds
+	// it (0 = unbounded).
+	QueryCache        bool
+	QueryCacheEntries int
+}
+
+// Runtime wires a database to an analysis engine, a page cache and a
+// query-capturing connection.
+type Runtime struct {
+	db     *memdb.DB
+	engine *analysis.Engine
+	cache  *cache.Cache
+	qcache *qrcache.Conn
+	conn   memdb.Conn
+}
+
+// New creates a Runtime over db.
+func New(db *DB, cfg Config) (*Runtime, error) {
+	if db == nil {
+		return nil, fmt.Errorf("autowebcache: nil database")
+	}
+	if cfg.Strategy == 0 {
+		cfg.Strategy = ExtraQuery
+	}
+	engine, err := analysis.NewEngine(cfg.Strategy, db)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{db: db, engine: engine}
+	var base memdb.Conn = db
+	if cfg.QueryCache {
+		rt.qcache, err = qrcache.New(db, engine, cfg.QueryCacheEntries)
+		if err != nil {
+			return nil, err
+		}
+		base = rt.qcache
+	}
+	if cfg.Disabled {
+		rt.conn = base
+		return rt, nil
+	}
+	rt.cache, err = cache.New(cache.Options{
+		Engine:      engine,
+		MaxEntries:  cfg.MaxEntries,
+		Replacement: cfg.Replacement,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.conn = weave.NewConn(base, engine)
+	return rt, nil
+}
+
+// Conn returns the connection application handlers must query through. In
+// the cached configuration it records each query's consistency information
+// (the paper's JDBC join point); in the Disabled configuration it is the
+// raw database.
+func (rt *Runtime) Conn() Conn { return rt.conn }
+
+// DB returns the underlying database.
+func (rt *Runtime) DB() *DB { return rt.db }
+
+// Cache returns the page cache (nil when Disabled).
+func (rt *Runtime) Cache() *PageCache { return rt.cache }
+
+// QueryCache returns the back-end result cache (nil unless enabled).
+func (rt *Runtime) QueryCache() *QueryResultCache { return rt.qcache }
+
+// Engine returns the query-analysis engine.
+func (rt *Runtime) Engine() *Engine { return rt.engine }
+
+// Weave builds the cache-enabled application: read handlers get cache
+// check/insert advice, write handlers get invalidation advice, and the
+// rules mark uncacheable pages and semantic windows.
+func (rt *Runtime) Weave(handlers []HandlerInfo, rules Rules) (*Woven, error) {
+	return weave.New(handlers, rt.cache, rules)
+}

@@ -1,0 +1,162 @@
+package autowebcache_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"autowebcache"
+)
+
+// buildApp creates a one-table application against the runtime's conn.
+func buildApp(t *testing.T, conn autowebcache.Conn) []autowebcache.HandlerInfo {
+	t.Helper()
+	list := func(w http.ResponseWriter, r *http.Request) {
+		rows, err := conn.Query(r.Context(), "SELECT id, note FROM notes ORDER BY id ASC")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		for i := 0; i < rows.Len(); i++ {
+			fmt.Fprintf(w, "%d: %s\n", rows.Int(i, 0), rows.Str(i, 1))
+		}
+	}
+	add := func(w http.ResponseWriter, r *http.Request) {
+		if _, err := conn.Exec(r.Context(), "INSERT INTO notes (note) VALUES (?)", r.URL.Query().Get("note")); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}
+	return []autowebcache.HandlerInfo{
+		{Name: "List", Path: "/list", Fn: list},
+		{Name: "Add", Path: "/add", Write: true, Fn: add},
+	}
+}
+
+func newDB(t *testing.T) *autowebcache.DB {
+	t.Helper()
+	db := autowebcache.NewDB()
+	if err := db.CreateTable(autowebcache.TableSpec{
+		Name: "notes",
+		Columns: []autowebcache.Column{
+			{Name: "id", Type: autowebcache.TypeInt, AutoIncrement: true},
+			{Name: "note", Type: autowebcache.TypeString},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func get(t *testing.T, h http.Handler, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, target, nil))
+	return rr
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	db := newDB(t)
+	rt, err := autowebcache.New(db, autowebcache.Config{Strategy: autowebcache.ExtraQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rt.Weave(buildApp(t, rt.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, h, "/add?note=hello")
+	first := get(t, h, "/list")
+	second := get(t, h, "/list")
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("cached page differs")
+	}
+	if rt.Cache().Stats().Hits != 1 {
+		t.Fatalf("cache stats: %+v", rt.Cache().Stats())
+	}
+	get(t, h, "/add?note=world")
+	third := get(t, h, "/list")
+	if third.Body.String() == second.Body.String() {
+		t.Fatal("stale page served after write")
+	}
+	if want := "1: hello\n2: world\n"; third.Body.String() != want {
+		t.Fatalf("page: %q", third.Body.String())
+	}
+}
+
+func TestFacadeDisabled(t *testing.T) {
+	db := newDB(t)
+	rt, err := autowebcache.New(db, autowebcache.Config{Disabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Cache() != nil {
+		t.Fatal("disabled runtime should have no cache")
+	}
+	h, err := rt.Weave(buildApp(t, rt.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := get(t, h, "/list")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status: %d", rr.Code)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := autowebcache.New(nil, autowebcache.Config{}); err == nil {
+		t.Fatal("expected error for nil db")
+	}
+	db := newDB(t)
+	if _, err := autowebcache.New(db, autowebcache.Config{MaxEntries: -1}); err == nil {
+		t.Fatal("expected error for negative capacity")
+	}
+}
+
+func TestFacadeQueryCache(t *testing.T) {
+	db := newDB(t)
+	rt, err := autowebcache.New(db, autowebcache.Config{QueryCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.QueryCache() == nil {
+		t.Fatal("query cache not built")
+	}
+	h, err := rt.Weave(buildApp(t, rt.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, h, "/add?note=a")
+	get(t, h, "/list")
+	get(t, h, "/add?note=b") // invalidates page AND result set
+	third := get(t, h, "/list")
+	if want := "1: a\n2: b\n"; third.Body.String() != want {
+		t.Fatalf("stale page through stacked caches: %q", third.Body.String())
+	}
+	qs := rt.QueryCache().Stats()
+	if qs.Misses == 0 {
+		t.Fatalf("query cache unused: %+v", qs)
+	}
+}
+
+func TestFacadeBoundedCache(t *testing.T) {
+	db := newDB(t)
+	rt, err := autowebcache.New(db, autowebcache.Config{MaxEntries: 2, Replacement: autowebcache.FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rt.Weave(buildApp(t, rt.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct query strings create distinct page keys.
+	for i := 0; i < 5; i++ {
+		get(t, h, fmt.Sprintf("/list?v=%d", i))
+	}
+	if n := rt.Cache().Len(); n > 2 {
+		t.Fatalf("cache exceeded capacity: %d", n)
+	}
+}

@@ -1,0 +1,31 @@
+// Command codesize reproduces the paper's Figure 20: lines of code per
+// architectural role, demonstrating that the weaving glue is a small
+// fraction of the caching library and the applications.
+//
+// Usage:
+//
+//	codesize            # scan the current directory
+//	codesize -dir PATH  # scan another checkout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autowebcache/internal/bench"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "repository root to scan")
+	flag.Parse()
+	tbl, err := bench.Fig20(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codesize:", err)
+		os.Exit(1)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "codesize:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunFig20(t *testing.T) {
+	// Fig. 20 needs no workload; point it at the repository root.
+	if err := run([]string{"-fig", "20", "-root", "../.."}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nosuch"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}
+
+func TestRunFigPrefixAccepted(t *testing.T) {
+	if err := run([]string{"-fig", "fig20", "-root", "../.."}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Command loadgen drives a running rubis-server or tpcw-server over real
+// HTTP with the paper's closed-loop client model, and reports response
+// times and cache outcomes from the X-Autowebcache response header — the
+// separate client-emulator machine of the paper's testbed (§5).
+//
+// Usage:
+//
+//	loadgen -target http://localhost:8080 -app rubis -clients 50 -duration 10s
+//	loadgen -target http://localhost:8081 -app tpcw -mix browsing
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"autowebcache/internal/rubis"
+	"autowebcache/internal/tpcw"
+)
+
+// mixSource is the Request method shared by both applications' mixes.
+type mixSource interface {
+	Request(rng *rand.Rand, client int) (name, target string)
+}
+
+// outcomeStats aggregates one interaction's results.
+type outcomeStats struct {
+	count    int
+	total    time.Duration
+	outcomes map[string]int
+	errors   int
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func buildMix(app, mixName string) (mixSource, error) {
+	switch app {
+	case "rubis":
+		s := rubis.DefaultScale()
+		switch mixName {
+		case "bidding":
+			return rubis.BiddingMix(s), nil
+		case "browsing":
+			return rubis.BrowsingMix(s), nil
+		}
+		return nil, fmt.Errorf("unknown rubis mix %q (bidding, browsing)", mixName)
+	case "tpcw":
+		s := tpcw.DefaultScale()
+		switch mixName {
+		case "shopping":
+			return tpcw.ShoppingMix(s), nil
+		case "browsing":
+			return tpcw.BrowsingMix(s), nil
+		}
+		return nil, fmt.Errorf("unknown tpcw mix %q (shopping, browsing)", mixName)
+	}
+	return nil, fmt.Errorf("unknown app %q (rubis, tpcw)", app)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	target := fs.String("target", "http://localhost:8080", "base URL of the server under test")
+	app := fs.String("app", "rubis", "application mix to use: rubis or tpcw")
+	mixName := fs.String("mix", "", "interaction mix (rubis: bidding, browsing; tpcw: shopping, browsing)")
+	clients := fs.Int("clients", 20, "concurrent emulated clients")
+	duration := fs.Duration("duration", 10*time.Second, "measurement duration")
+	think := fs.Duration("think", 50*time.Millisecond, "mean client think time")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mixName == "" {
+		if *app == "rubis" {
+			*mixName = "bidding"
+		} else {
+			*mixName = "shopping"
+		}
+	}
+	mix, err := buildMix(*app, *mixName)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	httpClient := &http.Client{Timeout: 30 * time.Second}
+
+	var mu sync.Mutex
+	stats := make(map[string]*outcomeStats)
+	record := func(name, outcome string, d time.Duration, failed bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		s := stats[name]
+		if s == nil {
+			s = &outcomeStats{outcomes: make(map[string]int)}
+			stats[name] = s
+		}
+		s.count++
+		s.total += d
+		if failed {
+			s.errors++
+		} else {
+			s.outcomes[outcome]++
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(client)*7919))
+			for ctx.Err() == nil {
+				name, path := mix.Request(rng, client)
+				start := time.Now()
+				outcome, err := fetch(ctx, httpClient, *target+path)
+				record(name, outcome, time.Since(start), err != nil)
+				if *think > 0 {
+					d := time.Duration(rng.ExpFloat64() * float64(*think))
+					if d > 5**think {
+						d = 5 * *think
+					}
+					timer := time.NewTimer(d)
+					select {
+					case <-ctx.Done():
+						timer.Stop()
+					case <-timer.C:
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	report(out, stats)
+	return nil
+}
+
+func fetch(ctx context.Context, client *http.Client, url string) (outcome string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return resp.Header.Get("X-Autowebcache"), nil
+}
+
+func report(out io.Writer, stats map[string]*outcomeStats) {
+	names := make([]string, 0, len(stats))
+	totalReq := 0
+	var totalDur time.Duration
+	hits := 0
+	for name, s := range stats {
+		names = append(names, name)
+		totalReq += s.count
+		totalDur += s.total
+		hits += s.outcomes["hit"] + s.outcomes["semantic-hit"]
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "%-26s %8s %12s %6s %6s %6s %6s\n",
+		"interaction", "requests", "mean", "hit", "miss", "write", "errs")
+	for _, name := range names {
+		s := stats[name]
+		mean := time.Duration(0)
+		if s.count > 0 {
+			mean = s.total / time.Duration(s.count)
+		}
+		fmt.Fprintf(out, "%-26s %8d %12v %6d %6d %6d %6d\n",
+			name, s.count, mean.Round(time.Microsecond),
+			s.outcomes["hit"]+s.outcomes["semantic-hit"], s.outcomes["miss"],
+			s.outcomes["write"], s.errors)
+	}
+	if totalReq > 0 {
+		fmt.Fprintf(out, "\ntotal %d requests, mean %v, hit rate %.1f%%\n",
+			totalReq, (totalDur / time.Duration(totalReq)).Round(time.Microsecond),
+			100*float64(hits)/float64(totalReq))
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"autowebcache"
+	"autowebcache/internal/rubis"
+)
+
+func TestBuildMix(t *testing.T) {
+	good := [][2]string{{"rubis", "bidding"}, {"rubis", "browsing"}, {"tpcw", "shopping"}, {"tpcw", "browsing"}}
+	for _, g := range good {
+		if _, err := buildMix(g[0], g[1]); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+	bad := [][2]string{{"rubis", "shopping"}, {"tpcw", "bidding"}, {"nope", "x"}}
+	for _, b := range bad {
+		if _, err := buildMix(b[0], b[1]); err == nil {
+			t.Errorf("%v: expected error", b)
+		}
+	}
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	db := autowebcache.NewDB()
+	scale := rubis.Scale{Regions: 2, Categories: 3, Users: 10, Items: 20,
+		BidsPerItem: 2, CommentsPerUser: 1, BuyNows: 5, Seed: 1}
+	last, err := rubis.Load(db, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := autowebcache.New(db, autowebcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := rubis.New(rt.Conn(), scale, last)
+	h, err := rt.Weave(app.Handlers(), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var out strings.Builder
+	err = run([]string{
+		"-target", srv.URL, "-app", "rubis", "-clients", "4",
+		"-duration", "300ms", "-think", "1ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "total ") || !strings.Contains(report, "hit rate") {
+		t.Fatalf("report: %q", report)
+	}
+	if strings.Contains(report, "errs") && strings.Contains(report, " 0 requests") {
+		t.Fatalf("no requests issued: %q", report)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nosuch"}, &out); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-app", "nope"}, &out); err == nil {
+		t.Fatal("expected app error")
+	}
+}

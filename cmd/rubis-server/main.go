@@ -1,0 +1,100 @@
+// Command rubis-server serves the RUBiS auction-site benchmark over HTTP,
+// with or without AutoWebCache in front of it.
+//
+// Usage:
+//
+//	rubis-server -addr :8080                 # cache-enabled (AC-extraQuery)
+//	rubis-server -nocache                    # baseline
+//	rubis-server -strategy columnonly        # pick an invalidation strategy
+//
+// Visit / for the home page; /browseCategories, /viewItem?itemId=1, etc.
+// Responses carry an X-Autowebcache header (hit/miss/write/...).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"autowebcache"
+	"autowebcache/internal/rubis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("rubis-server: ", err)
+	}
+}
+
+func parseStrategy(s string) (autowebcache.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "columnonly":
+		return autowebcache.ColumnOnly, nil
+	case "wherematch":
+		return autowebcache.WhereMatch, nil
+	case "extraquery", "ac-extraquery":
+		return autowebcache.ExtraQuery, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rubis-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
+	strategy := fs.String("strategy", "extraquery", "invalidation strategy: columnonly, wherematch, extraquery")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+
+	db := autowebcache.NewDB()
+	scale := rubis.DefaultScale()
+	lastDate, err := rubis.Load(db, scale)
+	if err != nil {
+		return err
+	}
+	rt, err := autowebcache.New(db, autowebcache.Config{Strategy: strat, Disabled: *noCache})
+	if err != nil {
+		return err
+	}
+	app := rubis.New(rt.Conn(), scale, lastDate)
+	handler, err := rt.Weave(app.Handlers(), autowebcache.Rules{})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("RUBiS serving on %s (cache=%v, strategy=%v)", *addr, !*noCache, strat)
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+	}
+	if c := rt.Cache(); c != nil {
+		log.Printf("cache stats at exit: %+v", c.Stats())
+	}
+	return nil
+}

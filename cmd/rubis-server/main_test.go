@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]bool{
+		"columnonly": true, "WhereMatch": true, "extraquery": true,
+		"AC-extraQuery": true, "bogus": false, "": false,
+	}
+	for in, ok := range cases {
+		_, err := parseStrategy(in)
+		if ok && err != nil {
+			t.Errorf("%q: %v", in, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nosuch"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-strategy", "bogus"}); err == nil {
+		t.Fatal("expected strategy error")
+	}
+}

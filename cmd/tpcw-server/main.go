@@ -1,0 +1,81 @@
+// Command tpcw-server serves the TPC-W online-bookstore benchmark over
+// HTTP, with or without AutoWebCache.
+//
+// Usage:
+//
+//	tpcw-server -addr :8081                  # cache-enabled
+//	tpcw-server -nocache                     # baseline
+//	tpcw-server -bestseller-window 30s       # the paper's Fig. 15 semantics
+//
+// Visit /home?c_id=1, /bestSellers?subject=ARTS, /productDetail?i_id=1, ...
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"autowebcache"
+	"autowebcache/internal/tpcw"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("tpcw-server: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tpcw-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
+	window := fs.Duration("bestseller-window", 0, "BestSellers semantic freshness window (paper: 30s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db := autowebcache.NewDB()
+	scale := tpcw.DefaultScale()
+	lastDate, err := tpcw.Load(db, scale)
+	if err != nil {
+		return err
+	}
+	rt, err := autowebcache.New(db, autowebcache.Config{Disabled: *noCache})
+	if err != nil {
+		return err
+	}
+	app := tpcw.New(rt.Conn(), scale, lastDate)
+	handler, err := rt.Weave(app.Handlers(), tpcw.WeaveRules(*window))
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("TPC-W serving on %s (cache=%v, window=%v)", *addr, !*noCache, *window)
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+	}
+	if c := rt.Cache(); c != nil {
+		log.Printf("cache stats at exit: %+v", c.Stats())
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nosuch"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

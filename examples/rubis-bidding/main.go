@@ -1,0 +1,81 @@
+// rubis-bidding drives the RUBiS auction site under its bidding mix (85%
+// reads) against both configurations of the paper's Fig. 13 — the uncached
+// baseline and AutoWebCache — and prints the response-time comparison plus
+// the per-interaction hit rates of Fig. 16.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"autowebcache"
+	"autowebcache/internal/rubis"
+	"autowebcache/internal/workload"
+)
+
+func main() {
+	scale := rubis.DefaultScale()
+	const clients = 200
+
+	type outcome struct {
+		label string
+		res   workload.Result
+	}
+	var outcomes []outcome
+	for _, cached := range []bool{false, true} {
+		db := autowebcache.NewDB()
+		lastDate, err := rubis.Load(db, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Simulated database service time: 60us base per read, 40us per
+		// write, 2us per row visited (cf. DESIGN.md substitutions).
+		db.SetLatency(60*time.Microsecond, 40*time.Microsecond)
+		db.SetRowCost(2 * time.Microsecond)
+		rt, err := autowebcache.New(db, autowebcache.Config{Disabled: !cached})
+		if err != nil {
+			log.Fatal(err)
+		}
+		app := rubis.New(rt.Conn(), scale, lastDate)
+		woven, err := rt.Weave(app.Handlers(), autowebcache.Rules{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := workload.Run(context.Background(), woven, rubis.BiddingMix(scale), woven.Stats(),
+			workload.Config{
+				Clients:         clients,
+				ThinkTime:       time.Millisecond,
+				WarmupRequests:  8000,
+				MeasureRequests: 12000,
+				Seed:            1,
+			})
+		label := "No cache    "
+		if cached {
+			label = "AutoWebCache"
+		}
+		outcomes = append(outcomes, outcome{label, res})
+		if cached {
+			fmt.Printf("\nPer-interaction hit rates (cf. paper Fig. 16, %d clients):\n", clients)
+			for _, is := range res.PerInteraction {
+				if is.Writes > 0 {
+					continue
+				}
+				fmt.Printf("  %-26s %5.1f%% hit rate over %4d requests (avg %v)\n",
+					is.Name, 100*is.HitRate(), is.Requests, is.MeanResponse().Round(time.Microsecond))
+			}
+			fmt.Printf("overall hit rate: %.1f%% (paper: 54%%)\n", 100*res.Totals.HitRate())
+		}
+	}
+	fmt.Printf("\nResponse time, bidding mix, %d clients (cf. paper Fig. 13):\n", clients)
+	for _, o := range outcomes {
+		fmt.Printf("  %s  mean %8v   throughput %7.0f req/s\n",
+			o.label, o.res.Totals.MeanResponse().Round(time.Microsecond), o.res.ThroughputRPS)
+	}
+	base := outcomes[0].res.Totals.MeanResponse()
+	awc := outcomes[1].res.Totals.MeanResponse()
+	if base > 0 {
+		fmt.Printf("  improvement: %.0f%% (paper: up to 64%%)\n", 100*(1-float64(awc)/float64(base)))
+	}
+}

@@ -1,0 +1,126 @@
+// weak-consistency contrasts strong consistency (AutoWebCache's
+// contribution) with the time-lagged TTL consistency of prior systems the
+// paper discusses in §8 (e.g. CachePortal): under TTL caching a page can be
+// stale for up to the timeout; under strong consistency every read after a
+// write sees the new data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"autowebcache"
+	"autowebcache/internal/weave"
+)
+
+func build(disabled bool, rules autowebcache.Rules) (http.Handler, *autowebcache.Runtime) {
+	db := autowebcache.NewDB()
+	if err := db.CreateTable(autowebcache.TableSpec{
+		Name: "stock",
+		Columns: []autowebcache.Column{
+			{Name: "id", Type: autowebcache.TypeInt, AutoIncrement: true},
+			{Name: "product", Type: autowebcache.TypeString},
+			{Name: "units", Type: autowebcache.TypeInt},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	rt, err := autowebcache.New(db, autowebcache.Config{Disabled: disabled})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn := rt.Conn()
+	handlers := []autowebcache.HandlerInfo{
+		{
+			Name: "Stock", Path: "/stock",
+			Fn: func(w http.ResponseWriter, r *http.Request) {
+				rows, err := conn.Query(r.Context(), "SELECT product, units FROM stock ORDER BY id ASC")
+				if err != nil {
+					http.Error(w, err.Error(), 500)
+					return
+				}
+				for i := 0; i < rows.Len(); i++ {
+					fmt.Fprintf(w, "%s: %d units\n", rows.Str(i, 0), rows.Int(i, 1))
+				}
+			},
+		},
+		{
+			Name: "Restock", Path: "/restock", Write: true,
+			Fn: func(w http.ResponseWriter, r *http.Request) {
+				q := r.URL.Query()
+				if _, err := conn.Exec(r.Context(), "INSERT INTO stock (product, units) VALUES (?, ?)",
+					q.Get("product"), q.Get("units")); err != nil {
+					http.Error(w, err.Error(), 500)
+					return
+				}
+				fmt.Fprintln(w, "ok")
+			},
+		},
+	}
+	h, err := rt.Weave(handlers, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return h, rt
+}
+
+func get(h http.Handler, target string) (string, string) {
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, target, nil))
+	return rr.Body.String(), rr.Header().Get(weave.HeaderOutcome)
+}
+
+func main() {
+	// Strong consistency: the default weave. Writes invalidate immediately.
+	strong, _ := build(false, autowebcache.Rules{})
+	get(strong, "/restock?product=anvil&units=3")
+	get(strong, "/stock") // prime the cache
+	get(strong, "/restock?product=anvil&units=9")
+	body, outcome := get(strong, "/stock")
+	fmt.Println("strong consistency after write:")
+	fmt.Printf("  outcome=%s\n%s", outcome, indent(body))
+
+	// Time-lagged (TTL) consistency: the page is declared fresh for 2s via
+	// a semantic rule, so the write is not reflected until the window ends.
+	ttl, _ := build(false, autowebcache.Rules{
+		Semantic: map[string]time.Duration{"Stock": 2 * time.Second},
+	})
+	get(ttl, "/restock?product=anvil&units=3")
+	get(ttl, "/stock") // prime
+	get(ttl, "/restock?product=anvil&units=9")
+	body, outcome = get(ttl, "/stock")
+	fmt.Println("TTL (time-lagged) consistency right after write:")
+	fmt.Printf("  outcome=%s (stale!)\n%s", outcome, indent(body))
+	time.Sleep(2100 * time.Millisecond)
+	body, outcome = get(ttl, "/stock")
+	fmt.Println("TTL consistency after the window expires:")
+	fmt.Printf("  outcome=%s\n%s", outcome, indent(body))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				lines = append(lines, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,604 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"autowebcache/internal/memdb"
+	"autowebcache/internal/sqlparser"
+)
+
+// Strategy selects the cache invalidation policy (§3.2). Precision increases
+// down the list; every strategy is sound (never misses a true intersection),
+// less precise ones issue more false invalidations.
+type Strategy int
+
+// Strategies. Start at 1 so the zero value is invalid.
+const (
+	// StrategyColumnOnly invalidates whenever the read and write templates
+	// share a table and overlapping columns.
+	StrategyColumnOnly Strategy = iota + 1
+	// StrategyWhereMatch additionally compares the constants bound to
+	// equality predicates on common columns.
+	StrategyWhereMatch
+	// StrategyExtraQuery (the paper's "AC-extraQuery") additionally issues
+	// extra SELECTs to fetch the rows affected by a write and tests the
+	// read's predicate against them precisely.
+	StrategyExtraQuery
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyColumnOnly:
+		return "ColumnOnly"
+	case StrategyWhereMatch:
+		return "WhereMatch"
+	case StrategyExtraQuery:
+		return "AC-extraQuery"
+	}
+	return "INVALID"
+}
+
+// Query is one executed query instance: a template (canonical SQL with `?`
+// placeholders) plus its dynamic value vector.
+type Query struct {
+	SQL  string
+	Args []memdb.Value
+}
+
+// WriteCapture is a write query enriched with the consistency information
+// captured at execution time. For UPDATE/DELETE under StrategyExtraQuery,
+// Affected snapshots the to-be-written rows — fetched *before* the write
+// executes, since afterwards deleted rows are gone and updated columns have
+// lost their old values.
+type WriteCapture struct {
+	Query
+	// Affected holds the pre-write values of the rows the write touches
+	// (full rows, column names in Cols). nil when not captured.
+	Affected *memdb.Rows
+	// AutoID is the auto-increment key assigned to a single-row INSERT,
+	// learned after execution. It lets the analysis bind the otherwise
+	// unknowable key column — and, because the value is fresh, exonerate
+	// reads that join on it.
+	AutoID    int64
+	HasAutoID bool
+}
+
+// Stats is a snapshot of engine counters. PairCache* reproduce the paper's
+// Figure 4 query-analysis cache statistics.
+type Stats struct {
+	Templates       int    // distinct templates analysed
+	PairCacheSize   int    // distinct (read, write) template pairs analysed
+	PairCacheHits   uint64 // pair analyses served from the cache
+	PairCacheMisses uint64 // pair analyses computed
+	ExtraQueries    uint64 // extra SELECTs issued (AC-extraQuery)
+	Intersections   uint64 // Intersects calls returning true
+	Exonerations    uint64 // Intersects calls returning false
+}
+
+// Engine is the query-analysis engine. It is safe for concurrent use.
+type Engine struct {
+	strategy Strategy
+	schema   Schema
+
+	mu        sync.RWMutex
+	templates map[string]*TemplateInfo
+	pairs     map[string]bool // template-level possible-dependency results
+
+	pairHits      atomic.Uint64
+	pairMisses    atomic.Uint64
+	extraQueries  atomic.Uint64
+	intersections atomic.Uint64
+	exonerations  atomic.Uint64
+}
+
+// NewEngine creates an analysis engine. schema may be nil (unqualified
+// columns in multi-table reads are then attributed conservatively).
+func NewEngine(strategy Strategy, schema Schema) (*Engine, error) {
+	switch strategy {
+	case StrategyColumnOnly, StrategyWhereMatch, StrategyExtraQuery:
+	default:
+		return nil, fmt.Errorf("analysis: invalid strategy %d", int(strategy))
+	}
+	return &Engine{
+		strategy:  strategy,
+		schema:    schema,
+		templates: make(map[string]*TemplateInfo),
+		pairs:     make(map[string]bool),
+	}, nil
+}
+
+// Strategy returns the engine's configured strategy.
+func (e *Engine) Strategy() Strategy { return e.strategy }
+
+// Template returns the memoised template metadata for sql.
+func (e *Engine) Template(sql string) (*TemplateInfo, error) {
+	e.mu.RLock()
+	info, ok := e.templates[sql]
+	e.mu.RUnlock()
+	if ok {
+		return info, nil
+	}
+	info, err := AnalyzeTemplate(sql, e.schema)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	// Keep the canonical text as an additional key so repeated analyses of
+	// equivalent spellings hit the cache.
+	e.templates[sql] = info
+	if info.SQL != sql {
+		if _, dup := e.templates[info.SQL]; !dup {
+			e.templates[info.SQL] = info
+		}
+	}
+	e.mu.Unlock()
+	return info, nil
+}
+
+// PossiblyDependent performs the template-level dependency test (shared
+// table with overlapping columns), memoised in the pair cache.
+func (e *Engine) PossiblyDependent(readSQL, writeSQL string) (bool, error) {
+	key := PairKey(readSQL, writeSQL)
+	e.mu.RLock()
+	dep, ok := e.pairs[key]
+	e.mu.RUnlock()
+	if ok {
+		e.pairHits.Add(1)
+		return dep, nil
+	}
+	ri, err := e.Template(readSQL)
+	if err != nil {
+		return false, err
+	}
+	wi, err := e.Template(writeSQL)
+	if err != nil {
+		return false, err
+	}
+	dep = ColumnsOverlap(ri, wi)
+	e.mu.Lock()
+	e.pairs[key] = dep
+	e.mu.Unlock()
+	e.pairMisses.Add(1)
+	return dep, nil
+}
+
+// CaptureWrite prepares the consistency information for a write query. Call
+// it BEFORE the write executes: under StrategyExtraQuery it snapshots the
+// affected rows of UPDATE/DELETE statements with an extra SELECT (the
+// paper's §3.2 case 3).
+func (e *Engine) CaptureWrite(ctx context.Context, conn memdb.Conn, q Query) (WriteCapture, error) {
+	wc := WriteCapture{Query: q}
+	if e.strategy != StrategyExtraQuery || conn == nil {
+		return wc, nil
+	}
+	wi, err := e.Template(q.SQL)
+	if err != nil {
+		return wc, err
+	}
+	if wi.Kind != KindUpdate && wi.Kind != KindDelete {
+		return wc, nil
+	}
+	table := wi.Tables[0]
+	// The write's WHERE clause references placeholders numbered within the
+	// full write statement; substitute the resolved argument values as
+	// literals so the standalone SELECT is self-contained.
+	where, err := substArgs(wi.Where, q.Args)
+	if err != nil {
+		return wc, fmt.Errorf("analysis: extra query for %q: %w", q.SQL, err)
+	}
+	sel := &sqlparser.SelectStmt{
+		Items: []sqlparser.SelectItem{{Star: true}},
+		From:  []sqlparser.TableRef{{Name: table}},
+		Where: where,
+	}
+	rows, err := conn.Query(ctx, sel.String())
+	if err != nil {
+		return wc, fmt.Errorf("analysis: extra query for %q: %w", q.SQL, err)
+	}
+	e.extraQueries.Add(1)
+	wc.Affected = rows
+	return wc, nil
+}
+
+// Intersects decides whether the write invalidates the read instance,
+// according to the engine's strategy. It never returns a false negative:
+// when in doubt it reports an intersection.
+func (e *Engine) Intersects(read Query, write WriteCapture) (bool, error) {
+	pw, err := e.PrepareWrite(write)
+	if err != nil {
+		return false, err
+	}
+	return pw.Intersects(read)
+}
+
+// PreparedWrite is a write capture with its per-write analysis state
+// precomputed, for testing many read instances against one write (the
+// dependency-table sweep of a cache invalidation).
+type PreparedWrite struct {
+	e     *Engine
+	w     WriteCapture
+	wi    *TemplateInfo
+	table string
+
+	colIdx    map[string]int         // Affected row column index
+	whereVals map[string]memdb.Value // write WHERE equality bindings
+	autoCol   string                 // fresh auto-increment column ("" if none)
+	fresh     map[string]bool
+}
+
+// PrepareWrite analyses the write once so repeated Intersects calls are
+// cheap.
+func (e *Engine) PrepareWrite(w WriteCapture) (*PreparedWrite, error) {
+	wi, err := e.Template(w.SQL)
+	if err != nil {
+		return nil, err
+	}
+	if wi.Kind == KindSelect {
+		return nil, fmt.Errorf("analysis: PrepareWrite on a SELECT")
+	}
+	pw := &PreparedWrite{e: e, w: w, wi: wi, table: wi.Tables[0]}
+	if w.Affected != nil {
+		pw.colIdx = make(map[string]int, len(w.Affected.Columns))
+		for i, c := range w.Affected.Columns {
+			pw.colIdx[c] = i
+		}
+	}
+	pw.whereVals = eqValues(wi, w.Args, pw.table)
+	if wi.Kind == KindInsert && w.HasAutoID {
+		if name, ok := e.autoIncrementColumn(pw.table); ok {
+			if _, explicit := wi.InsertVals[name]; !explicit {
+				pw.autoCol = name
+				pw.fresh = map[string]bool{name: true}
+			}
+		}
+	}
+	return pw, nil
+}
+
+// Table returns the table the write modifies.
+func (pw *PreparedWrite) Table() string { return pw.table }
+
+// Intersects decides whether the write invalidates the read instance.
+func (pw *PreparedWrite) Intersects(read Query) (bool, error) {
+	e := pw.e
+	dep, err := e.PossiblyDependent(read.SQL, pw.w.SQL)
+	if err != nil {
+		return false, err
+	}
+	if !dep {
+		e.exonerations.Add(1)
+		return false, nil
+	}
+	if e.strategy == StrategyColumnOnly {
+		e.intersections.Add(1)
+		return true, nil
+	}
+	ri, err := e.Template(read.SQL)
+	if err != nil {
+		return false, err
+	}
+	if pw.intersectTri(ri, read.Args) == False {
+		e.exonerations.Add(1)
+		return false, nil
+	}
+	e.intersections.Add(1)
+	return true, nil
+}
+
+// insertBinding binds the inserted row's columns. Columns absent from the
+// INSERT get auto-increment or NULL values the analysis cannot know; they
+// bind as unknown — except the auto-increment key when the capture learned
+// it post-insert.
+func (pw *PreparedWrite) insertBinding(col string) (memdb.Value, bool) {
+	if pw.autoCol != "" && col == pw.autoCol {
+		return pw.w.AutoID, true
+	}
+	ref, present := pw.wi.InsertVals[col]
+	if !present {
+		return nil, false
+	}
+	return ref.Resolve(pw.w.Args)
+}
+
+// whereBinding binds columns guaranteed by the write's top-level WHERE
+// equality predicates: rows touched by the write carry these values
+// (pre-write).
+func (pw *PreparedWrite) whereBinding(col string) (memdb.Value, bool) {
+	v, ok := pw.whereVals[col]
+	return v, ok
+}
+
+// overlaySet wraps a binding so SET columns reflect their post-update
+// values; SET expressions the analysis cannot resolve become unknown.
+func (pw *PreparedWrite) overlaySet(base Binding) Binding {
+	return func(col string) (memdb.Value, bool) {
+		if ref, isSet := pw.wi.SetVals[col]; isSet {
+			return ref.Resolve(pw.w.Args)
+		}
+		return base(col)
+	}
+}
+
+// intersectTri performs the value-level intersection test. False means
+// provably disjoint.
+func (pw *PreparedWrite) intersectTri(ri *TemplateInfo, readArgs []memdb.Value) Tri {
+	e := pw.e
+	switch pw.wi.Kind {
+	case KindInsert:
+		// The inserted row's values are known from the template + args; a
+		// learned auto-increment key additionally counts as fresh
+		// (unreferenced by existing rows of other tables).
+		return EvalReadPredFresh(ri, pw.table, readArgs, pw.insertBinding, pw.fresh, e.schema)
+
+	case KindUpdate, KindDelete:
+		// Precise path: test the read predicate against each captured row.
+		if pw.w.Affected != nil {
+			if pw.w.Affected.Len() == 0 {
+				return False // the write touched no rows
+			}
+			for _, row := range pw.w.Affected.Data {
+				row := row
+				oldBinding := func(col string) (memdb.Value, bool) {
+					ci, ok := pw.colIdx[col]
+					if !ok {
+						return nil, false
+					}
+					return row[ci], true
+				}
+				if EvalReadPred(ri, pw.table, readArgs, oldBinding, e.schema) != False {
+					return True
+				}
+				if pw.wi.Kind == KindUpdate {
+					if EvalReadPred(ri, pw.table, readArgs, pw.overlaySet(oldBinding), e.schema) != False {
+						return True
+					}
+				}
+			}
+			return False
+		}
+		// Template-level path (WhereMatch): bind columns from the write's
+		// WHERE equality predicates.
+		old := EvalReadPred(ri, pw.table, readArgs, pw.whereBinding, e.schema)
+		if pw.wi.Kind == KindDelete {
+			return old
+		}
+		return old.Or(EvalReadPred(ri, pw.table, readArgs, pw.overlaySet(pw.whereBinding), e.schema))
+	}
+	return Unknown
+}
+
+// ProbeKeys returns the probe-key set the write can give column col of its
+// table: a read instance whose probe predicate on this table binds col to a
+// value outside this set provably does not intersect. ok is false when the
+// write's effect on col cannot be bounded (the caller must then test every
+// instance).
+func (pw *PreparedWrite) ProbeKeys(col string) (keys []string, ok bool) {
+	switch pw.wi.Kind {
+	case KindInsert:
+		if v, known := pw.insertBinding(col); known {
+			return []string{ProbeKey(v)}, true
+		}
+		return nil, false
+	case KindUpdate, KindDelete:
+		var out []string
+		if pw.w.Affected != nil {
+			ci, present := pw.colIdx[col]
+			if !present {
+				return nil, false
+			}
+			seen := make(map[string]bool)
+			for _, row := range pw.w.Affected.Data {
+				k := ProbeKey(row[ci])
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, k)
+				}
+			}
+		} else if v, known := pw.whereVals[col]; known {
+			out = append(out, ProbeKey(v))
+		} else {
+			return nil, false
+		}
+		if pw.wi.Kind == KindUpdate {
+			if ref, isSet := pw.wi.SetVals[col]; isSet {
+				v, known := ref.Resolve(pw.w.Args)
+				if !known {
+					return nil, false // SET to an unknowable value
+				}
+				out = append(out, ProbeKey(v))
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// ProbeKey renders a value for probe-index matching. Numeric strings
+// collapse to their numeric key so that memdb.Compare-equal values share a
+// key.
+func ProbeKey(v memdb.Value) string {
+	if s, isStr := v.(string); isStr {
+		if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+			return memdb.KeyString(f)
+		}
+	}
+	return memdb.KeyString(v)
+}
+
+// eqValues extracts the values guaranteed by a write statement's top-level
+// WHERE equality predicates.
+func eqValues(wi *TemplateInfo, args []memdb.Value, table string) map[string]memdb.Value {
+	vals := make(map[string]memdb.Value)
+	for _, c := range conjunctsOf(wi.Where) {
+		b, ok := c.(*sqlparser.BinaryExpr)
+		if !ok || b.Op != sqlparser.OpEq {
+			continue
+		}
+		col, valSide := b.Left, b.Right
+		cr, ok := col.(*sqlparser.ColumnRef)
+		if !ok {
+			cr, ok = valSide.(*sqlparser.ColumnRef)
+			if !ok {
+				continue
+			}
+			valSide = b.Left
+		}
+		if cr.Table != "" && cr.Table != table {
+			continue
+		}
+		ref := valueRefOf(valSide)
+		if v, known := ref.Resolve(args); known {
+			vals[cr.Name] = v
+		}
+	}
+	return vals
+}
+
+// autoIncrementer is the optional schema capability exposing auto-increment
+// key columns; *memdb.DB implements it.
+type autoIncrementer interface {
+	AutoIncrementColumn(table string) (string, bool)
+}
+
+// autoIncrementColumn returns the table's auto-increment column when the
+// schema can report it.
+func (e *Engine) autoIncrementColumn(table string) (string, bool) {
+	ai, ok := e.schema.(autoIncrementer)
+	if !ok {
+		return "", false
+	}
+	return ai.AutoIncrementColumn(table)
+}
+
+// substArgs returns a copy of e with every placeholder replaced by the
+// literal rendering of its bound argument value.
+func substArgs(e sqlparser.Expr, args []memdb.Value) (sqlparser.Expr, error) {
+	switch v := e.(type) {
+	case nil:
+		return nil, nil
+	case *sqlparser.Placeholder:
+		if v.Index < 0 || v.Index >= len(args) {
+			return nil, fmt.Errorf("placeholder %d out of range (%d args)", v.Index, len(args))
+		}
+		switch a := args[v.Index].(type) {
+		case nil:
+			return sqlparser.NullLit(), nil
+		case int64:
+			return sqlparser.IntLit(a), nil
+		case float64:
+			return sqlparser.FloatLit(a), nil
+		case string:
+			return sqlparser.StringLit(a), nil
+		default:
+			return nil, fmt.Errorf("cannot substitute value of type %T", a)
+		}
+	case *sqlparser.Literal, *sqlparser.ColumnRef:
+		return e, nil
+	case *sqlparser.BinaryExpr:
+		l, err := substArgs(v.Left, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substArgs(v.Right, args)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BinaryExpr{Op: v.Op, Left: l, Right: r}, nil
+	case *sqlparser.NotExpr:
+		inner, err := substArgs(v.Expr, args)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.NotExpr{Expr: inner}, nil
+	case *sqlparser.NegExpr:
+		inner, err := substArgs(v.Expr, args)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.NegExpr{Expr: inner}, nil
+	case *sqlparser.InExpr:
+		left, err := substArgs(v.Left, args)
+		if err != nil {
+			return nil, err
+		}
+		out := &sqlparser.InExpr{Left: left, Not: v.Not}
+		for _, item := range v.List {
+			x, err := substArgs(item, args)
+			if err != nil {
+				return nil, err
+			}
+			out.List = append(out.List, x)
+		}
+		return out, nil
+	case *sqlparser.BetweenExpr:
+		left, err := substArgs(v.Left, args)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := substArgs(v.Lo, args)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := substArgs(v.Hi, args)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BetweenExpr{Left: left, Lo: lo, Hi: hi, Not: v.Not}, nil
+	case *sqlparser.LikeExpr:
+		left, err := substArgs(v.Left, args)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := substArgs(v.Pattern, args)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.LikeExpr{Left: left, Pattern: pat, Not: v.Not}, nil
+	case *sqlparser.IsNullExpr:
+		left, err := substArgs(v.Left, args)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.IsNullExpr{Left: left, Not: v.Not}, nil
+	case *sqlparser.FuncExpr:
+		out := &sqlparser.FuncExpr{Name: v.Name, Star: v.Star, Distinct: v.Distinct}
+		for _, a := range v.Args {
+			x, err := substArgs(a, args)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, x)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("cannot substitute into %T", e)
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	// The template map is keyed by both raw and canonical spellings; count
+	// distinct template objects.
+	seen := make(map[*TemplateInfo]bool, len(e.templates))
+	for _, info := range e.templates {
+		seen[info] = true
+	}
+	nt := len(seen)
+	np := len(e.pairs)
+	e.mu.RUnlock()
+	return Stats{
+		Templates:       nt,
+		PairCacheSize:   np,
+		PairCacheHits:   e.pairHits.Load(),
+		PairCacheMisses: e.pairMisses.Load(),
+		ExtraQueries:    e.extraQueries.Load(),
+		Intersections:   e.intersections.Load(),
+		Exonerations:    e.exonerations.Load(),
+	}
+}

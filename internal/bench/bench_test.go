@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns parameters small enough for unit tests.
+func tiny(t *testing.T) Params {
+	t.Helper()
+	p := Fast()
+	p.RubisClients = []int{8}
+	p.TpcwClients = []int{8}
+	p.Warmup = 300
+	p.Measure = 800
+	// Realistic database service times: at near-zero query cost the cache's
+	// own bookkeeping would be comparable to page generation and the
+	// comparison meaningless.
+	p.ReadLat = 60 * time.Microsecond
+	p.WriteLat = 40 * time.Microsecond
+	p.RowCost = 2 * time.Microsecond
+	return p
+}
+
+func parseMs(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig4Stabilises(t *testing.T) {
+	tbl, err := Fig4(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Template count must be non-decreasing and plateau per app; the last
+	// checkpoint's pair hit rate must dominate its first.
+	var apps = map[string][][]string{}
+	for _, r := range tbl.Rows {
+		apps[r[0]] = append(apps[r[0]], r)
+	}
+	for app, rows := range apps {
+		first := rows[0]
+		last := rows[len(rows)-1]
+		ft, _ := strconv.Atoi(first[2])
+		lt, _ := strconv.Atoi(last[2])
+		if lt < ft {
+			t.Errorf("%s: template count decreased %d -> %d", app, ft, lt)
+		}
+		fh := strings.TrimSuffix(first[6], "%")
+		lh := strings.TrimSuffix(last[6], "%")
+		fhv, _ := strconv.ParseFloat(fh, 64)
+		lhv, _ := strconv.ParseFloat(lh, 64)
+		if lhv < fhv {
+			t.Errorf("%s: pair hit rate fell %s -> %s", app, first[6], last[6])
+		}
+		if lhv < 50 {
+			t.Errorf("%s: pair cache did not stabilise (final hit rate %s)", app, last[6])
+		}
+	}
+}
+
+func TestFig13CacheWins(t *testing.T) {
+	tbl, err := Fig13(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		noCache := parseMs(t, row[1])
+		awc := parseMs(t, row[2])
+		if awc > noCache {
+			t.Errorf("clients=%s: AutoWebCache (%.3fms) slower than NoCache (%.3fms)", row[0], awc, noCache)
+		}
+	}
+}
+
+func TestFig14CacheWins(t *testing.T) {
+	tbl, err := Fig14(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Columns) != 6 {
+		t.Fatalf("columns: %v", tbl.Columns)
+	}
+	for _, row := range tbl.Rows {
+		noCache := parseMs(t, row[1])
+		awc := parseMs(t, row[3])
+		if awc > noCache {
+			t.Errorf("clients=%s: AutoWebCache slower than NoCache", row[0])
+		}
+	}
+}
+
+func TestFig15SemanticsHelps(t *testing.T) {
+	tbl, err := Fig15(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		plain := parseMs(t, row[2])
+		sem := parseMs(t, row[3])
+		// The semantic window should not be slower than plain AutoWebCache
+		// by more than noise; allow 50% slack for tiny runs.
+		if sem > plain*1.5 {
+			t.Errorf("clients=%s: semantics (%.3f) much slower than plain (%.3f)", row[0], sem, plain)
+		}
+	}
+}
+
+func TestFig16Breakdown(t *testing.T) {
+	tbl, err := Fig16(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, row := range tbl.Rows {
+		names[row[0]] = true
+	}
+	for _, want := range []string{"BrowseCategories", "ViewItem", "AboutMe", "SearchItemsByCategory"} {
+		if !names[want] {
+			t.Errorf("missing interaction %s", want)
+		}
+	}
+	// Write interactions must not appear.
+	for _, bad := range []string{"StoreBid", "StoreComment"} {
+		if names[bad] {
+			t.Errorf("write interaction %s in read figure", bad)
+		}
+	}
+}
+
+func TestFig17SemanticHits(t *testing.T) {
+	p := tiny(t)
+	p.Measure = 600
+	tbl, err := Fig17(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var home, best []string
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "HomeInteraction":
+			home = row
+		case "BestSellers":
+			best = row
+		}
+	}
+	if home == nil || best == nil {
+		t.Fatalf("missing rows: %+v", tbl.Rows)
+	}
+	// Home is uncacheable: zero hits.
+	if home[2] != "0.0%" || home[3] != "0.0%" {
+		t.Errorf("HomeInteraction should have no hits: %v", home)
+	}
+	// BestSellers hits come from the semantic window.
+	if best[2] != "0.0%" {
+		t.Errorf("BestSellers strong-consistency hits should be 0 under the window: %v", best)
+	}
+}
+
+func TestFig18AndFig19Render(t *testing.T) {
+	p := tiny(t)
+	for _, fn := range []func(Params) (*Table, error){Fig18, Fig19} {
+		tbl, err := fn(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatal("empty breakdown table")
+		}
+		out := tbl.String()
+		if !strings.Contains(out, tbl.Title) {
+			t.Fatal("render missing title")
+		}
+	}
+}
+
+func TestFig20CountsRoles(t *testing.T) {
+	tbl, err := Fig20("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRole := map[string]int{}
+	for _, row := range tbl.Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		byRole[row[0]] = n
+	}
+	weaveLines := byRole["Weaving code (AspectJ analogue)"]
+	lib := byRole["Caching library (JWebCaching analogue)"]
+	apps := byRole["Web application: RUBiS"] + byRole["Web application: TPC-W"]
+	if weaveLines == 0 || lib == 0 || apps == 0 {
+		t.Fatalf("missing roles: %+v", byRole)
+	}
+	// The paper's Fig. 20 claim: weaving code is much smaller than both.
+	if weaveLines >= lib || weaveLines >= apps {
+		t.Errorf("weaving code (%d) should be smaller than library (%d) and apps (%d)", weaveLines, lib, apps)
+	}
+}
+
+func TestAblationStrategiesMonotone(t *testing.T) {
+	p := tiny(t)
+	tbl, err := AblationStrategies(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	inval := func(row []string) float64 {
+		v, _ := strconv.ParseFloat(row[3], 64)
+		return v
+	}
+	// More precise strategies must not invalidate more pages. Small runs
+	// are noisy; allow 20% slack.
+	if inval(tbl.Rows[2]) > inval(tbl.Rows[0])*1.2+5 {
+		t.Errorf("ExtraQuery invalidates more than ColumnOnly: %v vs %v", tbl.Rows[2], tbl.Rows[0])
+	}
+}
+
+func TestAblationReplacementCapacities(t *testing.T) {
+	p := tiny(t)
+	p.Measure = 400
+	tbl, err := AblationReplacement(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 { // 3 capacities x 3 policies
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestAblationComposition(t *testing.T) {
+	p := tiny(t)
+	tbl, err := AblationComposition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	dbq := func(row []string) int {
+		n, err := strconv.Atoi(row[4])
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[4], err)
+		}
+		return n
+	}
+	// Each cache layer must reduce database query volume vs the baseline.
+	base := dbq(tbl.Rows[0])
+	for _, row := range tbl.Rows[1:] {
+		if dbq(row) >= base {
+			t.Errorf("%s: db queries %d not below baseline %d", row[0], dbq(row), base)
+		}
+	}
+	// The stacked configuration must not exceed the page-cache-only DB load.
+	if dbq(tbl.Rows[3]) > dbq(tbl.Rows[2]) {
+		t.Errorf("stacked caches issued more db queries (%d) than page cache alone (%d)",
+			dbq(tbl.Rows[3]), dbq(tbl.Rows[2]))
+	}
+}
+
+func TestCountLines(t *testing.T) {
+	n, err := CountLines(".", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 100 {
+		t.Fatalf("suspiciously few lines in bench package: %d", n)
+	}
+	withTests, err := CountLines(".", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTests <= n {
+		t.Fatal("including tests should increase the count")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID: "x", Title: "T", Columns: []string{"A", "B"},
+		Notes: []string{"n1"},
+	}
+	tbl.AddRow("v", 1.5)
+	out := tbl.String()
+	for _, want := range []string{"== x: T ==", "A", "v", "1.50", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in %q", want, out)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6) as text tables: response-time-vs-clients curves
+// (Figs. 13–15), per-interaction hit/miss breakdowns (Figs. 16–17),
+// per-interaction response-time breakdowns (Figs. 18–19), query-analysis
+// cache statistics (Fig. 4), the code-size comparison (Fig. 20), and two
+// ablations the paper discusses but defers ([20] fn. 3 strategy comparison;
+// §9 replacement policies).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID      string // e.g. "fig13"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	underline := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		underline[i] = strings.Repeat("-", len(c))
+	}
+	if _, err := fmt.Fprintln(tw, strings.Join(underline, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,532 @@
+// Package cache implements AutoWebCache's core page cache (§3.1, Fig. 3):
+//
+//   - a page table mapping request URIs (including arguments) to cached web
+//     pages, and
+//   - a dependency table mapping each read-query template to the (value
+//     vector, page key) pairs that used it,
+//
+// plus the consistency machinery of §3.2: on a write, the query-analysis
+// engine decides which cached read instances the write intersects, and the
+// pages depending on them are invalidated.
+//
+// Beyond the paper's core, the package implements the extensions its §9
+// lists as future work: bounded capacity with pluggable replacement policies
+// (LRU, LFU, FIFO) and time-lagged (TTL) weak consistency, which also
+// realises the TPC-W BestSellers 30-second semantic window of §4.3.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/memdb"
+)
+
+// ReplacementPolicy selects the eviction order under bounded capacity.
+type ReplacementPolicy int
+
+// Replacement policies. Start at 1 so the zero value selects the default in
+// Options (LRU).
+const (
+	LRU ReplacementPolicy = iota + 1
+	LFU
+	FIFO
+)
+
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case LFU:
+		return "LFU"
+	case FIFO:
+		return "FIFO"
+	}
+	return "INVALID"
+}
+
+// Options configures a Cache.
+type Options struct {
+	// Engine decides read/write intersections. Required.
+	Engine *analysis.Engine
+	// MaxEntries bounds the number of cached pages; 0 means unbounded.
+	MaxEntries int
+	// Replacement selects the eviction policy when MaxEntries is exceeded.
+	// Defaults to LRU.
+	Replacement ReplacementPolicy
+	// Clock supplies the current time; defaults to time.Now. Injectable for
+	// deterministic TTL tests.
+	Clock func() time.Time
+	// ForceMiss makes every Lookup miss while leaving inserts and
+	// invalidations in place. The paper uses this mode to measure the
+	// cache-lookup overhead (§6, Fig. 14 discussion: "forcing a cache miss
+	// on every lookup... the performance difference to NoCache is
+	// negligible").
+	ForceMiss bool
+}
+
+// Entry is one cached page together with its dependency information.
+type Entry struct {
+	Key         string
+	Body        []byte
+	ContentType string
+	// Deps are the read-query instances whose results the page was
+	// generated from (template + value vector, §3.1 "dependency info").
+	Deps       []analysis.Query
+	InsertedAt time.Time
+	// ExpiresAt, when non-zero, makes the entry invisible after this time —
+	// used for TTL (weak) consistency and semantic windows.
+	ExpiresAt time.Time
+
+	hits       uint64
+	lastAccess time.Time
+}
+
+// Stats are cumulative cache counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Inserts       uint64
+	Invalidations uint64 // pages removed by write invalidation
+	Evictions     uint64 // pages removed by capacity pressure
+	Expirations   uint64 // pages removed because their TTL passed
+	WritesSeen    uint64 // InvalidateWrite calls
+	Entries       int    // current page count
+	DepTemplates  int    // current dependency-table template count
+	DepInstances  int    // current dependency-table (template, vector) count
+}
+
+// depInstance is one row of the dependency table's value-vector level: a
+// concrete read-query instance and the pages built from it.
+type depInstance struct {
+	query analysis.Query
+	pages map[string]bool
+}
+
+// depTemplate groups the instances of one read-query template, with a probe
+// index per table: instances keyed by the value their `table.col = ?`
+// predicate binds. A write whose effect on that column is bounded only
+// needs to test the matching instances — the result-caching optimisation
+// the paper relies on for near-zero run-time analysis overhead (§7).
+type depTemplate struct {
+	info      *analysis.TemplateInfo // nil when the template is unparseable
+	instances map[string]*depInstance
+	// probeIdx: table -> probe key -> argsKey -> instance.
+	probeIdx map[string]map[string]map[string]*depInstance
+}
+
+func newDepTemplate(info *analysis.TemplateInfo) *depTemplate {
+	return &depTemplate{
+		info:      info,
+		instances: make(map[string]*depInstance),
+		probeIdx:  make(map[string]map[string]map[string]*depInstance),
+	}
+}
+
+// probeKeyFor returns the probe key of an instance for one table's probe,
+// or ok=false when the instance has no value at the probed argument.
+func probeKeyFor(p analysis.Probe, args []memdb.Value) (string, bool) {
+	if p.ArgIndex < 0 || p.ArgIndex >= len(args) {
+		return "", false
+	}
+	return analysis.ProbeKey(args[p.ArgIndex]), true
+}
+
+// addInstance registers an instance in the probe indexes.
+func (dt *depTemplate) addInstance(argsKey string, inst *depInstance) {
+	dt.instances[argsKey] = inst
+	if dt.info == nil {
+		return
+	}
+	for table, p := range dt.info.Probes {
+		key, ok := probeKeyFor(p, inst.query.Args)
+		if !ok {
+			continue
+		}
+		byKey := dt.probeIdx[table]
+		if byKey == nil {
+			byKey = make(map[string]map[string]*depInstance)
+			dt.probeIdx[table] = byKey
+		}
+		byArgs := byKey[key]
+		if byArgs == nil {
+			byArgs = make(map[string]*depInstance)
+			byKey[key] = byArgs
+		}
+		byArgs[argsKey] = inst
+	}
+}
+
+// removeInstance unregisters an instance from the probe indexes.
+func (dt *depTemplate) removeInstance(argsKey string, inst *depInstance) {
+	delete(dt.instances, argsKey)
+	if dt.info == nil {
+		return
+	}
+	for table, p := range dt.info.Probes {
+		key, ok := probeKeyFor(p, inst.query.Args)
+		if !ok {
+			continue
+		}
+		if byArgs := dt.probeIdx[table][key]; byArgs != nil {
+			delete(byArgs, argsKey)
+			if len(byArgs) == 0 {
+				delete(dt.probeIdx[table], key)
+			}
+		}
+	}
+}
+
+// Cache is the page cache. It is safe for concurrent use.
+type Cache struct {
+	opts Options
+
+	mu    sync.Mutex
+	pages map[string]*list.Element // key -> element holding *Entry
+	order *list.List               // LRU/FIFO order: front = next victim
+	// deps: template SQL -> template group (instances + probe indexes).
+	deps map[string]*depTemplate
+
+	hits          uint64
+	misses        uint64
+	inserts       uint64
+	invalidations uint64
+	evictions     uint64
+	expirations   uint64
+	writesSeen    uint64
+}
+
+// New creates a cache. Options.Engine must be set.
+func New(opts Options) (*Cache, error) {
+	if opts.Engine == nil {
+		return nil, fmt.Errorf("cache: Options.Engine is required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.Replacement == 0 {
+		opts.Replacement = LRU
+	}
+	switch opts.Replacement {
+	case LRU, LFU, FIFO:
+	default:
+		return nil, fmt.Errorf("cache: invalid replacement policy %d", int(opts.Replacement))
+	}
+	if opts.MaxEntries < 0 {
+		return nil, fmt.Errorf("cache: negative MaxEntries")
+	}
+	return &Cache{
+		opts:  opts,
+		pages: make(map[string]*list.Element),
+		order: list.New(),
+		deps:  make(map[string]*depTemplate),
+	}, nil
+}
+
+// Engine returns the cache's analysis engine.
+func (c *Cache) Engine() *analysis.Engine { return c.opts.Engine }
+
+// Lookup returns the cached page for key, if present and not expired
+// (§3.1 "cache checks").
+func (c *Cache) Lookup(key string) (body []byte, contentType string, ok bool) {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, present := c.pages[key]
+	if !present || c.opts.ForceMiss {
+		c.misses++
+		return nil, "", false
+	}
+	e := el.Value.(*Entry)
+	if !e.ExpiresAt.IsZero() && now.After(e.ExpiresAt) {
+		c.removeEntryLocked(el)
+		c.expirations++
+		c.misses++
+		return nil, "", false
+	}
+	c.hits++
+	e.hits++
+	e.lastAccess = now
+	if c.opts.Replacement == LRU {
+		c.order.MoveToBack(el)
+	}
+	// Copy at the boundary: callers own the returned slice.
+	out := make([]byte, len(e.Body))
+	copy(out, e.Body)
+	return out, e.ContentType, true
+}
+
+// Insert stores a page with its dependency information (§3.1 "cache
+// inserts"). ttl > 0 arms an expiry (TTL consistency / semantic windows);
+// ttl == 0 means the entry lives until invalidated or evicted. The body and
+// deps are copied.
+func (c *Cache) Insert(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration) {
+	now := c.opts.Clock()
+	e := &Entry{
+		Key:         key,
+		Body:        append([]byte(nil), body...),
+		ContentType: contentType,
+		Deps:        copyDeps(deps),
+		InsertedAt:  now,
+		lastAccess:  now,
+	}
+	if ttl > 0 {
+		e.ExpiresAt = now.Add(ttl)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, exists := c.pages[key]; exists {
+		c.removeEntryLocked(old)
+	}
+	if c.opts.MaxEntries > 0 {
+		for len(c.pages) >= c.opts.MaxEntries {
+			c.evictOneLocked()
+		}
+	}
+	el := c.order.PushBack(e)
+	c.pages[key] = el
+	for _, d := range e.Deps {
+		dt := c.deps[d.SQL]
+		if dt == nil {
+			// The template info (and its probe predicates) is memoised in
+			// the engine; an unparseable template degrades to unindexed.
+			info, err := c.opts.Engine.Template(d.SQL)
+			if err != nil {
+				info = nil
+			}
+			dt = newDepTemplate(info)
+			c.deps[d.SQL] = dt
+		}
+		ak := argsKey(d.Args)
+		inst := dt.instances[ak]
+		if inst == nil {
+			inst = &depInstance{query: d, pages: make(map[string]bool)}
+			dt.addInstance(ak, inst)
+		}
+		inst.pages[key] = true
+	}
+	c.inserts++
+}
+
+// InvalidateWrite removes every cached page whose dependency set intersects
+// the write (§3.1 "cache invalidations"). It returns the number of pages
+// invalidated. The write should have been captured with
+// Engine.CaptureWrite before the write executed.
+func (c *Cache) InvalidateWrite(w analysis.WriteCapture) (int, error) {
+	// Snapshot the dependency instances under the lock, then run the
+	// (potentially extra-query-backed) intersection tests outside it so
+	// concurrent lookups are not serialised behind the analysis.
+	type candidate struct {
+		query analysis.Query
+		pages []string
+	}
+	pw, err := c.opts.Engine.PrepareWrite(w)
+	if err != nil {
+		return 0, err
+	}
+	// ColumnOnly deliberately ignores bound values, so the value-based
+	// probe index must not narrow its candidate set.
+	useProbes := c.opts.Engine.Strategy() != analysis.StrategyColumnOnly
+
+	c.mu.Lock()
+	c.writesSeen++
+	var candidates []candidate
+	for tmpl, dt := range c.deps {
+		dep, err := c.opts.Engine.PossiblyDependent(tmpl, w.SQL)
+		if err != nil {
+			c.mu.Unlock()
+			return 0, err
+		}
+		if !dep {
+			continue
+		}
+		collect := func(inst *depInstance) {
+			cand := candidate{query: inst.query, pages: make([]string, 0, len(inst.pages))}
+			for page := range inst.pages {
+				cand.pages = append(cand.pages, page)
+			}
+			candidates = append(candidates, cand)
+		}
+		probed := false
+		if useProbes && dt.info != nil {
+			if p, hasProbe := dt.info.Probes[pw.Table()]; hasProbe {
+				if keys, bounded := pw.ProbeKeys(p.Col); bounded {
+					seen := make(map[*depInstance]bool)
+					for _, key := range keys {
+						for _, inst := range dt.probeIdx[pw.Table()][key] {
+							if !seen[inst] {
+								seen[inst] = true
+								collect(inst)
+							}
+						}
+					}
+					probed = true
+				}
+			}
+		}
+		if !probed {
+			for _, inst := range dt.instances {
+				collect(inst)
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	victims := make(map[string]bool)
+	for _, cand := range candidates {
+		hit, err := pw.Intersects(cand.query)
+		if err != nil {
+			return 0, err
+		}
+		if !hit {
+			continue
+		}
+		for _, page := range cand.pages {
+			victims[page] = true
+		}
+	}
+
+	n := 0
+	c.mu.Lock()
+	for key := range victims {
+		if el, ok := c.pages[key]; ok {
+			c.removeEntryLocked(el)
+			c.invalidations++
+			n++
+		}
+	}
+	c.mu.Unlock()
+	return n, nil
+}
+
+// InvalidateKey removes a single page, if present. It returns true when a
+// page was removed. This is the developer-facing escape hatch the paper's
+// §8 describes for externally-driven invalidation (e.g. database triggers).
+func (c *Cache) InvalidateKey(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.pages[key]
+	if !ok {
+		return false
+	}
+	c.removeEntryLocked(el)
+	c.invalidations++
+	return true
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pages = make(map[string]*list.Element)
+	c.order = list.New()
+	c.deps = make(map[string]*depTemplate)
+}
+
+// Len returns the current number of cached pages.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pages)
+}
+
+// Contains reports whether key is cached (without touching recency state or
+// hit/miss counters). Expired entries report false.
+func (c *Cache) Contains(key string) bool {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.pages[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*Entry)
+	return e.ExpiresAt.IsZero() || !now.After(e.ExpiresAt)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nInst := 0
+	for _, dt := range c.deps {
+		nInst += len(dt.instances)
+	}
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Inserts:       c.inserts,
+		Invalidations: c.invalidations,
+		Evictions:     c.evictions,
+		Expirations:   c.expirations,
+		WritesSeen:    c.writesSeen,
+		Entries:       len(c.pages),
+		DepTemplates:  len(c.deps),
+		DepInstances:  nInst,
+	}
+}
+
+// removeEntryLocked unlinks an entry from the page table, the order list and
+// the dependency table. The caller holds c.mu.
+func (c *Cache) removeEntryLocked(el *list.Element) {
+	e := el.Value.(*Entry)
+	c.order.Remove(el)
+	delete(c.pages, e.Key)
+	for _, d := range e.Deps {
+		dt := c.deps[d.SQL]
+		if dt == nil {
+			continue
+		}
+		ak := argsKey(d.Args)
+		inst := dt.instances[ak]
+		if inst == nil {
+			continue
+		}
+		delete(inst.pages, e.Key)
+		if len(inst.pages) == 0 {
+			dt.removeInstance(ak, inst)
+		}
+		if len(dt.instances) == 0 {
+			delete(c.deps, d.SQL)
+		}
+	}
+}
+
+// evictOneLocked removes one page according to the replacement policy. The
+// caller holds c.mu and guarantees the cache is non-empty.
+func (c *Cache) evictOneLocked() {
+	var victim *list.Element
+	switch c.opts.Replacement {
+	case LRU, FIFO:
+		// LRU keeps the order list in recency order (MoveToBack on hit);
+		// FIFO never reorders. Either way the front is the victim.
+		victim = c.order.Front()
+	case LFU:
+		minHits := ^uint64(0)
+		for el := c.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*Entry)
+			if e.hits < minHits {
+				minHits = e.hits
+				victim = el
+			}
+		}
+	}
+	if victim != nil {
+		c.removeEntryLocked(victim)
+		c.evictions++
+	}
+}
+
+func copyDeps(deps []analysis.Query) []analysis.Query {
+	out := make([]analysis.Query, len(deps))
+	for i, d := range deps {
+		out[i] = analysis.Query{SQL: d.SQL, Args: append([]memdb.Value(nil), d.Args...)}
+	}
+	return out
+}
+
+// argsKey renders a value vector as a map key.
+func argsKey(args []memdb.Value) string { return memdb.KeyOfValues(args) }

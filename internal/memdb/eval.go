@@ -1,0 +1,408 @@
+package memdb
+
+import (
+	"fmt"
+	"strings"
+
+	"autowebcache/internal/sqlparser"
+)
+
+// boundTable couples a FROM/JOIN table reference with its runtime table.
+type boundTable struct {
+	ref string // alias if present, else table name
+	tbl *table
+}
+
+// env is the evaluation environment for one (joined) row.
+type env struct {
+	tables []boundTable
+	rows   [][]Value // current row per table; nil for unmatched LEFT JOIN
+	args   []Value
+	// aggValues supplies computed aggregate results during projection of
+	// grouped queries, keyed by the aggregate expression's String().
+	aggValues map[string]Value
+}
+
+// resolve finds the (table index, column index) for a column reference.
+func (e *env) resolve(c *sqlparser.ColumnRef) (int, int, error) {
+	if c.Table != "" {
+		for ti := range e.tables {
+			if e.tables[ti].ref == c.Table {
+				ci, ok := e.tables[ti].tbl.colIdx[c.Name]
+				if !ok {
+					return 0, 0, fmt.Errorf("memdb: no column %s in table %s", c.Name, c.Table)
+				}
+				return ti, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("memdb: unknown table reference %s", c.Table)
+	}
+	found := -1
+	foundCol := 0
+	for ti := range e.tables {
+		if ci, ok := e.tables[ti].tbl.colIdx[c.Name]; ok {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("memdb: ambiguous column %s", c.Name)
+			}
+			found, foundCol = ti, ci
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("memdb: unknown column %s", c.Name)
+	}
+	return found, foundCol, nil
+}
+
+// aggregateNames are the supported aggregate functions.
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+// isAggregate reports whether the expression contains an aggregate call.
+func isAggregate(e sqlparser.Expr) bool {
+	agg := false
+	sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+		if f, ok := x.(*sqlparser.FuncExpr); ok && aggregateNames[f.Name] {
+			agg = true
+			return false
+		}
+		return true
+	})
+	return agg
+}
+
+// eval evaluates an expression to a value. Aggregate calls are resolved via
+// env.aggValues; evaluating an aggregate without that scope is an error.
+func (e *env) eval(x sqlparser.Expr) (Value, error) {
+	switch v := x.(type) {
+	case *sqlparser.Literal:
+		return v.Value(), nil
+	case *sqlparser.Placeholder:
+		if v.Index < 0 || v.Index >= len(e.args) {
+			return nil, fmt.Errorf("memdb: placeholder %d out of range (%d args)", v.Index, len(e.args))
+		}
+		return e.args[v.Index], nil
+	case *sqlparser.ColumnRef:
+		ti, ci, err := e.resolve(v)
+		if err != nil {
+			return nil, err
+		}
+		row := e.rows[ti]
+		if row == nil { // unmatched LEFT JOIN side
+			return nil, nil
+		}
+		return row[ci], nil
+	case *sqlparser.BinaryExpr:
+		return e.evalBinary(v)
+	case *sqlparser.NotExpr:
+		inner, err := e.eval(v.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return boolVal(!IsTruthy(inner)), nil
+	case *sqlparser.NegExpr:
+		inner, err := e.eval(v.Expr)
+		if err != nil {
+			return nil, err
+		}
+		switch n := inner.(type) {
+		case int64:
+			return -n, nil
+		case float64:
+			return -n, nil
+		case nil:
+			return nil, nil
+		}
+		return nil, fmt.Errorf("memdb: cannot negate %T", inner)
+	case *sqlparser.InExpr:
+		left, err := e.eval(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		match := false
+		for _, item := range v.List {
+			iv, err := e.eval(item)
+			if err != nil {
+				return nil, err
+			}
+			if Equal(left, iv) {
+				match = true
+				break
+			}
+		}
+		return boolVal(match != v.Not), nil
+	case *sqlparser.BetweenExpr:
+		left, err := e.eval(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := e.eval(v.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := e.eval(v.Hi)
+		if err != nil {
+			return nil, err
+		}
+		if left == nil || lo == nil || hi == nil {
+			return boolVal(v.Not), nil
+		}
+		in := Compare(left, lo) >= 0 && Compare(left, hi) <= 0
+		return boolVal(in != v.Not), nil
+	case *sqlparser.LikeExpr:
+		left, err := e.eval(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := e.eval(v.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		ls, ok1 := left.(string)
+		ps, ok2 := pat.(string)
+		if !ok1 {
+			ls = valueToString(left)
+		}
+		if !ok2 {
+			ps = valueToString(pat)
+		}
+		if left == nil || pat == nil {
+			return boolVal(v.Not), nil
+		}
+		return boolVal(likeMatch(ps, ls) != v.Not), nil
+	case *sqlparser.IsNullExpr:
+		left, err := e.eval(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		return boolVal((left == nil) != v.Not), nil
+	case *sqlparser.FuncExpr:
+		if aggregateNames[v.Name] {
+			if e.aggValues != nil {
+				if val, ok := e.aggValues[v.String()]; ok {
+					return val, nil
+				}
+			}
+			return nil, fmt.Errorf("memdb: aggregate %s used outside aggregation context", v.Name)
+		}
+		return e.evalScalarFunc(v)
+	}
+	return nil, fmt.Errorf("memdb: cannot evaluate %T", x)
+}
+
+func (e *env) evalBinary(v *sqlparser.BinaryExpr) (Value, error) {
+	switch v.Op {
+	case sqlparser.OpAnd:
+		l, err := e.eval(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		if !IsTruthy(l) {
+			return boolVal(false), nil
+		}
+		r, err := e.eval(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		return boolVal(IsTruthy(r)), nil
+	case sqlparser.OpOr:
+		l, err := e.eval(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		if IsTruthy(l) {
+			return boolVal(true), nil
+		}
+		r, err := e.eval(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		return boolVal(IsTruthy(r)), nil
+	}
+	l, err := e.eval(v.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(v.Right)
+	if err != nil {
+		return nil, err
+	}
+	if v.Op.IsComparison() {
+		// SQL NULL: any comparison with NULL is false.
+		if l == nil || r == nil {
+			return boolVal(false), nil
+		}
+		c := Compare(l, r)
+		switch v.Op {
+		case sqlparser.OpEq:
+			return boolVal(c == 0), nil
+		case sqlparser.OpNe:
+			return boolVal(c != 0), nil
+		case sqlparser.OpLt:
+			return boolVal(c < 0), nil
+		case sqlparser.OpLe:
+			return boolVal(c <= 0), nil
+		case sqlparser.OpGt:
+			return boolVal(c > 0), nil
+		case sqlparser.OpGe:
+			return boolVal(c >= 0), nil
+		}
+	}
+	return arith(v.Op, l, r)
+}
+
+func arith(op sqlparser.BinaryOp, l, r Value) (Value, error) {
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt && op != sqlparser.OpDiv {
+		switch op {
+		case sqlparser.OpAdd:
+			return li + ri, nil
+		case sqlparser.OpSub:
+			return li - ri, nil
+		case sqlparser.OpMul:
+			return li * ri, nil
+		}
+	}
+	lf, ok1 := ToFloat(l)
+	rf, ok2 := ToFloat(r)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("memdb: non-numeric operand for %v", op)
+	}
+	switch op {
+	case sqlparser.OpAdd:
+		return lf + rf, nil
+	case sqlparser.OpSub:
+		return lf - rf, nil
+	case sqlparser.OpMul:
+		return lf * rf, nil
+	case sqlparser.OpDiv:
+		if rf == 0 {
+			return nil, nil // SQL: division by zero yields NULL
+		}
+		return lf / rf, nil
+	}
+	return nil, fmt.Errorf("memdb: unsupported arithmetic operator %v", op)
+}
+
+// evalScalarFunc evaluates the small set of supported scalar functions.
+func (e *env) evalScalarFunc(v *sqlparser.FuncExpr) (Value, error) {
+	argv := make([]Value, len(v.Args))
+	for i, a := range v.Args {
+		x, err := e.eval(a)
+		if err != nil {
+			return nil, err
+		}
+		argv[i] = x
+	}
+	switch v.Name {
+	case "LOWER":
+		if len(argv) != 1 {
+			return nil, fmt.Errorf("memdb: LOWER wants 1 arg")
+		}
+		return strings.ToLower(valueToString(argv[0])), nil
+	case "UPPER":
+		if len(argv) != 1 {
+			return nil, fmt.Errorf("memdb: UPPER wants 1 arg")
+		}
+		return strings.ToUpper(valueToString(argv[0])), nil
+	case "LENGTH":
+		if len(argv) != 1 {
+			return nil, fmt.Errorf("memdb: LENGTH wants 1 arg")
+		}
+		return int64(len(valueToString(argv[0]))), nil
+	case "ABS":
+		if len(argv) != 1 {
+			return nil, fmt.Errorf("memdb: ABS wants 1 arg")
+		}
+		switch n := argv[0].(type) {
+		case int64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case float64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case nil:
+			return nil, nil
+		}
+		return nil, fmt.Errorf("memdb: ABS of non-number")
+	}
+	return nil, fmt.Errorf("memdb: unknown function %s", v.Name)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return int64(1)
+	}
+	return int64(0)
+}
+
+func valueToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Like implements SQL LIKE: % matches any run, _ matches one byte.
+// Matching is case-insensitive, as in MySQL's default collation.
+func Like(pattern, s string) bool {
+	return likeRec(strings.ToLower(pattern), strings.ToLower(s))
+}
+
+func likeMatch(pattern, s string) bool { return Like(pattern, s) }
+
+func likeRec(p, s string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(p, s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		case '\\':
+			if len(p) >= 2 {
+				if len(s) == 0 || s[0] != p[1] {
+					return false
+				}
+				p, s = p[2:], s[1:]
+				continue
+			}
+			if len(s) == 0 || s[0] != '\\' {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		}
+	}
+	return len(s) == 0
+}

@@ -1,0 +1,690 @@
+package memdb
+
+import (
+	"fmt"
+	"sort"
+
+	"autowebcache/internal/sqlparser"
+)
+
+// splitConjuncts flattens a WHERE tree into AND-ed conjuncts.
+func splitConjuncts(e sqlparser.Expr, out []sqlparser.Expr) []sqlparser.Expr {
+	if b, ok := e.(*sqlparser.BinaryExpr); ok && b.Op == sqlparser.OpAnd {
+		out = splitConjuncts(b.Left, out)
+		return splitConjuncts(b.Right, out)
+	}
+	if e != nil {
+		out = append(out, e)
+	}
+	return out
+}
+
+// maxTableIndex returns the highest table index referenced by e, or -1 when
+// the expression references no columns. An error is returned for unknown
+// references.
+func maxTableIndex(e sqlparser.Expr, ev *env) (int, error) {
+	maxIdx := -1
+	var walkErr error
+	sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+		c, ok := x.(*sqlparser.ColumnRef)
+		if !ok {
+			return true
+		}
+		ti, _, err := ev.resolve(c)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if ti > maxIdx {
+			maxIdx = ti
+		}
+		return true
+	})
+	return maxIdx, walkErr
+}
+
+// eqLookup describes an equality usable for an index probe at one join
+// level: table ti's column ci must equal the value of expr (which references
+// only earlier tables or constants).
+type eqLookup struct {
+	ci   int
+	expr sqlparser.Expr
+}
+
+// selectPlan is the per-level execution plan for a select.
+type selectPlan struct {
+	ev *env
+	// conds[k] holds the conjuncts whose highest referenced table is k; they
+	// are checked as soon as table k is bound.
+	conds [][]sqlparser.Expr
+	// lookups[k] holds index-probe candidates for table k.
+	lookups  [][]eqLookup
+	leftJoin []bool // is table k the right side of a LEFT JOIN
+	scanned  int    // rows visited during execution
+}
+
+// execSelect runs a select and also reports the number of rows visited,
+// which drives the simulated per-row service time.
+func (db *DB) execSelect(sel *sqlparser.SelectStmt, args []Value) (*Rows, int, error) {
+	ev := &env{args: args}
+	for i := range sel.From {
+		t, err := db.lookupTable(sel.From[i].Name)
+		if err != nil {
+			return nil, 0, err
+		}
+		ev.tables = append(ev.tables, boundTable{ref: sel.From[i].RefName(), tbl: t})
+	}
+	leftJoin := make([]bool, len(sel.From))
+	onConds := make([]sqlparser.Expr, len(sel.From)) // nil for FROM tables
+	for i := range sel.Joins {
+		j := &sel.Joins[i]
+		t, err := db.lookupTable(j.Table.Name)
+		if err != nil {
+			return nil, 0, err
+		}
+		ev.tables = append(ev.tables, boundTable{ref: j.Table.RefName(), tbl: t})
+		leftJoin = append(leftJoin, j.Kind == sqlparser.JoinLeft)
+		onConds = append(onConds, j.On)
+	}
+	n := len(ev.tables)
+	ev.rows = make([][]Value, n)
+
+	plan := &selectPlan{
+		ev:       ev,
+		conds:    make([][]sqlparser.Expr, n),
+		lookups:  make([][]eqLookup, n),
+		leftJoin: leftJoin,
+	}
+
+	// Distribute conjuncts from WHERE and JOIN ... ON clauses.
+	var conjuncts []sqlparser.Expr
+	conjuncts = splitConjuncts(sel.Where, conjuncts)
+	for k, on := range onConds {
+		for _, c := range splitConjuncts(on, nil) {
+			level, err := maxTableIndex(c, ev)
+			if err != nil {
+				return nil, 0, err
+			}
+			// ON conditions belong to their join level even if they only
+			// reference earlier tables.
+			if level < k {
+				level = k
+			}
+			plan.conds[level] = append(plan.conds[level], c)
+			plan.addLookup(level, c)
+		}
+	}
+	var constConds []sqlparser.Expr
+	for _, c := range conjuncts {
+		level, err := maxTableIndex(c, ev)
+		if err != nil {
+			return nil, 0, err
+		}
+		if level < 0 {
+			constConds = append(constConds, c)
+			continue
+		}
+		plan.conds[level] = append(plan.conds[level], c)
+		plan.addLookup(level, c)
+	}
+
+	// Constant-only conjuncts (e.g. `WHERE 1 = 0`) gate the whole query.
+	for _, c := range constConds {
+		v, err := ev.eval(c)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !IsTruthy(v) {
+			rows, err := db.project(sel, ev, nil)
+			return rows, 0, err
+		}
+	}
+
+	// Lock all involved tables for read in a canonical order. Writers take a
+	// single table's write lock, so ordering readers by name prevents
+	// deadlock.
+	locked := lockTablesRead(ev.tables)
+	defer unlockTablesRead(locked)
+
+	// Enumerate joined rows via recursive nested loops with index probes.
+	var joined [][][]Value
+	if err := db.joinLevel(plan, 0, &joined); err != nil {
+		return nil, 0, err
+	}
+	rows, err := db.project(sel, ev, joined)
+	return rows, plan.scanned, err
+}
+
+// addLookup registers c as an index-probe candidate at the given level when
+// it is an equality between a column of that level's table and an expression
+// referencing only earlier tables.
+func (p *selectPlan) addLookup(level int, c sqlparser.Expr) {
+	b, ok := c.(*sqlparser.BinaryExpr)
+	if !ok || b.Op != sqlparser.OpEq {
+		return
+	}
+	try := func(colSide, valSide sqlparser.Expr) bool {
+		col, ok := colSide.(*sqlparser.ColumnRef)
+		if !ok {
+			return false
+		}
+		ti, ci, err := p.ev.resolve(col)
+		if err != nil || ti != level {
+			return false
+		}
+		if _, indexed := p.ev.tables[ti].tbl.indexes[ci]; !indexed {
+			return false
+		}
+		vLevel, err := maxTableIndex(valSide, p.ev)
+		if err != nil || vLevel >= level {
+			return false
+		}
+		p.lookups[level] = append(p.lookups[level], eqLookup{ci: ci, expr: valSide})
+		return true
+	}
+	if try(b.Left, b.Right) {
+		return
+	}
+	try(b.Right, b.Left)
+}
+
+// lockTablesRead read-locks the distinct tables in name order and returns
+// the list to unlock.
+func lockTablesRead(bts []boundTable) []*table {
+	seen := make(map[*table]bool, len(bts))
+	var distinct []*table
+	for _, bt := range bts {
+		if !seen[bt.tbl] {
+			seen[bt.tbl] = true
+			distinct = append(distinct, bt.tbl)
+		}
+	}
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i].spec.Name < distinct[j].spec.Name })
+	for _, t := range distinct {
+		t.mu.RLock()
+	}
+	return distinct
+}
+
+func unlockTablesRead(ts []*table) {
+	for i := len(ts) - 1; i >= 0; i-- {
+		ts[i].mu.RUnlock()
+	}
+}
+
+// joinLevel binds table k to each candidate row and recurses. Joined row
+// snapshots are appended to out.
+func (db *DB) joinLevel(p *selectPlan, k int, out *[][][]Value) error {
+	ev := p.ev
+	if k == len(ev.tables) {
+		snapshot := make([][]Value, len(ev.rows))
+		copy(snapshot, ev.rows)
+		*out = append(*out, snapshot)
+		return nil
+	}
+	t := ev.tables[k].tbl
+
+	matched := false
+	tryRow := func(row []Value) (bool, error) {
+		if row == nil {
+			return false, nil
+		}
+		db.rowsScanned.Add(1)
+		p.scanned++
+		ev.rows[k] = row
+		for _, c := range p.conds[k] {
+			v, err := ev.eval(c)
+			if err != nil {
+				ev.rows[k] = nil
+				return false, err
+			}
+			if !IsTruthy(v) {
+				ev.rows[k] = nil
+				return false, nil
+			}
+		}
+		matched = true
+		err := db.joinLevel(p, k+1, out)
+		ev.rows[k] = nil
+		return true, err
+	}
+
+	// Prefer an index probe when available.
+	if len(p.lookups[k]) > 0 {
+		lk := p.lookups[k][0]
+		val, err := ev.eval(lk.expr)
+		if err != nil {
+			return err
+		}
+		ix := t.indexes[lk.ci]
+		for _, rowID := range ix.m[KeyString(val)] {
+			if _, err := tryRow(t.rows[rowID]); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, row := range t.rows {
+			if _, err := tryRow(row); err != nil {
+				return err
+			}
+		}
+	}
+
+	if !matched && p.leftJoin[k] {
+		// LEFT JOIN with no match: bind a NULL row and continue.
+		ev.rows[k] = nil
+		if err := db.joinLevel(p, k+1, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// outputColumn describes one projected column.
+type outputColumn struct {
+	name string
+	expr sqlparser.Expr // nil for star columns
+	star struct {
+		ti, ci int
+	}
+	isStar bool
+}
+
+// expandItems resolves the select list to concrete output columns.
+func expandItems(sel *sqlparser.SelectStmt, ev *env) ([]outputColumn, error) {
+	var out []outputColumn
+	for i := range sel.Items {
+		item := &sel.Items[i]
+		if item.Star {
+			for ti := range ev.tables {
+				if item.Table != "" && ev.tables[ti].ref != item.Table {
+					continue
+				}
+				for ci, col := range ev.tables[ti].tbl.spec.Columns {
+					oc := outputColumn{name: col.Name, isStar: true}
+					oc.star.ti, oc.star.ci = ti, ci
+					out = append(out, oc)
+				}
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			if c, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+				name = c.Name
+			} else {
+				name = item.Expr.String()
+			}
+		}
+		out = append(out, outputColumn{name: name, expr: item.Expr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("memdb: empty select list")
+	}
+	return out, nil
+}
+
+// project applies aggregation/grouping, HAVING, DISTINCT, ORDER BY and LIMIT
+// to the joined rows and produces the final result.
+func (db *DB) project(sel *sqlparser.SelectStmt, ev *env, joined [][][]Value) (*Rows, error) {
+	cols, err := expandItems(sel, ev)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(cols))
+	for i := range cols {
+		names[i] = cols[i].name
+	}
+	res := &Rows{Columns: names}
+
+	grouped := len(sel.GroupBy) > 0
+	if !grouped {
+		for i := range cols {
+			if cols[i].expr != nil && isAggregate(cols[i].expr) {
+				grouped = true
+				break
+			}
+		}
+		if sel.Having != nil && isAggregate(sel.Having) {
+			grouped = true
+		}
+	}
+
+	type sortableRow struct {
+		out  []Value
+		keys []Value
+	}
+	var rows []sortableRow
+
+	// orderKey computes the ORDER BY key values for the current env state
+	// and output row.
+	orderKey := func(out []Value) ([]Value, error) {
+		if len(sel.OrderBy) == 0 {
+			return nil, nil
+		}
+		keys := make([]Value, len(sel.OrderBy))
+		for i := range sel.OrderBy {
+			oe := sel.OrderBy[i].Expr
+			// An unqualified column naming an output alias/column uses the
+			// output value (SQL alias visibility in ORDER BY).
+			if c, ok := oe.(*sqlparser.ColumnRef); ok && c.Table == "" {
+				found := false
+				for j := range cols {
+					if cols[j].name == c.Name && !cols[j].isStar {
+						keys[i] = out[j]
+						found = true
+						break
+					}
+				}
+				if found {
+					continue
+				}
+			}
+			// An expression textually matching a select item uses its value
+			// (covers ORDER BY MAX(x) with SELECT MAX(x)).
+			matched := false
+			for j := range cols {
+				if cols[j].expr != nil && cols[j].expr.String() == oe.String() {
+					keys[i] = out[j]
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			v, err := ev.eval(oe)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		return keys, nil
+	}
+
+	emit := func() error {
+		out := make([]Value, len(cols))
+		for i := range cols {
+			if cols[i].isStar {
+				r := ev.rows[cols[i].star.ti]
+				if r == nil {
+					out[i] = nil
+				} else {
+					out[i] = r[cols[i].star.ci]
+				}
+				continue
+			}
+			v, err := ev.eval(cols[i].expr)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		keys, err := orderKey(out)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, sortableRow{out: out, keys: keys})
+		return nil
+	}
+
+	if grouped {
+		aggExprs := collectAggregates(sel)
+		groups := make(map[string]*groupState)
+		var order []string
+		for _, jr := range joined {
+			ev.rows = jr
+			key := ""
+			if len(sel.GroupBy) > 0 {
+				kv := make([]Value, len(sel.GroupBy))
+				for i, g := range sel.GroupBy {
+					v, err := ev.eval(g)
+					if err != nil {
+						return nil, err
+					}
+					kv[i] = v
+				}
+				key = KeyOfValues(kv)
+			}
+			g, ok := groups[key]
+			if !ok {
+				g = newGroupState(jr, aggExprs)
+				groups[key] = g
+				order = append(order, key)
+			}
+			for i, ae := range aggExprs {
+				if err := g.accs[i].observe(ev, ae); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// An aggregate query with no GROUP BY and no rows still yields one
+		// (empty-group) row: COUNT(*) = 0, MIN/MAX/SUM/AVG = NULL.
+		if len(groups) == 0 && len(sel.GroupBy) == 0 {
+			g := newGroupState(make([][]Value, len(ev.tables)), aggExprs)
+			groups[""] = g
+			order = append(order, "")
+		}
+		for _, key := range order {
+			g := groups[key]
+			ev.rows = g.firstRow
+			ev.aggValues = make(map[string]Value, len(aggExprs))
+			for i, ae := range aggExprs {
+				ev.aggValues[ae.String()] = g.accs[i].resultFor(ae.Name)
+			}
+			if sel.Having != nil {
+				v, err := ev.eval(sel.Having)
+				if err != nil {
+					return nil, err
+				}
+				if !IsTruthy(v) {
+					continue
+				}
+			}
+			if err := emit(); err != nil {
+				return nil, err
+			}
+		}
+		ev.aggValues = nil
+	} else {
+		for _, jr := range joined {
+			ev.rows = jr
+			if err := emit(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if sel.Distinct {
+		seen := make(map[string]bool, len(rows))
+		dst := rows[:0]
+		for _, r := range rows {
+			k := KeyOfValues(r.out)
+			if !seen[k] {
+				seen[k] = true
+				dst = append(dst, r)
+			}
+		}
+		rows = dst
+	}
+
+	if len(sel.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k := range sel.OrderBy {
+				c := Compare(rows[i].keys[k], rows[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if sel.OrderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	lo, hi := 0, len(rows)
+	if sel.Limit != nil {
+		count, offset, err := evalLimit(sel.Limit, ev)
+		if err != nil {
+			return nil, err
+		}
+		lo = min(offset, len(rows))
+		hi = min(lo+count, len(rows))
+	}
+	res.Data = make([][]Value, 0, hi-lo)
+	for _, r := range rows[lo:hi] {
+		res.Data = append(res.Data, r.out)
+	}
+	return res, nil
+}
+
+func evalLimit(l *sqlparser.Limit, ev *env) (count, offset int, err error) {
+	cv, err := ev.eval(l.Count)
+	if err != nil {
+		return 0, 0, err
+	}
+	cf, ok := ToFloat(cv)
+	if !ok || cf < 0 {
+		return 0, 0, fmt.Errorf("memdb: bad LIMIT count %v", cv)
+	}
+	count = int(cf)
+	if l.Offset != nil {
+		ov, err := ev.eval(l.Offset)
+		if err != nil {
+			return 0, 0, err
+		}
+		of, ok := ToFloat(ov)
+		if !ok || of < 0 {
+			return 0, 0, fmt.Errorf("memdb: bad LIMIT offset %v", ov)
+		}
+		offset = int(of)
+	}
+	return count, offset, nil
+}
+
+// collectAggregates gathers the distinct aggregate expressions appearing in
+// the select list, HAVING and ORDER BY.
+func collectAggregates(sel *sqlparser.SelectStmt) []*sqlparser.FuncExpr {
+	var out []*sqlparser.FuncExpr
+	seen := make(map[string]bool)
+	add := func(e sqlparser.Expr) {
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			if f, ok := x.(*sqlparser.FuncExpr); ok && aggregateNames[f.Name] {
+				if !seen[f.String()] {
+					seen[f.String()] = true
+					out = append(out, f)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for i := range sel.Items {
+		if sel.Items[i].Expr != nil {
+			add(sel.Items[i].Expr)
+		}
+	}
+	if sel.Having != nil {
+		add(sel.Having)
+	}
+	for i := range sel.OrderBy {
+		add(sel.OrderBy[i].Expr)
+	}
+	return out
+}
+
+type groupState struct {
+	firstRow [][]Value
+	accs     []*aggAcc
+}
+
+func newGroupState(firstRow [][]Value, aggExprs []*sqlparser.FuncExpr) *groupState {
+	g := &groupState{firstRow: firstRow, accs: make([]*aggAcc, len(aggExprs))}
+	for i := range g.accs {
+		g.accs[i] = &aggAcc{}
+	}
+	return g
+}
+
+// aggAcc accumulates one aggregate over a group.
+type aggAcc struct {
+	count    int64
+	sumF     float64
+	sumInt   bool
+	sumI     int64
+	min, max Value
+	distinct map[string]bool
+}
+
+func (a *aggAcc) observe(ev *env, f *sqlparser.FuncExpr) error {
+	if f.Star {
+		a.count++
+		return nil
+	}
+	if len(f.Args) != 1 {
+		return fmt.Errorf("memdb: aggregate %s wants 1 argument", f.Name)
+	}
+	v, err := ev.eval(f.Args[0])
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return nil // aggregates skip NULLs
+	}
+	if f.Distinct {
+		if a.distinct == nil {
+			a.distinct = make(map[string]bool)
+		}
+		k := KeyString(v)
+		if a.distinct[k] {
+			return nil
+		}
+		a.distinct[k] = true
+	}
+	a.count++
+	if fv, ok := ToFloat(v); ok {
+		a.sumF += fv
+		if iv, isInt := v.(int64); isInt {
+			if a.count == 1 {
+				a.sumInt = true
+			}
+			a.sumI += iv
+		} else {
+			a.sumInt = false
+		}
+	}
+	if a.min == nil || Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if a.max == nil || Compare(v, a.max) > 0 {
+		a.max = v
+	}
+	return nil
+}
+
+func (a *aggAcc) resultFor(name string) Value {
+	switch name {
+	case "COUNT":
+		return a.count
+	case "SUM":
+		if a.count == 0 {
+			return nil
+		}
+		if a.sumInt {
+			return a.sumI
+		}
+		return a.sumF
+	case "AVG":
+		if a.count == 0 {
+			return nil
+		}
+		return a.sumF / float64(a.count)
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package memdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ColType enumerates column types.
+type ColType int
+
+// Column types. Start at 1 so the zero value is invalid.
+const (
+	TypeInt ColType = iota + 1
+	TypeFloat
+	TypeString
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "TEXT"
+	}
+	return "INVALID"
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+	// AutoIncrement marks an integer column whose value is assigned by the
+	// engine when an INSERT omits it. At most one per table.
+	AutoIncrement bool
+}
+
+// TableSpec describes a table: its columns and which columns carry a
+// secondary hash index. Auto-increment columns are always indexed.
+type TableSpec struct {
+	Name    string
+	Columns []Column
+	// Indexed lists column names to build hash indexes on. Equality lookups
+	// on these columns avoid full scans.
+	Indexed []string
+}
+
+// table is the runtime representation of one table.
+type table struct {
+	spec    TableSpec
+	colIdx  map[string]int
+	autoCol int // index of auto-increment column, -1 if none
+
+	// mu is the MyISAM-style table lock: one writer or many readers.
+	mu sync.RWMutex
+
+	rows    [][]Value // nil slots are deleted rows
+	free    []int     // reusable row slots
+	live    int       // number of non-nil rows
+	indexes map[int]*hashIndex
+	autoinc int64
+}
+
+// hashIndex maps a column value key to the row ids holding that value.
+type hashIndex struct {
+	m map[string][]int
+}
+
+func (ix *hashIndex) add(key string, rowID int) {
+	ix.m[key] = append(ix.m[key], rowID)
+}
+
+func (ix *hashIndex) remove(key string, rowID int) {
+	ids := ix.m[key]
+	for i, id := range ids {
+		if id == rowID {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.m, key)
+	} else {
+		ix.m[key] = ids
+	}
+}
+
+func newTable(spec TableSpec) (*table, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("memdb: table with empty name")
+	}
+	if len(spec.Columns) == 0 {
+		return nil, fmt.Errorf("memdb: table %s has no columns", spec.Name)
+	}
+	t := &table{
+		spec:    spec,
+		colIdx:  make(map[string]int, len(spec.Columns)),
+		autoCol: -1,
+		indexes: make(map[int]*hashIndex),
+	}
+	for i, c := range spec.Columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("memdb: table %s column %d has empty name", spec.Name, i)
+		}
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("memdb: table %s duplicate column %s", spec.Name, c.Name)
+		}
+		t.colIdx[c.Name] = i
+		if c.AutoIncrement {
+			if t.autoCol >= 0 {
+				return nil, fmt.Errorf("memdb: table %s has two auto-increment columns", spec.Name)
+			}
+			if c.Type != TypeInt {
+				return nil, fmt.Errorf("memdb: table %s auto-increment column %s must be INT", spec.Name, c.Name)
+			}
+			t.autoCol = i
+		}
+	}
+	for _, name := range spec.Indexed {
+		ci, ok := t.colIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("memdb: table %s indexes unknown column %s", spec.Name, name)
+		}
+		t.indexes[ci] = &hashIndex{m: make(map[string][]int)}
+	}
+	if t.autoCol >= 0 {
+		if _, ok := t.indexes[t.autoCol]; !ok {
+			t.indexes[t.autoCol] = &hashIndex{m: make(map[string][]int)}
+		}
+	}
+	return t, nil
+}
+
+// coerce adapts a value to the column type. Integers widen to floats for
+// float columns; numeric values stringify for text columns; NULL passes
+// through.
+func coerce(v Value, typ ColType) (Value, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch typ {
+	case TypeInt:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		case string:
+			// MySQL-style weak typing: numeric strings coerce.
+			if n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64); err == nil {
+				return n, nil
+			}
+			if f, err := strconv.ParseFloat(strings.TrimSpace(x), 64); err == nil {
+				return int64(f), nil
+			}
+		}
+		return nil, fmt.Errorf("memdb: cannot store %T (%v) in INT column", v, v)
+	case TypeFloat:
+		switch x := v.(type) {
+		case int64:
+			return float64(x), nil
+		case float64:
+			return x, nil
+		case string:
+			if f, err := strconv.ParseFloat(strings.TrimSpace(x), 64); err == nil {
+				return f, nil
+			}
+		}
+		return nil, fmt.Errorf("memdb: cannot store %T (%v) in FLOAT column", v, v)
+	case TypeString:
+		switch x := v.(type) {
+		case string:
+			return x, nil
+		case int64:
+			return fmt.Sprintf("%d", x), nil
+		case float64:
+			return fmt.Sprintf("%g", x), nil
+		}
+		return nil, fmt.Errorf("memdb: cannot store %T in TEXT column", v)
+	}
+	return nil, fmt.Errorf("memdb: invalid column type %v", typ)
+}
+
+// insertRowLocked appends a row (already coerced, full width). The caller
+// holds the table write lock. Returns the row id and the auto-assigned id
+// (or 0 when the table has no auto-increment column).
+func (t *table) insertRowLocked(row []Value) (rowID int, lastID int64) {
+	if t.autoCol >= 0 {
+		if row[t.autoCol] == nil {
+			t.autoinc++
+			row[t.autoCol] = t.autoinc
+		} else if id, ok := row[t.autoCol].(int64); ok && id > t.autoinc {
+			t.autoinc = id
+		}
+		lastID, _ = row[t.autoCol].(int64)
+	}
+	if n := len(t.free); n > 0 {
+		rowID = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[rowID] = row
+	} else {
+		rowID = len(t.rows)
+		t.rows = append(t.rows, row)
+	}
+	t.live++
+	for ci, ix := range t.indexes {
+		ix.add(KeyString(row[ci]), rowID)
+	}
+	return rowID, lastID
+}
+
+// deleteRowLocked removes a row. The caller holds the table write lock.
+func (t *table) deleteRowLocked(rowID int) {
+	row := t.rows[rowID]
+	if row == nil {
+		return
+	}
+	for ci, ix := range t.indexes {
+		ix.remove(KeyString(row[ci]), rowID)
+	}
+	t.rows[rowID] = nil
+	t.free = append(t.free, rowID)
+	t.live--
+}
+
+// updateColLocked changes one column of a row, maintaining indexes. The
+// caller holds the table write lock.
+func (t *table) updateColLocked(rowID, ci int, v Value) {
+	row := t.rows[rowID]
+	old := row[ci]
+	if ix, ok := t.indexes[ci]; ok {
+		ix.remove(KeyString(old), rowID)
+		ix.add(KeyString(v), rowID)
+	}
+	row[ci] = v
+}

@@ -1,0 +1,392 @@
+// Package qrcache implements the paper's §9 extension: a database
+// query-result cache complementary to the web-page cache. It wraps a
+// memdb.Conn and caches SELECT result sets keyed by (template, value
+// vector), kept strongly consistent by the same query-analysis engine the
+// page cache uses — the design of the Middleware 2000 result-set caching
+// system the paper compares against ([8]), but driven by AutoWebCache's
+// analysis instead of a compiler.
+//
+// It composes with the weave package: stack it under the RecordingConn
+// (weave.NewConn(qrcache.New(db, engine, n), engine)) so pages that the
+// front-end cache cannot hold still skip the database on repeated queries.
+package qrcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/memdb"
+	"autowebcache/internal/sqlparser"
+)
+
+// Stats are cumulative counters of the result cache.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64 // result sets removed by writes
+	Evictions     uint64
+	Entries       int
+}
+
+// entry is one cached result set.
+type entry struct {
+	query analysis.Query
+	rows  *memdb.Rows
+	el    *list.Element // position in the LRU list
+}
+
+// tmplGroup groups a template's cached instances with a per-table probe
+// index (same scheme as the page cache's dependency table): instances keyed
+// by the value their `table.col = ?` predicate binds, so a write whose
+// effect on that column is bounded only tests the matching instances.
+type tmplGroup struct {
+	info      *analysis.TemplateInfo // nil when unparseable
+	instances map[string]*entry      // argsKey -> entry
+	probeIdx  map[string]map[string]map[string]*entry
+}
+
+func newTmplGroup(info *analysis.TemplateInfo) *tmplGroup {
+	return &tmplGroup{
+		info:      info,
+		instances: make(map[string]*entry),
+		probeIdx:  make(map[string]map[string]map[string]*entry),
+	}
+}
+
+func (g *tmplGroup) add(argsKey string, e *entry) {
+	g.instances[argsKey] = e
+	if g.info == nil {
+		return
+	}
+	for table, p := range g.info.Probes {
+		if p.ArgIndex < 0 || p.ArgIndex >= len(e.query.Args) {
+			continue
+		}
+		key := analysis.ProbeKey(e.query.Args[p.ArgIndex])
+		byKey := g.probeIdx[table]
+		if byKey == nil {
+			byKey = make(map[string]map[string]*entry)
+			g.probeIdx[table] = byKey
+		}
+		byArgs := byKey[key]
+		if byArgs == nil {
+			byArgs = make(map[string]*entry)
+			byKey[key] = byArgs
+		}
+		byArgs[argsKey] = e
+	}
+}
+
+func (g *tmplGroup) remove(argsKey string, e *entry) {
+	delete(g.instances, argsKey)
+	if g.info == nil {
+		return
+	}
+	for table, p := range g.info.Probes {
+		if p.ArgIndex < 0 || p.ArgIndex >= len(e.query.Args) {
+			continue
+		}
+		key := analysis.ProbeKey(e.query.Args[p.ArgIndex])
+		if byArgs := g.probeIdx[table][key]; byArgs != nil {
+			delete(byArgs, argsKey)
+			if len(byArgs) == 0 {
+				delete(g.probeIdx[table], key)
+			}
+		}
+	}
+}
+
+// Conn is a caching connection. It is safe for concurrent use.
+type Conn struct {
+	base   memdb.Conn
+	engine *analysis.Engine
+	max    int
+
+	parse   sqlparser.Cache
+	canonMu sync.RWMutex
+	canon   map[string]string
+
+	mu         sync.Mutex
+	entries    map[string]*entry     // full key -> entry
+	byTemplate map[string]*tmplGroup // template -> instances + probe indexes
+	lru        *list.List            // front = next victim; values are full keys
+
+	hits          uint64
+	misses        uint64
+	invalidations uint64
+	evictions     uint64
+}
+
+var _ memdb.Conn = (*Conn)(nil)
+
+// New wraps base with a result cache of at most maxEntries result sets
+// (0 = unbounded). The engine decides write/read intersections.
+func New(base memdb.Conn, engine *analysis.Engine, maxEntries int) (*Conn, error) {
+	if base == nil || engine == nil {
+		return nil, fmt.Errorf("qrcache: base connection and engine are required")
+	}
+	if maxEntries < 0 {
+		return nil, fmt.Errorf("qrcache: negative maxEntries")
+	}
+	return &Conn{
+		base:       base,
+		engine:     engine,
+		max:        maxEntries,
+		canon:      make(map[string]string),
+		entries:    make(map[string]*entry),
+		byTemplate: make(map[string]*tmplGroup),
+		lru:        list.New(),
+	}, nil
+}
+
+// canonicalize maps raw SQL to canonical template text.
+func (c *Conn) canonicalize(sql string) (string, error) {
+	c.canonMu.RLock()
+	got, ok := c.canon[sql]
+	c.canonMu.RUnlock()
+	if ok {
+		return got, nil
+	}
+	stmt, err := c.parse.Get(sql)
+	if err != nil {
+		return "", err
+	}
+	text := stmt.String()
+	c.canonMu.Lock()
+	c.canon[sql] = text
+	c.canonMu.Unlock()
+	return text, nil
+}
+
+// noStoreKey marks contexts whose queries may be served from the cache but
+// must not be inserted — used for the engine's own pre-write extra queries,
+// whose results are invalidated moments later by the very write that
+// triggered them.
+type noStoreKey struct{}
+
+// copyRows deep-copies a result set so cached data never aliases callers.
+func copyRows(r *memdb.Rows) *memdb.Rows {
+	out := &memdb.Rows{
+		Columns: append([]string(nil), r.Columns...),
+		Data:    make([][]memdb.Value, len(r.Data)),
+	}
+	for i, row := range r.Data {
+		out.Data[i] = append([]memdb.Value(nil), row...)
+	}
+	return out
+}
+
+// Query serves a SELECT from the result cache when possible.
+func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows, error) {
+	tmpl, err := c.canonicalize(sql)
+	if err != nil {
+		return c.base.Query(ctx, sql, args...) // let the base report the error
+	}
+	vals, err := memdb.NormalizeAll(args)
+	if err != nil {
+		return nil, err
+	}
+	ak := memdb.KeyOfValues(vals)
+	key := tmpl + "\x00" + ak
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToBack(e.el)
+		rows := copyRows(e.rows)
+		c.mu.Unlock()
+		return rows, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	rows, err := c.base.Query(ctx, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Value(noStoreKey{}) != nil {
+		return rows, nil
+	}
+	e := &entry{query: analysis.Query{SQL: tmpl, Args: vals}, rows: copyRows(rows)}
+	c.mu.Lock()
+	if _, exists := c.entries[key]; !exists {
+		if c.max > 0 {
+			for len(c.entries) >= c.max {
+				c.evictOneLocked()
+			}
+		}
+		e.el = c.lru.PushBack(key)
+		c.entries[key] = e
+		g := c.byTemplate[tmpl]
+		if g == nil {
+			info, ierr := c.engine.Template(tmpl)
+			if ierr != nil {
+				info = nil
+			}
+			g = newTmplGroup(info)
+			c.byTemplate[tmpl] = g
+		}
+		g.add(ak, e)
+	}
+	c.mu.Unlock()
+	return rows, nil
+}
+
+// Exec forwards a write and invalidates every cached result set the write
+// intersects. The capture runs before the write, as the extra-query
+// strategy requires.
+func (c *Conn) Exec(ctx context.Context, sql string, args ...any) (memdb.Result, error) {
+	tmpl, cerr := c.canonicalize(sql)
+	var capture analysis.WriteCapture
+	captured := false
+	if cerr == nil {
+		if vals, nerr := memdb.NormalizeAll(args); nerr == nil {
+			var err error
+			// The extra query runs through the result cache itself (lookup
+			// only): when a page-cache layer above has just captured the
+			// same write, its identical SELECT is served from here instead
+			// of hitting the database twice.
+			capture, err = c.engine.CaptureWrite(context.WithValue(ctx, noStoreKey{}, true), c,
+				analysis.Query{SQL: tmpl, Args: vals})
+			captured = err == nil
+		}
+	}
+	res, err := c.base.Exec(ctx, sql, args...)
+	if err != nil {
+		return res, err
+	}
+	if !captured {
+		c.flush() // unanalysable write: never serve stale results
+		return res, nil
+	}
+	if _, ierr := c.invalidate(capture); ierr != nil {
+		c.flush()
+	}
+	return res, nil
+}
+
+// invalidate removes the result sets the write intersects.
+func (c *Conn) invalidate(w analysis.WriteCapture) (int, error) {
+	pw, err := c.engine.PrepareWrite(w)
+	if err != nil {
+		return 0, err
+	}
+	type cand struct {
+		key   string
+		query analysis.Query
+	}
+	// ColumnOnly ignores bound values; the probe index must not narrow it.
+	useProbes := c.engine.Strategy() != analysis.StrategyColumnOnly
+	c.mu.Lock()
+	var candidates []cand
+	for tmpl, g := range c.byTemplate {
+		dep, err := c.engine.PossiblyDependent(tmpl, w.SQL)
+		if err != nil {
+			c.mu.Unlock()
+			return 0, err
+		}
+		if !dep {
+			continue
+		}
+		collect := func(ak string, e *entry) {
+			candidates = append(candidates, cand{key: tmpl + "\x00" + ak, query: e.query})
+		}
+		probed := false
+		if useProbes && g.info != nil {
+			if p, hasProbe := g.info.Probes[pw.Table()]; hasProbe {
+				if keys, bounded := pw.ProbeKeys(p.Col); bounded {
+					seen := make(map[string]bool)
+					for _, key := range keys {
+						for ak, e := range g.probeIdx[pw.Table()][key] {
+							if !seen[ak] {
+								seen[ak] = true
+								collect(ak, e)
+							}
+						}
+					}
+					probed = true
+				}
+			}
+		}
+		if !probed {
+			for ak, e := range g.instances {
+				collect(ak, e)
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	var victims []string
+	for _, cd := range candidates {
+		hit, err := pw.Intersects(cd.query)
+		if err != nil {
+			return 0, err
+		}
+		if hit {
+			victims = append(victims, cd.key)
+		}
+	}
+	n := 0
+	c.mu.Lock()
+	for _, key := range victims {
+		if c.removeLocked(key) {
+			c.invalidations++
+			n++
+		}
+	}
+	c.mu.Unlock()
+	return n, nil
+}
+
+// removeLocked unlinks one entry; the caller holds c.mu.
+func (c *Conn) removeLocked(key string) bool {
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	delete(c.entries, key)
+	c.lru.Remove(e.el)
+	tmpl := e.query.SQL
+	if g := c.byTemplate[tmpl]; g != nil {
+		g.remove(memdb.KeyOfValues(e.query.Args), e)
+		if len(g.instances) == 0 {
+			delete(c.byTemplate, tmpl)
+		}
+	}
+	return true
+}
+
+func (c *Conn) evictOneLocked() {
+	front := c.lru.Front()
+	if front == nil {
+		return
+	}
+	if c.removeLocked(front.Value.(string)) {
+		c.evictions++
+	}
+}
+
+// flush drops every cached result set.
+func (c *Conn) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry)
+	c.byTemplate = make(map[string]*tmplGroup)
+	c.lru = list.New()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Evictions:     c.evictions,
+		Entries:       len(c.entries),
+	}
+}

@@ -1,0 +1,236 @@
+package qrcache
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/memdb"
+)
+
+func newFixture(t *testing.T, maxEntries int) (*memdb.DB, *Conn) {
+	t.Helper()
+	db := memdb.New()
+	db.MustCreateTable(memdb.TableSpec{
+		Name: "t",
+		Columns: []memdb.Column{
+			{Name: "id", Type: memdb.TypeInt, AutoIncrement: true},
+			{Name: "grp", Type: memdb.TypeInt},
+			{Name: "val", Type: memdb.TypeInt},
+		},
+		Indexed: []string{"grp"},
+	})
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		if _, err := db.Exec(ctx, "INSERT INTO t (grp, val) VALUES (?, ?)", i%5, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine, err := analysis.NewEngine(analysis.StrategyExtraQuery, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(db, engine, maxEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, c
+}
+
+func TestValidation(t *testing.T) {
+	db := memdb.New()
+	engine, _ := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
+	if _, err := New(nil, engine, 0); err == nil {
+		t.Error("expected error for nil base")
+	}
+	if _, err := New(db, nil, 0); err == nil {
+		t.Error("expected error for nil engine")
+	}
+	if _, err := New(db, engine, -1); err == nil {
+		t.Error("expected error for negative capacity")
+	}
+}
+
+func TestHitServesCachedResult(t *testing.T) {
+	db, c := newFixture(t, 0)
+	ctx := context.Background()
+	before := db.Stats()
+	r1, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ? ORDER BY id ASC", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ? ORDER BY id ASC", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Data, r2.Data) {
+		t.Fatal("cached result differs")
+	}
+	after := db.Stats()
+	if after.Queries != before.Queries+1 {
+		t.Fatalf("base executed %d queries, want 1", after.Queries-before.Queries)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestResultIsCopied(t *testing.T) {
+	_, c := newFixture(t, 0)
+	ctx := context.Background()
+	r1, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ?", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Data[0][0] = int64(-999)
+	r2, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ?", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Int(0, 0) == -999 {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+}
+
+func TestWriteInvalidatesIntersecting(t *testing.T) {
+	_, c := newFixture(t, 0)
+	ctx := context.Background()
+	if _, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ?", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ?", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Update rows of grp 1 only.
+	if _, err := c.Exec(ctx, "UPDATE t SET val = val + 100 WHERE grp = ?", 1); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// grp 2 still served from cache; grp 1 refetched fresh.
+	r1, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ? ORDER BY id ASC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Int(0, 0) < 100 {
+		t.Fatalf("stale result after write: %+v", r1.Data)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	_, c := newFixture(t, 3)
+	ctx := context.Background()
+	for g := 0; g < 5; g++ {
+		if _, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ?", g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries > 3 {
+		t.Fatalf("capacity exceeded: %+v", st)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions: %+v", st)
+	}
+}
+
+// TestConsistencyProperty: under random reads and writes, the caching
+// connection must return exactly what the raw database returns.
+func TestConsistencyProperty(t *testing.T) {
+	db, c := newFixture(t, 0)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(43))
+	reads := []string{
+		"SELECT val FROM t WHERE grp = ? ORDER BY id ASC",
+		"SELECT COUNT(*) FROM t WHERE grp = ?",
+		"SELECT id, val FROM t WHERE val < ? ORDER BY id ASC",
+	}
+	for i := 0; i < 500; i++ {
+		if rng.Intn(4) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				if _, err := c.Exec(ctx, "UPDATE t SET val = ? WHERE grp = ?", rng.Intn(100), rng.Intn(5)); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if _, err := c.Exec(ctx, "INSERT INTO t (grp, val) VALUES (?, ?)", rng.Intn(5), rng.Intn(100)); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if _, err := c.Exec(ctx, "DELETE FROM t WHERE id = ?", 1+rng.Intn(40)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			continue
+		}
+		sql := reads[rng.Intn(len(reads))]
+		arg := rng.Intn(60)
+		got, err := c.Query(ctx, sql, arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.Query(ctx, sql, arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Data, want.Data) {
+			t.Fatalf("iteration %d: stale result for %q(%d):\n got %v\nwant %v", i, sql, arg, got.Data, want.Data)
+		}
+	}
+	if st := c.Stats(); st.Hits == 0 {
+		t.Fatal("no hits; property not exercised")
+	}
+}
+
+func TestBadSQLPassesThrough(t *testing.T) {
+	_, c := newFixture(t, 0)
+	if _, err := c.Query(context.Background(), "NOT SQL"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := c.Exec(context.Background(), "NOT SQL"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func ExampleConn() {
+	db := memdb.New()
+	db.MustCreateTable(memdb.TableSpec{
+		Name: "kv",
+		Columns: []memdb.Column{
+			{Name: "id", Type: memdb.TypeInt, AutoIncrement: true},
+			{Name: "v", Type: memdb.TypeString},
+		},
+	})
+	ctx := context.Background()
+	engine, _ := analysis.NewEngine(analysis.StrategyExtraQuery, db)
+	c, _ := New(db, engine, 0)
+	_, _ = c.Exec(ctx, "INSERT INTO kv (v) VALUES ('a')")
+	_, _ = c.Query(ctx, "SELECT v FROM kv WHERE id = ?", 1) // miss
+	_, _ = c.Query(ctx, "SELECT v FROM kv WHERE id = ?", 1) // hit
+	st := c.Stats()
+	fmt.Println(st.Hits, st.Misses)
+	// Output: 1 1
+}
+
+// TestCaptureDoesNotPolluteCache: the engine's own extra queries (pre-write
+// captures) may read through the cache but must not be stored — their
+// results are invalidated by the very write that triggered them.
+func TestCaptureDoesNotPolluteCache(t *testing.T) {
+	_, c := newFixture(t, 0)
+	ctx := context.Background()
+	before := c.Stats()
+	// An UPDATE under AC-extraQuery triggers a capture SELECT.
+	if _, err := c.Exec(ctx, "UPDATE t SET val = ? WHERE grp = ?", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.Entries != before.Entries {
+		t.Fatalf("capture query was stored: %+v -> %+v", before, after)
+	}
+}

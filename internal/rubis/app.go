@@ -1,0 +1,71 @@
+package rubis
+
+import (
+	"sync/atomic"
+
+	"autowebcache/internal/memdb"
+	"autowebcache/internal/servlet"
+)
+
+// App is the RUBiS application: 26 interactions served over the supplied
+// connection. Give it the weave.RecordingConn to produce the cache-enabled
+// version; give it the raw *memdb.DB for an uninstrumented baseline.
+type App struct {
+	conn  memdb.Conn
+	scale Scale
+	// date is the virtual clock for new bids/comments/items, continuing
+	// from the generator's last assigned date so ordering stays coherent.
+	date atomic.Int64
+}
+
+// New creates the application. lastDate is the value returned by Load.
+func New(conn memdb.Conn, scale Scale, lastDate int64) *App {
+	a := &App{conn: conn, scale: scale}
+	a.date.Store(lastDate)
+	return a
+}
+
+// nextDate advances the virtual clock.
+func (a *App) nextDate() int64 { return a.date.Add(1) }
+
+// Handlers returns the 26 RUBiS interactions. Read/write classification
+// follows the benchmark; cacheability attributes are left to weaving rules.
+func (a *App) Handlers() []servlet.HandlerInfo {
+	return []servlet.HandlerInfo{
+		// Navigation pages (reads without queries).
+		{Name: "Home", Path: "/", Fn: a.home},
+		{Name: "Browse", Path: "/browse", Fn: a.browse},
+		{Name: "Sell", Path: "/sell", Fn: a.sell},
+		{Name: "RegisterUserForm", Path: "/registerUser", Fn: a.registerUserForm},
+		{Name: "PutBidAuth", Path: "/putBidAuth", Fn: a.putBidAuth},
+		{Name: "PutCommentAuth", Path: "/putCommentAuth", Fn: a.putCommentAuth},
+		{Name: "BuyNowAuth", Path: "/buyNowAuth", Fn: a.buyNowAuth},
+
+		// Browsing and searching (reads).
+		{Name: "BrowseCategories", Path: "/browseCategories", Fn: a.browseCategories},
+		{Name: "BrowseRegions", Path: "/browseRegions", Fn: a.browseRegions},
+		{Name: "BrowseCategoriesByRegion", Path: "/browseCategoriesByRegion", Fn: a.browseCategoriesByRegion},
+		{Name: "SearchItemsByCategory", Path: "/searchByCategory", Fn: a.searchItemsByCategory},
+		{Name: "SearchItemsByRegion", Path: "/searchByRegion", Fn: a.searchItemsByRegion},
+
+		// Item and user views (reads).
+		{Name: "ViewItem", Path: "/viewItem", Fn: a.viewItem},
+		{Name: "ViewUserInfo", Path: "/viewUser", Fn: a.viewUserInfo},
+		{Name: "ViewBidHistory", Path: "/viewBids", Fn: a.viewBidHistory},
+		{Name: "AboutMe", Path: "/aboutMe", Fn: a.aboutMe},
+
+		// Bid/buy/comment/sell forms backed by queries (reads).
+		{Name: "PutBid", Path: "/putBid", Fn: a.putBid},
+		{Name: "BuyNow", Path: "/buyNow", Fn: a.buyNow},
+		{Name: "PutComment", Path: "/putComment", Fn: a.putComment},
+		{Name: "SelectCategoryToSellItem", Path: "/selectCategory", Fn: a.selectCategoryToSellItem},
+		{Name: "SellItemForm", Path: "/sellItemForm", Fn: a.sellItemForm},
+
+		// Writes.
+		{Name: "StoreBid", Path: "/storeBid", Write: true, Fn: a.storeBid},
+		{Name: "StoreBuyNow", Path: "/storeBuyNow", Write: true, Fn: a.storeBuyNow},
+		{Name: "StoreComment", Path: "/storeComment", Write: true, Fn: a.storeComment},
+		{Name: "StoreRegisterUser", Path: "/storeRegisterUser", Write: true, Fn: a.storeRegisterUser},
+		{Name: "StoreRegisterItem", Path: "/storeRegisterItem", Write: true, Fn: a.storeRegisterItem},
+	}
+}

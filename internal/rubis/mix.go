@@ -1,0 +1,186 @@
+package rubis
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MixEntry couples an interaction with its selection weight and a URL
+// builder. client identifies the emulated client session; it determines the
+// logged-in user identity, as the benchmark's session state does.
+type MixEntry struct {
+	Name   string
+	Weight int
+	Make   func(rng *rand.Rand, client int) string
+}
+
+// Mix is a weighted interaction mix — the reproduction of the benchmark's
+// transition tables, collapsed to stationary selection probabilities.
+type Mix []MixEntry
+
+// TotalWeight sums the entry weights.
+func (m Mix) TotalWeight() int {
+	t := 0
+	for _, e := range m {
+		t += e.Weight
+	}
+	return t
+}
+
+// WriteFraction returns the weight fraction of write interactions, given
+// the set of write interaction names.
+func (m Mix) writeFraction(writes map[string]bool) float64 {
+	w := 0
+	for _, e := range m {
+		if writes[e.Name] {
+			w += e.Weight
+		}
+	}
+	return float64(w) / float64(m.TotalWeight())
+}
+
+// Pick selects an interaction according to the weights.
+func (m Mix) Pick(rng *rand.Rand) *MixEntry {
+	n := rng.Intn(m.TotalWeight())
+	for i := range m {
+		n -= m[i].Weight
+		if n < 0 {
+			return &m[i]
+		}
+	}
+	return &m[len(m)-1]
+}
+
+// Request draws the next request for a client: interaction name + target
+// URL.
+func (m Mix) Request(rng *rand.Rand, client int) (name, target string) {
+	e := m.Pick(rng)
+	return e.Name, e.Make(rng, client)
+}
+
+// BiddingMix approximates RUBiS's default bidding mix: 15% of interactions
+// update the database (§5: "the bidding mix for RUBiS (85% read requests)").
+func BiddingMix(s Scale) Mix {
+	user := func(rng *rand.Rand, client int) int64 {
+		// The session's logged-in identity.
+		return int64(1 + client%s.Users)
+	}
+	// Item and user popularity is Zipf-skewed: the benchmark's transition
+	// tables make clients view items reached from search pages, so a small
+	// set of popular items dominates (uniform sampling would understate the
+	// cache's hit rate relative to the paper's measured 54%).
+	item := func(rng *rand.Rand) int64 { return zipfPick(rng, s.Items) }
+	otherUser := func(rng *rand.Rand) int64 { return zipfPick(rng, s.Users) }
+	category := func(rng *rand.Rand) int64 { return int64(1 + rng.Intn(s.Categories)) }
+	region := func(rng *rand.Rand) int64 { return int64(1 + rng.Intn(s.Regions)) }
+	page := func(rng *rand.Rand) int64 {
+		if rng.Intn(4) == 0 {
+			return 1
+		}
+		return 0
+	}
+	return Mix{
+		{"Home", 2, func(rng *rand.Rand, c int) string { return "/" }},
+		{"Browse", 3, func(rng *rand.Rand, c int) string { return "/browse" }},
+		{"BrowseCategories", 7, func(rng *rand.Rand, c int) string { return "/browseCategories" }},
+		{"BrowseRegions", 4, func(rng *rand.Rand, c int) string { return "/browseRegions" }},
+		{"BrowseCategoriesByRegion", 2, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/browseCategoriesByRegion?region=%d", region(rng))
+		}},
+		{"SearchItemsByCategory", 13, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/searchByCategory?category=%d&page=%d", category(rng), page(rng))
+		}},
+		{"SearchItemsByRegion", 7, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/searchByRegion?region=%d&category=%d&page=%d", region(rng), category(rng), page(rng))
+		}},
+		{"ViewItem", 16, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/viewItem?itemId=%d", item(rng))
+		}},
+		{"ViewUserInfo", 4, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/viewUser?userId=%d", otherUser(rng))
+		}},
+		{"ViewBidHistory", 4, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/viewBids?itemId=%d", item(rng))
+		}},
+		{"AboutMe", 4, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/aboutMe?userId=%d", user(rng, c))
+		}},
+		{"PutBidAuth", 2, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/putBidAuth?itemId=%d", item(rng))
+		}},
+		{"PutBid", 6, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/putBid?itemId=%d", item(rng))
+		}},
+		{"BuyNowAuth", 1, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/buyNowAuth?itemId=%d", item(rng))
+		}},
+		{"BuyNow", 2, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/buyNow?itemId=%d&userId=%d", item(rng), user(rng, c))
+		}},
+		{"PutCommentAuth", 1, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/putCommentAuth?to=%d", otherUser(rng))
+		}},
+		{"PutComment", 1, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/putComment?to=%d&itemId=%d", otherUser(rng), item(rng))
+		}},
+		{"SelectCategoryToSellItem", 1, func(rng *rand.Rand, c int) string { return "/selectCategory" }},
+		{"SellItemForm", 1, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/sellItemForm?category=%d", category(rng))
+		}},
+		{"Sell", 1, func(rng *rand.Rand, c int) string { return "/sell" }},
+		{"RegisterUserForm", 1, func(rng *rand.Rand, c int) string { return "/registerUser" }},
+
+		// Writes (15% of total weight).
+		{"StoreBid", 9, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/storeBid?userId=%d&itemId=%d&qty=1&bid=%d",
+				user(rng, c), item(rng), 1+rng.Intn(200))
+		}},
+		{"StoreBuyNow", 2, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/storeBuyNow?userId=%d&itemId=%d&qty=1", user(rng, c), item(rng))
+		}},
+		{"StoreComment", 2, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/storeComment?from=%d&to=%d&itemId=%d&rating=%d",
+				user(rng, c), otherUser(rng), item(rng), rng.Intn(6))
+		}},
+		{"StoreRegisterUser", 1, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/storeRegisterUser?nickname=nick%d-%d&region=%d",
+				c, rng.Int63(), region(rng))
+		}},
+		{"StoreRegisterItem", 1, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/storeRegisterItem?name=Fresh-%d&userId=%d&category=%d&initialPrice=%d&qty=1",
+				rng.Int63(), user(rng, c), category(rng), 1+rng.Intn(100))
+		}},
+	}
+}
+
+// BrowsingMix is RUBiS's read-only browsing mix (no writes).
+func BrowsingMix(s Scale) Mix {
+	var out Mix
+	writes := writeNames()
+	for _, e := range BiddingMix(s) {
+		if !writes[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// zipfPick draws from [1, n] with a Zipf(1.1) popularity skew.
+func zipfPick(rng *rand.Rand, n int) int64 {
+	if n <= 1 {
+		return 1
+	}
+	z := rand.NewZipf(rng, 1.1, 4, uint64(n-1))
+	return int64(1 + z.Uint64())
+}
+
+// writeNames returns the set of write interaction names.
+func writeNames() map[string]bool {
+	return map[string]bool{
+		"StoreBid": true, "StoreBuyNow": true, "StoreComment": true,
+		"StoreRegisterUser": true, "StoreRegisterItem": true,
+	}
+}
+
+// WriteFraction reports the fraction of write requests in the mix.
+func (m Mix) WriteFraction() float64 { return m.writeFraction(writeNames()) }

@@ -1,0 +1,90 @@
+package servlet
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"autowebcache/internal/memdb"
+)
+
+// Page is a small HTML builder the benchmark applications use to generate
+// dynamic pages. It stands in for the JSP/println-style page generation of
+// the paper's servlet applications: deliberately cheap to use but with a
+// real per-row formatting cost, so regenerating a page does genuine
+// business-logic work at the middle tier.
+type Page struct {
+	b strings.Builder
+}
+
+// NewPage starts a page with the given title.
+func NewPage(title string) *Page {
+	p := &Page{}
+	p.b.WriteString("<!DOCTYPE html><html><head><title>")
+	p.b.WriteString(html.EscapeString(title))
+	p.b.WriteString("</title></head><body>")
+	p.H1(title)
+	return p
+}
+
+// H1 appends a heading.
+func (p *Page) H1(text string) *Page {
+	p.b.WriteString("<h1>")
+	p.b.WriteString(html.EscapeString(text))
+	p.b.WriteString("</h1>")
+	return p
+}
+
+// H2 appends a subheading.
+func (p *Page) H2(text string) *Page {
+	p.b.WriteString("<h2>")
+	p.b.WriteString(html.EscapeString(text))
+	p.b.WriteString("</h2>")
+	return p
+}
+
+// Text appends an escaped paragraph.
+func (p *Page) Text(format string, args ...any) *Page {
+	p.b.WriteString("<p>")
+	p.b.WriteString(html.EscapeString(fmt.Sprintf(format, args...)))
+	p.b.WriteString("</p>")
+	return p
+}
+
+// Link appends an anchor.
+func (p *Page) Link(href, text string) *Page {
+	p.b.WriteString(`<a href="`)
+	p.b.WriteString(html.EscapeString(href))
+	p.b.WriteString(`">`)
+	p.b.WriteString(html.EscapeString(text))
+	p.b.WriteString("</a>")
+	return p
+}
+
+// Table renders a result set as an HTML table with the given headers. It is
+// the workhorse of the benchmark applications' page generation.
+func (p *Page) Table(headers []string, rows *memdb.Rows) *Page {
+	p.b.WriteString("<table border=\"1\"><tr>")
+	for _, h := range headers {
+		p.b.WriteString("<th>")
+		p.b.WriteString(html.EscapeString(h))
+		p.b.WriteString("</th>")
+	}
+	p.b.WriteString("</tr>")
+	for i := range rows.Data {
+		p.b.WriteString("<tr>")
+		for j := range rows.Data[i] {
+			p.b.WriteString("<td>")
+			p.b.WriteString(html.EscapeString(rows.Str(i, j)))
+			p.b.WriteString("</td>")
+		}
+		p.b.WriteString("</tr>")
+	}
+	p.b.WriteString("</table>")
+	return p
+}
+
+// String finalises and returns the page HTML.
+func (p *Page) String() string {
+	return p.b.String() + "</body></html>"
+}

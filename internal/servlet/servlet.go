@@ -1,0 +1,135 @@
+// Package servlet provides the web-application substrate the reproduction's
+// benchmark applications are built on: a servlet-like handler model over
+// net/http with the canonical page identity AutoWebCache caches on (request
+// URI + arguments, §3.3), parameter helpers, and HTML generation utilities.
+//
+// It plays the role of the Tomcat servlet engine in the paper's testbed: the
+// well-known entry and exit points of request handlers (§4.1) that the weave
+// package interposes on.
+package servlet
+
+import (
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HandlerInfo describes one web interaction: its name (as reported in the
+// paper's per-request figures), URL path, intrinsic read/write nature and
+// the handler function. Cacheability attributes (uncacheable, semantic TTL)
+// are NOT part of the application — they are supplied separately as weaving
+// rules (weave.Rules), mirroring the paper's separation of pointcut
+// specifications from application code.
+type HandlerInfo struct {
+	// Name is the interaction name, e.g. "ViewItem".
+	Name string
+	// Path is the URL path the interaction is served on, e.g. "/viewItem".
+	Path string
+	// Write marks interactions that update the database; their handlers are
+	// woven with invalidation advice instead of check/insert advice.
+	Write bool
+	// Uncacheable marks read interactions that must bypass the cache (the
+	// §4.3 hidden-state problem, e.g. random ad banners).
+	Uncacheable bool
+	// TTL, when positive, caches the page under a semantic freshness window
+	// instead of strong consistency (§4.3, TPC-W BestSellers 30 s).
+	TTL time.Duration
+	// Fn is the handler implementation.
+	Fn http.HandlerFunc
+}
+
+// PageKey returns the canonical cache identity of a request: path plus the
+// query parameters sorted by name (§3.3: pages are "indexed by the URI of
+// the client requests including the request arguments").
+func PageKey(r *http.Request) string {
+	return PageKeyOf(r.URL.Path, r.URL.Query())
+}
+
+// PageKeyOf builds a canonical page key from a path and parameter set.
+func PageKeyOf(path string, params url.Values) string {
+	if len(params) == 0 {
+		return path
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(path)
+	sep := byte('?')
+	for _, k := range keys {
+		vals := append([]string(nil), params[k]...)
+		sort.Strings(vals)
+		for _, v := range vals {
+			b.WriteByte(sep)
+			sep = '&'
+			b.WriteString(url.QueryEscape(k))
+			b.WriteByte('=')
+			b.WriteString(url.QueryEscape(v))
+		}
+	}
+	return b.String()
+}
+
+// PageKeyWithCookies extends PageKey with the values of the named cookies.
+// The paper's §4.3 observes that applications carrying request parameters in
+// ad-hoc cookies defeat transparent page identity; naming those cookies in a
+// weaving rule restores it (§7: "a special weaving rule would be
+// constructed for each non-orthogonal concept").
+func PageKeyWithCookies(r *http.Request, names []string) string {
+	key := PageKey(r)
+	if len(names) == 0 {
+		return key
+	}
+	var b strings.Builder
+	b.WriteString(key)
+	for _, name := range names {
+		b.WriteByte(';')
+		b.WriteString(url.QueryEscape(name))
+		b.WriteByte('=')
+		if c, err := r.Cookie(name); err == nil {
+			b.WriteString(url.QueryEscape(c.Value))
+		}
+	}
+	return b.String()
+}
+
+// Param returns a request parameter (query string or form).
+func Param(r *http.Request, name string) string {
+	return r.URL.Query().Get(name)
+}
+
+// ParamInt returns an integer request parameter, or def when absent or
+// malformed.
+func ParamInt(r *http.Request, name string, def int64) int64 {
+	s := Param(r, name)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// WriteHTML writes an HTML response with status 200.
+func WriteHTML(w http.ResponseWriter, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(body))
+}
+
+// ClientError writes a 400 response; used by handlers for malformed input.
+func ClientError(w http.ResponseWriter, msg string) {
+	http.Error(w, msg, http.StatusBadRequest)
+}
+
+// ServerError writes a 500 response; used by handlers when a query fails.
+func ServerError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}

@@ -1,0 +1,744 @@
+// Package sqlparser implements a lexer, parser and AST for the SQL dialect
+// used by the AutoWebCache reproduction: SELECT (with joins, WHERE, GROUP BY,
+// ORDER BY, LIMIT and aggregate functions), INSERT, UPDATE and DELETE, with
+// `?` placeholders for dynamic values.
+//
+// The parser serves two consumers: the in-memory database engine (memdb),
+// which executes the AST, and the query-analysis engine (analysis), which
+// inspects query *templates* to decide whether a write query can invalidate
+// the result of a read query.
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Statement is the interface implemented by all top-level SQL statements.
+type Statement interface {
+	// String returns a canonical SQL rendering of the statement. Parsing
+	// the returned string yields an equal AST (round-trip property).
+	String() string
+	stmtNode()
+}
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	String() string
+	exprNode()
+}
+
+// LiteralKind discriminates the value stored in a Literal.
+type LiteralKind int
+
+// Literal kinds. Start at 1 so the zero value is invalid.
+const (
+	LiteralInt LiteralKind = iota + 1
+	LiteralFloat
+	LiteralString
+	LiteralNull
+)
+
+// Literal is a constant value appearing in the SQL text.
+type Literal struct {
+	Kind  LiteralKind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// IntLit returns an integer literal.
+func IntLit(v int64) *Literal { return &Literal{Kind: LiteralInt, Int: v} }
+
+// FloatLit returns a floating-point literal.
+func FloatLit(v float64) *Literal { return &Literal{Kind: LiteralFloat, Float: v} }
+
+// StringLit returns a string literal.
+func StringLit(v string) *Literal { return &Literal{Kind: LiteralString, Str: v} }
+
+// NullLit returns the NULL literal.
+func NullLit() *Literal { return &Literal{Kind: LiteralNull} }
+
+// Value returns the literal as a Go value (int64, float64, string or nil).
+func (l *Literal) Value() any {
+	switch l.Kind {
+	case LiteralInt:
+		return l.Int
+	case LiteralFloat:
+		return l.Float
+	case LiteralString:
+		return l.Str
+	default:
+		return nil
+	}
+}
+
+func (l *Literal) String() string {
+	switch l.Kind {
+	case LiteralInt:
+		return strconv.FormatInt(l.Int, 10)
+	case LiteralFloat:
+		s := strconv.FormatFloat(l.Float, 'g', -1, 64)
+		// Keep a marker of floatness so the round-trip parse yields a float
+		// literal again (e.g. 32.0 must not render as "32").
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case LiteralString:
+		return quoteString(l.Str)
+	default:
+		return "NULL"
+	}
+}
+
+func (*Literal) exprNode() {}
+
+// quoteIdent renders an identifier, backtick-quoting it when it is not a
+// plain identifier or collides with a keyword (so parsing round-trips).
+func quoteIdent(s string) string {
+	plain := s != ""
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			plain = false
+			break
+		}
+	}
+	if plain && keywords[strings.ToUpper(s)] {
+		plain = false
+	}
+	if plain {
+		return s
+	}
+	return "`" + strings.ReplaceAll(s, "`", "``") + "`"
+}
+
+func quoteString(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '\'':
+			b.WriteString("''")
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+// Placeholder is a `?` parameter marker. Index is the zero-based position of
+// the placeholder within the statement, assigned left to right.
+type Placeholder struct {
+	Index int
+}
+
+func (p *Placeholder) String() string { return "?" }
+func (*Placeholder) exprNode()        {}
+
+// ColumnRef names a column, optionally qualified by a table name or alias.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return quoteIdent(c.Table) + "." + quoteIdent(c.Name)
+	}
+	return quoteIdent(c.Name)
+}
+func (*ColumnRef) exprNode() {}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators. Start at 1 so the zero value is invalid.
+const (
+	OpEq BinaryOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// IsComparison reports whether the operator compares two values.
+func (op BinaryOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+func (op BinaryOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	}
+	return "?op?"
+}
+
+// BinaryExpr is a binary operation such as `a = b` or `x AND y`.
+type BinaryExpr struct {
+	Op    BinaryOp
+	Left  Expr
+	Right Expr
+}
+
+func (b *BinaryExpr) String() string {
+	// AND/OR chains render with parentheses around nested OR under AND to
+	// preserve precedence on round-trip.
+	return exprString(b.Left, b.Op, false) + " " + b.Op.String() + " " + exprString(b.Right, b.Op, true)
+}
+func (*BinaryExpr) exprNode() {}
+
+// exprString renders child expressions, adding parentheses where required to
+// keep the round-trip parse faithful to the tree.
+func exprString(e Expr, parent BinaryOp, rightChild bool) string {
+	child, ok := e.(*BinaryExpr)
+	if !ok {
+		return e.String()
+	}
+	if needsParens(child.Op, parent, rightChild) {
+		return "(" + child.String() + ")"
+	}
+	return child.String()
+}
+
+func precedence(op BinaryOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	case OpMul, OpDiv:
+		return 5
+	}
+	return 6
+}
+
+func needsParens(child, parent BinaryOp, rightChild bool) bool {
+	cp, pp := precedence(child), precedence(parent)
+	if cp < pp {
+		return true
+	}
+	if cp == pp && rightChild {
+		// Left-associative operators: parenthesise right child at equal
+		// precedence so (a-b)-c and a-(b-c) render distinctly.
+		return true
+	}
+	return false
+}
+
+// NotExpr is a logical negation.
+type NotExpr struct {
+	Expr Expr
+}
+
+func (n *NotExpr) String() string {
+	if _, ok := n.Expr.(*BinaryExpr); ok {
+		return "NOT (" + n.Expr.String() + ")"
+	}
+	return "NOT " + n.Expr.String()
+}
+func (*NotExpr) exprNode() {}
+
+// NegExpr is an arithmetic negation.
+type NegExpr struct {
+	Expr Expr
+}
+
+func (n *NegExpr) String() string {
+	if _, ok := n.Expr.(*BinaryExpr); ok {
+		return "-(" + n.Expr.String() + ")"
+	}
+	return "-" + n.Expr.String()
+}
+func (*NegExpr) exprNode() {}
+
+// InExpr is `left [NOT] IN (e1, e2, ...)`.
+type InExpr struct {
+	Left Expr
+	List []Expr
+	Not  bool
+}
+
+func (in *InExpr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Left.String())
+	if in.Not {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" IN (")
+	for i, e := range in.List {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+func (*InExpr) exprNode() {}
+
+// BetweenExpr is `left [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Left Expr
+	Lo   Expr
+	Hi   Expr
+	Not  bool
+}
+
+func (be *BetweenExpr) String() string {
+	s := be.Left.String()
+	if be.Not {
+		s += " NOT"
+	}
+	return s + " BETWEEN " + be.Lo.String() + " AND " + be.Hi.String()
+}
+func (*BetweenExpr) exprNode() {}
+
+// LikeExpr is `left [NOT] LIKE pattern`.
+type LikeExpr struct {
+	Left    Expr
+	Pattern Expr
+	Not     bool
+}
+
+func (le *LikeExpr) String() string {
+	s := le.Left.String()
+	if le.Not {
+		s += " NOT"
+	}
+	return s + " LIKE " + le.Pattern.String()
+}
+func (*LikeExpr) exprNode() {}
+
+// IsNullExpr is `left IS [NOT] NULL`.
+type IsNullExpr struct {
+	Left Expr
+	Not  bool
+}
+
+func (ie *IsNullExpr) String() string {
+	if ie.Not {
+		return ie.Left.String() + " IS NOT NULL"
+	}
+	return ie.Left.String() + " IS NULL"
+}
+func (*IsNullExpr) exprNode() {}
+
+// FuncExpr is an aggregate or scalar function call such as COUNT(*) or
+// SUM(qty).
+type FuncExpr struct {
+	Name     string // upper-cased
+	Star     bool   // COUNT(*)
+	Distinct bool   // COUNT(DISTINCT col)
+	Args     []Expr
+}
+
+func (f *FuncExpr) String() string {
+	var b strings.Builder
+	b.WriteString(quoteIdent(f.Name))
+	b.WriteString("(")
+	if f.Star {
+		b.WriteString("*")
+	} else {
+		if f.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range f.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+func (*FuncExpr) exprNode() {}
+
+// SelectItem is one element of a SELECT list.
+type SelectItem struct {
+	// Star is true for `*` or `t.*`; Table holds the qualifier for `t.*`.
+	Star  bool
+	Table string
+	Expr  Expr   // nil when Star
+	Alias string // optional AS alias
+}
+
+func (s *SelectItem) String() string {
+	if s.Star {
+		if s.Table != "" {
+			return quoteIdent(s.Table) + ".*"
+		}
+		return "*"
+	}
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + quoteIdent(s.Alias)
+	}
+	return s.Expr.String()
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t *TableRef) String() string {
+	if t.Alias != "" {
+		return quoteIdent(t.Name) + " AS " + quoteIdent(t.Alias)
+	}
+	return quoteIdent(t.Name)
+}
+
+// RefName returns the name by which columns reference this table: its alias
+// if set, else its name.
+func (t *TableRef) RefName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinKind enumerates join types.
+type JoinKind int
+
+// Join kinds. Start at 1 so the zero value is invalid.
+const (
+	JoinInner JoinKind = iota + 1
+	JoinLeft
+)
+
+func (k JoinKind) String() string {
+	if k == JoinLeft {
+		return "LEFT JOIN"
+	}
+	return "JOIN"
+}
+
+// Join is an explicit `JOIN table ON cond` clause.
+type Join struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one element of an ORDER BY clause.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o *OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String() + " ASC"
+}
+
+// Limit is a LIMIT clause with optional OFFSET.
+type Limit struct {
+	Count  Expr
+	Offset Expr // nil when absent
+}
+
+// SelectStmt is a SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // comma-separated FROM list (implicit join)
+	Joins    []Join     // explicit JOIN clauses
+	Where    Expr       // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    *Limit // nil when absent
+}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.Items[i].String())
+	}
+	b.WriteString(" FROM ")
+	for i := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.From[i].String())
+	}
+	for i := range s.Joins {
+		j := &s.Joins[i]
+		b.WriteString(" ")
+		b.WriteString(j.Kind.String())
+		b.WriteString(" ")
+		b.WriteString(j.Table.String())
+		b.WriteString(" ON ")
+		b.WriteString(j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.OrderBy[i].String())
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		b.WriteString(s.Limit.Count.String())
+		if s.Limit.Offset != nil {
+			b.WriteString(" OFFSET ")
+			b.WriteString(s.Limit.Offset.String())
+		}
+	}
+	return b.String()
+}
+func (*SelectStmt) stmtNode() {}
+
+// InsertStmt is an INSERT statement. Multiple VALUES rows are supported.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (s *InsertStmt) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(quoteIdent(s.Table))
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		for i, col := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteIdent(col))
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+func (*InsertStmt) stmtNode() {}
+
+// Assignment is one `col = expr` in an UPDATE SET list.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+func (a *Assignment) String() string { return quoteIdent(a.Column) + " = " + a.Value.String() }
+
+// UpdateStmt is an UPDATE statement.
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr // nil when absent
+}
+
+func (s *UpdateStmt) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(quoteIdent(s.Table))
+	b.WriteString(" SET ")
+	for i := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.Set[i].String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	return b.String()
+}
+func (*UpdateStmt) stmtNode() {}
+
+// DeleteStmt is a DELETE statement.
+type DeleteStmt struct {
+	Table string
+	Where Expr // nil when absent
+}
+
+func (s *DeleteStmt) String() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(quoteIdent(s.Table))
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	return b.String()
+}
+func (*DeleteStmt) stmtNode() {}
+
+// IsRead reports whether the statement is a read-only query.
+func IsRead(s Statement) bool {
+	_, ok := s.(*SelectStmt)
+	return ok
+}
+
+// WalkExprs calls fn for every expression node reachable from e, in
+// depth-first pre-order. fn returning false prunes the subtree.
+func WalkExprs(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch v := e.(type) {
+	case *BinaryExpr:
+		WalkExprs(v.Left, fn)
+		WalkExprs(v.Right, fn)
+	case *NotExpr:
+		WalkExprs(v.Expr, fn)
+	case *NegExpr:
+		WalkExprs(v.Expr, fn)
+	case *InExpr:
+		WalkExprs(v.Left, fn)
+		for _, x := range v.List {
+			WalkExprs(x, fn)
+		}
+	case *BetweenExpr:
+		WalkExprs(v.Left, fn)
+		WalkExprs(v.Lo, fn)
+		WalkExprs(v.Hi, fn)
+	case *LikeExpr:
+		WalkExprs(v.Left, fn)
+		WalkExprs(v.Pattern, fn)
+	case *IsNullExpr:
+		WalkExprs(v.Left, fn)
+	case *FuncExpr:
+		for _, a := range v.Args {
+			WalkExprs(a, fn)
+		}
+	}
+}
+
+// StatementExprs calls fn for every top-level expression in the statement
+// (select items, join conditions, where/having clauses, group/order keys,
+// insert values, update assignments). Traversal inside each expression is the
+// caller's business via WalkExprs.
+func StatementExprs(s Statement, fn func(Expr)) {
+	emit := func(e Expr) {
+		if e != nil {
+			fn(e)
+		}
+	}
+	switch v := s.(type) {
+	case *SelectStmt:
+		for i := range v.Items {
+			emit(v.Items[i].Expr)
+		}
+		for i := range v.Joins {
+			emit(v.Joins[i].On)
+		}
+		emit(v.Where)
+		for _, g := range v.GroupBy {
+			emit(g)
+		}
+		emit(v.Having)
+		for i := range v.OrderBy {
+			emit(v.OrderBy[i].Expr)
+		}
+		if v.Limit != nil {
+			emit(v.Limit.Count)
+			emit(v.Limit.Offset)
+		}
+	case *InsertStmt:
+		for _, row := range v.Rows {
+			for _, e := range row {
+				emit(e)
+			}
+		}
+	case *UpdateStmt:
+		for i := range v.Set {
+			emit(v.Set[i].Value)
+		}
+		emit(v.Where)
+	case *DeleteStmt:
+		emit(v.Where)
+	}
+}

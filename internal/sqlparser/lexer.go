@@ -1,0 +1,239 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokenKind discriminates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokPlaceholder // ?
+	tokSymbol      // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // for keywords: upper-cased; for strings: decoded value
+	pos  int    // byte offset in input
+}
+
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords recognised by the lexer. Identifiers matching these
+// (case-insensitively) become tokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"NULL": true, "AS": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"ON": true, "GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "DISTINCT": true, "OUTER": true,
+}
+
+// lexError reports a lexical error with position context.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sql: lex error at offset %d: %s", e.pos, e.msg)
+}
+
+// lex splits input into tokens. It returns a lexError on malformed input.
+func lex(input string) ([]token, error) {
+	toks := make([]token, 0, 32)
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '?':
+			toks = append(toks, token{kind: tokPlaceholder, text: "?", pos: i})
+			i++
+		case c == '\'':
+			s, next, err := lexString(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: s, pos: i})
+			i = next
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			tok, next, err := lexNumber(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			i = next
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentPart(input[j]) {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case c == '`':
+			name, next, err := lexQuotedIdent(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokIdent, text: name, pos: i})
+			i = next
+		default:
+			tok, next, err := lexSymbol(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			i = next
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// lexString decodes a single-quoted SQL string starting at input[start].
+// Both ” and \' escape a quote; \\ escapes a backslash.
+func lexString(input string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch c {
+		case '\'':
+			if i+1 < n && input[i+1] == '\'' {
+				b.WriteByte('\'')
+				i += 2
+				continue
+			}
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 < n {
+				b.WriteByte(input[i+1])
+				i += 2
+				continue
+			}
+			return "", 0, &lexError{pos: i, msg: "dangling backslash in string"}
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, &lexError{pos: start, msg: "unterminated string literal"}
+}
+
+// lexQuotedIdent decodes a backtick-quoted identifier; “ escapes a literal
+// backtick, mirroring MySQL.
+func lexQuotedIdent(input string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	n := len(input)
+	for i < n {
+		if input[i] == '`' {
+			if i+1 < n && input[i+1] == '`' {
+				b.WriteByte('`')
+				i += 2
+				continue
+			}
+			return b.String(), i + 1, nil
+		}
+		b.WriteByte(input[i])
+		i++
+	}
+	return "", 0, &lexError{pos: start, msg: "unterminated quoted identifier"}
+}
+
+func lexNumber(input string, start int) (token, int, error) {
+	i := start
+	n := len(input)
+	isFloat := false
+	for i < n {
+		c := input[i]
+		if c >= '0' && c <= '9' {
+			i++
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			i++
+			continue
+		}
+		if (c == 'e' || c == 'E') && i > start {
+			// exponent
+			j := i + 1
+			if j < n && (input[j] == '+' || input[j] == '-') {
+				j++
+			}
+			if j < n && input[j] >= '0' && input[j] <= '9' {
+				isFloat = true
+				i = j
+				continue
+			}
+		}
+		break
+	}
+	text := input[start:i]
+	if isFloat {
+		if _, err := strconv.ParseFloat(text, 64); err != nil {
+			return token{}, 0, &lexError{pos: start, msg: "malformed number " + text}
+		}
+		return token{kind: tokFloat, text: text, pos: start}, i, nil
+	}
+	if _, err := strconv.ParseInt(text, 10, 64); err != nil {
+		return token{}, 0, &lexError{pos: start, msg: "malformed number " + text}
+	}
+	return token{kind: tokInt, text: text, pos: start}, i, nil
+}
+
+func lexSymbol(input string, start int) (token, int, error) {
+	two := ""
+	if start+2 <= len(input) {
+		two = input[start : start+2]
+	}
+	switch two {
+	case "<>", "!=", "<=", ">=":
+		return token{kind: tokSymbol, text: two, pos: start}, start + 2, nil
+	}
+	c := input[start]
+	switch c {
+	case '(', ')', ',', '.', '=', '<', '>', '*', '+', '-', '/', ';':
+		return token{kind: tokSymbol, text: string(c), pos: start}, start + 1, nil
+	}
+	return token{}, 0, &lexError{pos: start, msg: fmt.Sprintf("unexpected character %q", c)}
+}

@@ -1,0 +1,716 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error with positional context.
+type ParseError struct {
+	Pos int
+	Msg string
+	SQL string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at offset %d: %s in %q", e.Pos, e.Msg, e.SQL)
+}
+
+type parser struct {
+	sql     string
+	toks    []token
+	i       int
+	nParams int
+}
+
+// Parse parses a single SQL statement. A trailing semicolon is permitted.
+func Parse(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{sql: sql, toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekSymbol(";") {
+		p.i++
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("unexpected %s after statement", p.cur().describe())
+	}
+	return stmt, nil
+}
+
+// NumPlaceholders returns the number of `?` placeholders in the statement by
+// walking its expressions.
+func NumPlaceholders(s Statement) int {
+	n := 0
+	StatementExprs(s, func(e Expr) {
+		WalkExprs(e, func(x Expr) bool {
+			if _, ok := x.(*Placeholder); ok {
+				n++
+			}
+			return true
+		})
+	})
+	return n
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...), SQL: p.sql}
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.cur().describe())
+	}
+	return nil
+}
+
+func (p *parser) peekSymbol(sym string) bool {
+	t := p.cur()
+	return t.kind == tokSymbol && t.text == sym
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peekSymbol(sym) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errorf("expected %q, found %s", sym, p.cur().describe())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %s", t.describe())
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return nil, p.errorf("expected statement keyword, found %s", t.describe())
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	}
+	return nil, p.errorf("unsupported statement %s", t.text)
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	s.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, ref)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	for {
+		var kind JoinKind
+		switch {
+		case p.peekKeyword("JOIN") || p.peekKeyword("INNER"):
+			p.acceptKeyword("INNER")
+			kind = JoinInner
+		case p.peekKeyword("LEFT"):
+			p.acceptKeyword("LEFT")
+			p.acceptKeyword("OUTER")
+			kind = JoinLeft
+		default:
+			kind = 0
+		}
+		if kind == 0 {
+			break
+		}
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Joins = append(s.Joins, Join{Kind: kind, Table: ref, On: on})
+	}
+	var err error
+	if p.acceptKeyword("WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		if s.Having, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		count, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		lim := &Limit{Count: count}
+		if p.acceptKeyword("OFFSET") {
+			if lim.Offset, err = p.parsePrimary(); err != nil {
+				return nil, err
+			}
+		} else if p.acceptSymbol(",") {
+			// MySQL style: LIMIT offset, count
+			second, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			lim = &Limit{Count: second, Offset: count}
+		}
+		s.Limit = lim
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// Lookahead for `ident.*`.
+	if p.cur().kind == tokIdent && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "." &&
+		p.toks[p.i+2].kind == tokSymbol && p.toks[p.i+2].text == "*" {
+		tbl := p.next().text
+		p.next() // .
+		p.next() // *
+		return SelectItem{Star: true, Table: tbl}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.cur().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.cur().kind == tokIdent {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s := &InsertStmt{Table: table}
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	s := &UpdateStmt{Table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		// Permit qualified column in SET (table.col = ...).
+		if p.acceptSymbol(".") {
+			col2, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			col = col2
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		s.Set = append(s.Set, Assignment{Column: col, Value: val})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Expression grammar (highest binding last):
+//
+//	expr     := and (OR and)*
+//	and      := not (AND not)*
+//	not      := NOT not | predicate
+//	predicate:= additive [cmpOp additive | [NOT] IN (...) | [NOT] BETWEEN .. AND ..
+//	            | [NOT] LIKE additive | IS [NOT] NULL]
+//	additive := multiplicative ((+|-) multiplicative)*
+//	mult     := unary ((*|/) unary)*
+//	unary    := - unary | primary
+//	primary  := literal | ? | column | func(...) | (expr)
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Expr: inner}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]BinaryOp{
+	"=": OpEq, "<>": OpNe, "!=": OpNe,
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tokSymbol {
+		if op, ok := cmpOps[t.text]; ok {
+			p.i++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	not := false
+	if p.peekKeyword("NOT") {
+		// Only consume NOT when followed by IN/BETWEEN/LIKE.
+		nt := p.toks[p.i+1]
+		if nt.kind == tokKeyword && (nt.text == "IN" || nt.text == "BETWEEN" || nt.text == "LIKE") {
+			p.i++
+			not = true
+		}
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{Left: left, Not: not}
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Left: left, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{Left: left, Pattern: pat, Not: not}, nil
+	case p.acceptKeyword("IS"):
+		isNot := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Left: left, Not: isNot}, nil
+	}
+	if not {
+		return nil, p.errorf("dangling NOT")
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.acceptSymbol("+"):
+			op = OpAdd
+		case p.acceptSymbol("-"):
+			op = OpSub
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.acceptSymbol("*"):
+			op = OpMul
+		case p.acceptSymbol("/"):
+			op = OpDiv
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals for cleaner ASTs.
+		if lit, ok := inner.(*Literal); ok {
+			switch lit.Kind {
+			case LiteralInt:
+				return IntLit(-lit.Int), nil
+			case LiteralFloat:
+				return FloatLit(-lit.Float), nil
+			}
+		}
+		return &NegExpr{Expr: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.i++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %s", t.text)
+		}
+		return IntLit(v), nil
+	case tokFloat:
+		p.i++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %s", t.text)
+		}
+		return FloatLit(v), nil
+	case tokString:
+		p.i++
+		return StringLit(t.text), nil
+	case tokPlaceholder:
+		p.i++
+		ph := &Placeholder{Index: p.nParams}
+		p.nParams++
+		return ph, nil
+	case tokKeyword:
+		if t.text == "NULL" {
+			p.i++
+			return NullLit(), nil
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.text)
+	case tokSymbol:
+		if t.text == "(" {
+			p.i++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errorf("unexpected %s in expression", t.describe())
+	case tokIdent:
+		p.i++
+		name := t.text
+		// Function call?
+		if p.peekSymbol("(") {
+			p.i++
+			fn := &FuncExpr{Name: strings.ToUpper(name)}
+			if p.acceptSymbol("*") {
+				fn.Star = true
+			} else if !p.peekSymbol(")") {
+				fn.Distinct = p.acceptKeyword("DISTINCT")
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fn.Args = append(fn.Args, a)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return fn, nil
+		}
+		// Qualified column?
+		if p.acceptSymbol(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Name: col}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+	}
+	return nil, p.errorf("unexpected %s", t.describe())
+}

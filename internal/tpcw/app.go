@@ -1,0 +1,77 @@
+package tpcw
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autowebcache/internal/memdb"
+	"autowebcache/internal/servlet"
+	"autowebcache/internal/weave"
+)
+
+// App is the TPC-W application: 14 web interactions served over the
+// supplied connection.
+type App struct {
+	conn  memdb.Conn
+	scale Scale
+	date  atomic.Int64
+
+	// banner is the random-advertisement source — deliberately hidden state
+	// (§4.3): pages embedding it differ between identical requests, so the
+	// weaving rules must mark them uncacheable.
+	bannerMu sync.Mutex
+	banner   *rand.Rand
+}
+
+// New creates the application. lastDate is the value returned by Load.
+func New(conn memdb.Conn, scale Scale, lastDate int64) *App {
+	a := &App{conn: conn, scale: scale, banner: rand.New(rand.NewSource(lastDate))}
+	a.date.Store(lastDate)
+	return a
+}
+
+func (a *App) nextDate() int64 { return a.date.Add(1) }
+
+// adBanner returns a random advertisement id — the hidden state that makes
+// Home and SearchRequest uncacheable.
+func (a *App) adBanner() int64 {
+	a.bannerMu.Lock()
+	defer a.bannerMu.Unlock()
+	return a.banner.Int63n(1_000_000)
+}
+
+// Handlers returns the 14 TPC-W web interactions. The names match the
+// paper's Figure 17/19 labels.
+func (a *App) Handlers() []servlet.HandlerInfo {
+	return []servlet.HandlerInfo{
+		{Name: "HomeInteraction", Path: "/home", Fn: a.home},
+		{Name: "NewProducts", Path: "/newProducts", Fn: a.newProducts},
+		{Name: "BestSellers", Path: "/bestSellers", Fn: a.bestSellers},
+		{Name: "ProductDetail", Path: "/productDetail", Fn: a.productDetail},
+		{Name: "SearchRequest", Path: "/searchRequest", Fn: a.searchRequest},
+		{Name: "ExecuteSearch", Path: "/executeSearch", Fn: a.executeSearch},
+		{Name: "OrderInquiry", Path: "/orderInquiry", Fn: a.orderInquiry},
+		{Name: "OrderDisplay", Path: "/orderDisplay", Fn: a.orderDisplay},
+		{Name: "AdminRequest", Path: "/adminRequest", Fn: a.adminRequest},
+
+		{Name: "ShoppingCart", Path: "/shoppingCart", Write: true, Fn: a.shoppingCart},
+		{Name: "CustomerRegistration", Path: "/customerRegistration", Write: true, Fn: a.customerRegistration},
+		{Name: "BuyRequest", Path: "/buyRequest", Write: true, Fn: a.buyRequest},
+		{Name: "BuyConfirm", Path: "/buyConfirm", Write: true, Fn: a.buyConfirm},
+		{Name: "AdminConfirm", Path: "/adminConfirm", Write: true, Fn: a.adminConfirm},
+	}
+}
+
+// WeaveRules returns the paper's weaving rules for TPC-W: Home and
+// SearchRequest are uncacheable (random ad banners, §4.3/Fig. 17);
+// bestSellerWindow > 0 additionally grants BestSellers its semantic
+// dirty-read window — 30 s in the paper's Fig. 15 optimisation.
+func WeaveRules(bestSellerWindow time.Duration) weave.Rules {
+	r := weave.Rules{Uncacheable: []string{"HomeInteraction", "SearchRequest"}}
+	if bestSellerWindow > 0 {
+		r.Semantic = map[string]time.Duration{"BestSellers": bestSellerWindow}
+	}
+	return r
+}

@@ -1,0 +1,163 @@
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MixEntry couples an interaction with its selection weight (in hundredths
+// of a percent, matching the TPC-W v1.8 mix tables) and a URL builder.
+type MixEntry struct {
+	Name   string
+	Weight int
+	Make   func(rng *rand.Rand, client int) string
+}
+
+// Mix is a weighted interaction mix.
+type Mix []MixEntry
+
+// TotalWeight sums the entry weights.
+func (m Mix) TotalWeight() int {
+	t := 0
+	for _, e := range m {
+		t += e.Weight
+	}
+	return t
+}
+
+// Pick selects an interaction according to the weights.
+func (m Mix) Pick(rng *rand.Rand) *MixEntry {
+	n := rng.Intn(m.TotalWeight())
+	for i := range m {
+		n -= m[i].Weight
+		if n < 0 {
+			return &m[i]
+		}
+	}
+	return &m[len(m)-1]
+}
+
+// Request draws the next request for a client.
+func (m Mix) Request(rng *rand.Rand, client int) (name, target string) {
+	e := m.Pick(rng)
+	return e.Name, e.Make(rng, client)
+}
+
+// zipfPick draws from [1, n] with a Zipf(1.1) popularity skew.
+func zipfPick(rng *rand.Rand, n int) int64 {
+	if n <= 1 {
+		return 1
+	}
+	z := rand.NewZipf(rng, 1.1, 4, uint64(n-1))
+	return int64(1 + z.Uint64())
+}
+
+// writeNames returns the set of write interaction names.
+func writeNames() map[string]bool {
+	return map[string]bool{
+		"ShoppingCart": true, "CustomerRegistration": true, "BuyRequest": true,
+		"BuyConfirm": true, "AdminConfirm": true,
+	}
+}
+
+// WriteFraction reports the fraction of write requests in the mix.
+func (m Mix) WriteFraction() float64 {
+	w := 0
+	writes := writeNames()
+	for _, e := range m {
+		if writes[e.Name] {
+			w += e.Weight
+		}
+	}
+	return float64(w) / float64(m.TotalWeight())
+}
+
+// ShoppingMix is the TPC-W shopping mix — the paper's primary reporting mix
+// (§5: "the shopping mix for TPCW (80% read requests)"). Weights follow the
+// TPC-W v1.8 shopping-mix percentages (x100).
+func ShoppingMix(s Scale) Mix {
+	customer := func(rng *rand.Rand, client int) int64 { return int64(1 + client%s.Customers) }
+	// Carts get ids above the customer range so sessions own disjoint carts.
+	cart := func(client int) int64 { return int64(100000 + client) }
+	// Item popularity is Zipf-skewed, as in the TPC-W item-selection rules
+	// (popular books dominate detail views and cart adds).
+	item := func(rng *rand.Rand) int64 { return zipfPick(rng, s.Items) }
+	subject := func(rng *rand.Rand) string { return Subjects[rng.Intn(len(Subjects))] }
+	return Mix{
+		{"HomeInteraction", 1600, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/home?c_id=%d", customer(rng, c))
+		}},
+		{"NewProducts", 500, func(rng *rand.Rand, c int) string {
+			return "/newProducts?subject=" + subject(rng)
+		}},
+		{"BestSellers", 500, func(rng *rand.Rand, c int) string {
+			return "/bestSellers?subject=" + subject(rng)
+		}},
+		{"ProductDetail", 1700, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/productDetail?i_id=%d", item(rng))
+		}},
+		{"SearchRequest", 2000, func(rng *rand.Rand, c int) string {
+			return "/searchRequest"
+		}},
+		{"ExecuteSearch", 1700, func(rng *rand.Rand, c int) string {
+			switch rng.Intn(3) {
+			case 0:
+				return fmt.Sprintf("/executeSearch?type=author&search=ALast%d", 1+rng.Intn(s.Authors))
+			case 1:
+				return "/executeSearch?type=subject&search=" + subject(rng)
+			default:
+				return fmt.Sprintf("/executeSearch?type=title&search=Book+%d", 1+rng.Intn(s.Items))
+			}
+		}},
+		{"OrderInquiry", 75, func(rng *rand.Rand, c int) string {
+			return "/orderInquiry"
+		}},
+		{"OrderDisplay", 25, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/orderDisplay?c_id=%d", customer(rng, c))
+		}},
+		{"AdminRequest", 10, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/adminRequest?i_id=%d", item(rng))
+		}},
+
+		// Writes (~18.5% of weight; the paper rounds the shopping mix to
+		// "80% read requests").
+		{"ShoppingCart", 1160, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/shoppingCart?sc_id=%d&i_id=%d&qty=1", cart(c), item(rng))
+		}},
+		{"CustomerRegistration", 300, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/customerRegistration?uname=newcust%d-%d", c, rng.Int63())
+		}},
+		{"BuyRequest", 260, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/buyRequest?c_id=%d&sc_id=%d&discount=%d", customer(rng, c), cart(c), rng.Intn(5))
+		}},
+		{"BuyConfirm", 120, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/buyConfirm?c_id=%d&sc_id=%d", customer(rng, c), cart(c))
+		}},
+		{"AdminConfirm", 9, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/adminConfirm?i_id=%d&cost=%d", item(rng), 5+rng.Intn(95))
+		}},
+	}
+}
+
+// BrowsingMix is the TPC-W browsing mix: 95% browse / 5% order. Used for
+// supplementary experiments.
+func BrowsingMix(s Scale) Mix {
+	shopping := ShoppingMix(s)
+	weights := map[string]int{
+		"HomeInteraction": 2900, "NewProducts": 1100, "BestSellers": 1100,
+		"ProductDetail": 2100, "SearchRequest": 1200, "ExecuteSearch": 1100,
+		"OrderInquiry": 30, "OrderDisplay": 10, "AdminRequest": 10,
+		"ShoppingCart": 200, "CustomerRegistration": 82, "BuyRequest": 40,
+		"BuyConfirm": 17, "AdminConfirm": 9,
+	}
+	// Preserve the shopping mix's entry order so sampling is deterministic
+	// for a given seed.
+	var out Mix
+	for i := range shopping {
+		e := &shopping[i]
+		if w, ok := weights[e.Name]; ok {
+			out = append(out, MixEntry{Name: e.Name, Weight: w, Make: e.Make})
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package weave
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/cache"
+	"autowebcache/internal/memdb"
+	"autowebcache/internal/servlet"
+)
+
+// TestAutoIDFreshnessPreservesUnrelatedPages: inserting a new row with an
+// auto-assigned key must not invalidate pages keyed on other ids, nor pages
+// that join on the key column — the fresh key cannot be referenced yet.
+func TestAutoIDFreshnessPreservesUnrelatedPages(t *testing.T) {
+	db := memdb.New()
+	db.MustCreateTable(memdb.TableSpec{
+		Name: "items",
+		Columns: []memdb.Column{
+			{Name: "id", Type: memdb.TypeInt, AutoIncrement: true},
+			{Name: "name", Type: memdb.TypeString},
+			{Name: "category", Type: memdb.TypeInt},
+		},
+		Indexed: []string{"category"},
+	})
+	db.MustCreateTable(memdb.TableSpec{
+		Name: "bids",
+		Columns: []memdb.Column{
+			{Name: "id", Type: memdb.TypeInt, AutoIncrement: true},
+			{Name: "item_id", Type: memdb.TypeInt},
+			{Name: "amount", Type: memdb.TypeInt},
+		},
+		Indexed: []string{"item_id"},
+	})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := db.Exec(ctx, "INSERT INTO items (name, category) VALUES (?, ?)", fmt.Sprintf("it%d", i), i%2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(ctx, "INSERT INTO bids (item_id, amount) VALUES (?, ?)", i+1, 10*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine, err := analysis.NewEngine(analysis.StrategyExtraQuery, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(cache.Options{Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(db, engine)
+
+	viewItem := func(w http.ResponseWriter, r *http.Request) {
+		id := servlet.ParamInt(r, "id", 0)
+		item, err := conn.Query(r.Context(), "SELECT name FROM items WHERE id = ?", id)
+		if err != nil {
+			servlet.ServerError(w, err)
+			return
+		}
+		bids, err := conn.Query(r.Context(),
+			"SELECT bids.amount FROM bids JOIN items ON bids.item_id = items.id WHERE bids.item_id = ? ORDER BY bids.id ASC", id)
+		if err != nil {
+			servlet.ServerError(w, err)
+			return
+		}
+		servlet.WriteHTML(w, fmt.Sprintf("%s: %d bids", item.Str(0, 0), bids.Len()))
+	}
+	addItem := func(w http.ResponseWriter, r *http.Request) {
+		if _, err := conn.Exec(r.Context(), "INSERT INTO items (name, category) VALUES (?, ?)",
+			servlet.Param(r, "name"), servlet.ParamInt(r, "cat", 0)); err != nil {
+			servlet.ServerError(w, err)
+			return
+		}
+		servlet.WriteHTML(w, "ok")
+	}
+	wv, err := New([]servlet.HandlerInfo{
+		{Name: "ViewItem", Path: "/view", Fn: viewItem},
+		{Name: "AddItem", Path: "/add", Write: true, Fn: addItem},
+	}, c, Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get(t, wv, "/view?id=1")
+	get(t, wv, "/view?id=2")
+	if c.Len() != 2 {
+		t.Fatalf("cache len: %d", c.Len())
+	}
+	// Insert a new item: its fresh auto id matches no cached page key and
+	// no existing bid references it — nothing may be invalidated.
+	if rr, _ := get(t, wv, "/add?name=new&cat=1"); rr.Code != 200 {
+		t.Fatalf("add failed: %d", rr.Code)
+	}
+	if _, out := get(t, wv, "/view?id=1"); out != string(OutcomeHit) {
+		t.Fatalf("view 1 should still be cached, got %s", out)
+	}
+	if _, out := get(t, wv, "/view?id=2"); out != string(OutcomeHit) {
+		t.Fatalf("view 2 should still be cached, got %s", out)
+	}
+}
+
+// TestAutoIDPageForNewIDIsFresh: after inserting item N, a view of item N
+// must regenerate (it was never cached), and caching works for it.
+func TestAutoIDPageForNewIDIsFresh(t *testing.T) {
+	db := memdb.New()
+	db.MustCreateTable(memdb.TableSpec{
+		Name: "notes",
+		Columns: []memdb.Column{
+			{Name: "id", Type: memdb.TypeInt, AutoIncrement: true},
+			{Name: "body", Type: memdb.TypeString},
+		},
+	})
+	engine, err := analysis.NewEngine(analysis.StrategyExtraQuery, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(cache.Options{Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(db, engine)
+	wv, err := New([]servlet.HandlerInfo{
+		{Name: "View", Path: "/view", Fn: func(w http.ResponseWriter, r *http.Request) {
+			rows, err := conn.Query(r.Context(), "SELECT body FROM notes WHERE id = ?", servlet.ParamInt(r, "id", 0))
+			if err != nil {
+				servlet.ServerError(w, err)
+				return
+			}
+			if rows.Len() == 0 {
+				servlet.WriteHTML(w, "none")
+				return
+			}
+			servlet.WriteHTML(w, rows.Str(0, 0))
+		}},
+		{Name: "Add", Path: "/add", Write: true, Fn: func(w http.ResponseWriter, r *http.Request) {
+			if _, err := conn.Exec(r.Context(), "INSERT INTO notes (body) VALUES (?)", servlet.Param(r, "body")); err != nil {
+				servlet.ServerError(w, err)
+				return
+			}
+			servlet.WriteHTML(w, "ok")
+		}},
+	}, c, Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache the "none" page for a future id, then insert that id: the
+	// insert's fresh key EQUALS the cached page's probe value, so the page
+	// must be invalidated (the fresh rule must not over-exonerate).
+	rr, _ := get(t, wv, "/view?id=1")
+	if rr.Body.String() == "" {
+		t.Fatal("empty page")
+	}
+	get(t, wv, "/add?body=hello") // becomes id 1
+	rr2, out := get(t, wv, "/view?id=1")
+	if out != string(OutcomeMiss) {
+		t.Fatalf("page for the new id must be invalidated, got %s", out)
+	}
+	if !contains(rr2.Body.String(), "hello") {
+		t.Fatalf("page missing new body: %q", rr2.Body.String())
+	}
+}

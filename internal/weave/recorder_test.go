@@ -1,0 +1,150 @@
+package weave
+
+import (
+	"context"
+	"testing"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/memdb"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	ctx, rec := WithRecorder(context.Background())
+	got, ok := RecorderFrom(ctx)
+	if !ok || got != rec {
+		t.Fatal("recorder not retrievable from context")
+	}
+	if _, ok := RecorderFrom(context.Background()); ok {
+		t.Fatal("recorder found in empty context")
+	}
+}
+
+func TestRecordingConnCapturesReads(t *testing.T) {
+	db := newItemsDB(t)
+	engine, err := analysis.NewEngine(analysis.StrategyWhereMatch, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(db, engine)
+	ctx, rec := WithRecorder(context.Background())
+	if _, err := conn.Query(ctx, "select name from items where id = ?", 3); err != nil {
+		t.Fatal(err)
+	}
+	reads := rec.Reads()
+	if len(reads) != 1 {
+		t.Fatalf("reads: %+v", reads)
+	}
+	// The recorded template is canonicalised.
+	if reads[0].SQL != "SELECT name FROM items WHERE id = ?" {
+		t.Fatalf("template: %q", reads[0].SQL)
+	}
+	if len(reads[0].Args) != 1 || reads[0].Args[0] != int64(3) {
+		t.Fatalf("args: %+v", reads[0].Args)
+	}
+}
+
+func TestRecordingConnWithoutRecorderPassesThrough(t *testing.T) {
+	db := newItemsDB(t)
+	engine, err := analysis.NewEngine(analysis.StrategyWhereMatch, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(db, engine)
+	rows, err := conn.Query(context.Background(), "SELECT name FROM items WHERE id = ?", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Fatalf("rows: %+v", rows.Data)
+	}
+	if _, err := conn.Exec(context.Background(), "UPDATE items SET price = 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordingConnFailedWriteNotRecorded(t *testing.T) {
+	db := newItemsDB(t)
+	engine, err := analysis.NewEngine(analysis.StrategyWhereMatch, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(db, engine)
+	ctx, rec := WithRecorder(context.Background())
+	if _, err := conn.Exec(ctx, "UPDATE items SET nosuch = 1 WHERE id = 1"); err == nil {
+		t.Fatal("expected error")
+	}
+	if len(rec.Writes()) != 0 {
+		t.Fatalf("failed write was recorded: %+v", rec.Writes())
+	}
+}
+
+func TestRecordingConnReadErrorMarks(t *testing.T) {
+	db := newItemsDB(t)
+	engine, err := analysis.NewEngine(analysis.StrategyWhereMatch, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(db, engine)
+	ctx, rec := WithRecorder(context.Background())
+	if _, err := conn.Query(ctx, "SELECT nosuch FROM items"); err == nil {
+		t.Fatal("expected error")
+	}
+	if !rec.ReadFailed() {
+		t.Fatal("read failure not marked")
+	}
+}
+
+func TestRecordingConnCaptureHasAffectedRows(t *testing.T) {
+	db := newItemsDB(t)
+	engine, err := analysis.NewEngine(analysis.StrategyExtraQuery, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(db, engine)
+	ctx, rec := WithRecorder(context.Background())
+	if _, err := conn.Exec(ctx, "DELETE FROM items WHERE category = ?", 2); err != nil {
+		t.Fatal(err)
+	}
+	writes := rec.Writes()
+	if len(writes) != 1 {
+		t.Fatalf("writes: %+v", writes)
+	}
+	// The capture snapshots the rows BEFORE the delete removed them.
+	if writes[0].Affected == nil || writes[0].Affected.Len() != 4 {
+		t.Fatalf("affected: %+v", writes[0].Affected)
+	}
+	// And the rows really are gone from the database.
+	rows, err := db.Query(ctx, "SELECT COUNT(*) FROM items WHERE category = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Int(0, 0) != 0 {
+		t.Fatal("delete did not execute")
+	}
+}
+
+func TestRecordingConnAutoIDCapture(t *testing.T) {
+	db := newItemsDB(t)
+	engine, err := analysis.NewEngine(analysis.StrategyExtraQuery, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(db, engine)
+	ctx, rec := WithRecorder(context.Background())
+	if _, err := conn.Exec(ctx, "INSERT INTO items (name, price, category) VALUES ('n', 1, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	writes := rec.Writes()
+	if len(writes) != 1 || !writes[0].HasAutoID || writes[0].AutoID != 13 {
+		t.Fatalf("auto id capture: %+v", writes)
+	}
+}
+
+func TestRecordingConnBase(t *testing.T) {
+	db := newItemsDB(t)
+	engine, _ := analysis.NewEngine(analysis.StrategyWhereMatch, db)
+	conn := NewConn(db, engine)
+	if conn.Base() != memdb.Conn(db) {
+		t.Fatal("base mismatch")
+	}
+}

@@ -1,0 +1,167 @@
+package weave
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Outcome classifies how a request was served.
+type Outcome string
+
+// Outcomes reported in the response header and statistics.
+const (
+	OutcomeHit         Outcome = "hit"          // served from the cache
+	OutcomeSemanticHit Outcome = "semantic-hit" // served from the cache under a semantic TTL window
+	OutcomeMiss        Outcome = "miss"         // generated, then inserted
+	OutcomeWrite       Outcome = "write"        // write interaction (invalidates)
+	OutcomeUncacheable Outcome = "uncacheable"  // bypassed the cache by rule
+	OutcomeNoCache     Outcome = "nocache"      // served by an unwoven (baseline) app
+	OutcomeError       Outcome = "error"        // handler returned a non-200 status
+)
+
+// HeaderOutcome is the response header carrying the request outcome, used by
+// the client emulator to attribute hits and misses per interaction
+// (Figs. 16–19).
+const HeaderOutcome = "X-Autowebcache"
+
+// InteractionStats aggregates the outcomes of one interaction type.
+type InteractionStats struct {
+	Name string
+
+	Requests     uint64
+	Hits         uint64 // strong-consistency cache hits
+	SemanticHits uint64 // hits under a semantic TTL window
+	Misses       uint64
+	Writes       uint64
+	Uncacheable  uint64
+	Errors       uint64
+
+	TotalTime time.Duration // across all requests
+	HitTime   time.Duration
+	MissTime  time.Duration
+
+	PagesInvalidated uint64 // pages removed by this interaction's writes
+}
+
+// MeanResponse returns the mean response time over all requests.
+func (s *InteractionStats) MeanResponse() time.Duration {
+	if s.Requests == 0 {
+		return 0
+	}
+	return s.TotalTime / time.Duration(s.Requests)
+}
+
+// MeanMiss returns the mean response time of cache misses.
+func (s *InteractionStats) MeanMiss() time.Duration {
+	if s.Misses == 0 {
+		return 0
+	}
+	return s.MissTime / time.Duration(s.Misses)
+}
+
+// MissPenalty returns the extra time a miss costs on top of the overall
+// average (the stacked component of Figs. 18–19).
+func (s *InteractionStats) MissPenalty() time.Duration {
+	p := s.MeanMiss() - s.MeanResponse()
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// HitRate returns hits (including semantic hits) as a fraction of requests.
+func (s *InteractionStats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.SemanticHits) / float64(s.Requests)
+}
+
+// add merges o into s (for totals).
+func (s *InteractionStats) add(o *InteractionStats) {
+	s.Requests += o.Requests
+	s.Hits += o.Hits
+	s.SemanticHits += o.SemanticHits
+	s.Misses += o.Misses
+	s.Writes += o.Writes
+	s.Uncacheable += o.Uncacheable
+	s.Errors += o.Errors
+	s.TotalTime += o.TotalTime
+	s.HitTime += o.HitTime
+	s.MissTime += o.MissTime
+	s.PagesInvalidated += o.PagesInvalidated
+}
+
+// Stats collects per-interaction statistics. It is safe for concurrent use.
+type Stats struct {
+	mu sync.Mutex
+	m  map[string]*InteractionStats
+}
+
+// NewStats creates an empty collector.
+func NewStats() *Stats {
+	return &Stats{m: make(map[string]*InteractionStats)}
+}
+
+// Record accounts one request.
+func (s *Stats) Record(name string, outcome Outcome, d time.Duration, invalidated int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	is := s.m[name]
+	if is == nil {
+		is = &InteractionStats{Name: name}
+		s.m[name] = is
+	}
+	is.Requests++
+	is.TotalTime += d
+	switch outcome {
+	case OutcomeHit:
+		is.Hits++
+		is.HitTime += d
+	case OutcomeSemanticHit:
+		is.SemanticHits++
+		is.HitTime += d
+	case OutcomeMiss:
+		is.Misses++
+		is.MissTime += d
+	case OutcomeWrite:
+		is.Writes++
+		is.PagesInvalidated += uint64(invalidated)
+	case OutcomeUncacheable, OutcomeNoCache:
+		is.Uncacheable++
+	case OutcomeError:
+		is.Errors++
+	}
+}
+
+// Snapshot returns a copy of the per-interaction statistics, sorted by name.
+func (s *Stats) Snapshot() []InteractionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]InteractionStats, 0, len(s.m))
+	for _, is := range s.m {
+		out = append(out, *is)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Totals aggregates all interactions into one record named "TOTAL".
+func (s *Stats) Totals() InteractionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := InteractionStats{Name: "TOTAL"}
+	for _, is := range s.m {
+		total.add(is)
+	}
+	return total
+}
+
+// Reset clears all statistics (used between the warm-up and measurement
+// phases of the experiments, mirroring the paper's 15-minute warm-up).
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string]*InteractionStats)
+}

@@ -1,0 +1,264 @@
+package weave
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"time"
+
+	"autowebcache/internal/cache"
+	"autowebcache/internal/servlet"
+)
+
+// Rules are the weaving rules: the per-application cacheability knowledge
+// that the paper keeps outside both the application and the caching library
+// (§4.2 "Weaving rules specification"). Interaction names not mentioned get
+// the default treatment: read interactions are cached with strong
+// consistency, write interactions invalidate.
+type Rules struct {
+	// Uncacheable lists read interactions that must bypass the cache —
+	// the §4.3 hidden-state problem (e.g. TPC-W Home and SearchRequest use
+	// random advertisement banners).
+	Uncacheable []string
+	// Semantic grants interactions a freshness window: pages are cached and
+	// served for the window's duration regardless of writes (e.g. TPC-W
+	// BestSellers, 30 s per TPC-W clauses 3.1.4.1 and 6.3.3.1).
+	Semantic map[string]time.Duration
+	// KeyCookies names cookies whose values are part of every page's
+	// identity — the escape hatch for applications that carry request
+	// parameters in cookies (§4.3) instead of the URL.
+	KeyCookies []string
+}
+
+// apply merges the rules into a handler description.
+func (r Rules) apply(h servlet.HandlerInfo) servlet.HandlerInfo {
+	for _, name := range r.Uncacheable {
+		if name == h.Name {
+			h.Uncacheable = true
+		}
+	}
+	if ttl, ok := r.Semantic[h.Name]; ok {
+		h.TTL = ttl
+	}
+	return h
+}
+
+// Woven is a cache-enabled web application: every handler wrapped with the
+// appropriate advice, sharing one page cache and one statistics collector.
+type Woven struct {
+	mux        *http.ServeMux
+	cache      *cache.Cache
+	stats      *Stats
+	handlers   []servlet.HandlerInfo
+	keyCookies []string
+}
+
+// pageKey computes a request's cache identity, including rule-named cookies.
+func (w *Woven) pageKey(r *http.Request) string {
+	if len(w.keyCookies) == 0 {
+		return servlet.PageKey(r)
+	}
+	return servlet.PageKeyWithCookies(r, w.keyCookies)
+}
+
+// New weaves the caching aspect into an application. The application's
+// handlers must issue their queries through a RecordingConn created with
+// NewConn, passing the request context to every call — that connection is
+// the JDBC-capture join point.
+//
+// cache may be nil, producing the baseline ("NoCache") version of the
+// application with statistics but no caching — the paper's comparison
+// configuration.
+func New(handlers []servlet.HandlerInfo, c *cache.Cache, rules Rules) (*Woven, error) {
+	w := &Woven{
+		mux:        http.NewServeMux(),
+		cache:      c,
+		stats:      NewStats(),
+		keyCookies: append([]string(nil), rules.KeyCookies...),
+	}
+	seen := make(map[string]bool, len(handlers))
+	for _, h := range handlers {
+		h := rules.apply(h)
+		if h.Name == "" || h.Path == "" || h.Fn == nil {
+			return nil, fmt.Errorf("weave: handler %+v missing name, path or function", h.Name)
+		}
+		if seen[h.Path] {
+			return nil, fmt.Errorf("weave: duplicate handler path %s", h.Path)
+		}
+		seen[h.Path] = true
+		w.handlers = append(w.handlers, h)
+		switch {
+		case c == nil:
+			w.mux.Handle(h.Path, w.passthrough(h))
+		case h.Write:
+			w.mux.Handle(h.Path, w.afterAdvice(h))
+		case h.Uncacheable:
+			w.mux.Handle(h.Path, w.uncacheable(h))
+		default:
+			w.mux.Handle(h.Path, w.aroundAdvice(h))
+		}
+	}
+	return w, nil
+}
+
+// ServeHTTP dispatches to the woven handlers.
+func (w *Woven) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	w.mux.ServeHTTP(rw, r)
+}
+
+// Stats returns the per-interaction statistics collector.
+func (w *Woven) Stats() *Stats { return w.stats }
+
+// Cache returns the page cache (nil for the baseline configuration).
+func (w *Woven) Cache() *cache.Cache { return w.cache }
+
+// Handlers returns the effective handler descriptions after rule
+// application.
+func (w *Woven) Handlers() []servlet.HandlerInfo {
+	return append([]servlet.HandlerInfo(nil), w.handlers...)
+}
+
+// responseBuffer captures a handler's response so it can be both cached and
+// replayed to the client.
+type responseBuffer struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func newResponseBuffer() *responseBuffer {
+	return &responseBuffer{header: make(http.Header), status: http.StatusOK}
+}
+
+func (rb *responseBuffer) Header() http.Header { return rb.header }
+
+func (rb *responseBuffer) Write(p []byte) (int, error) { return rb.body.Write(p) }
+
+func (rb *responseBuffer) WriteHeader(status int) { rb.status = status }
+
+func (rb *responseBuffer) contentType() string {
+	if ct := rb.header.Get("Content-Type"); ct != "" {
+		return ct
+	}
+	return "text/html; charset=utf-8"
+}
+
+// replay sends the captured response to the real writer with the outcome
+// header.
+func (rb *responseBuffer) replay(rw http.ResponseWriter, outcome Outcome) {
+	for k, vs := range rb.header {
+		for _, v := range vs {
+			rw.Header().Add(k, v)
+		}
+	}
+	rw.Header().Set(HeaderOutcome, string(outcome))
+	rw.WriteHeader(rb.status)
+	_, _ = rw.Write(rb.body.Bytes())
+}
+
+// aroundAdvice implements Fig. 10: surround a read interaction with a cache
+// check, bypassing the handler on a hit and inserting the page (with its
+// dependency information) on a miss.
+func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
+	hitOutcome := OutcomeHit
+	if h.TTL > 0 {
+		hitOutcome = OutcomeSemanticHit
+	}
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		key := w.pageKey(r)
+		if body, ctype, ok := w.cache.Lookup(key); ok {
+			rw.Header().Set("Content-Type", ctype)
+			rw.Header().Set(HeaderOutcome, string(hitOutcome))
+			rw.WriteHeader(http.StatusOK)
+			_, _ = rw.Write(body)
+			w.stats.Record(h.Name, hitOutcome, time.Since(start), 0)
+			return
+		}
+		ctx, rec := WithRecorder(r.Context())
+		rb := newResponseBuffer()
+		h.Fn(rb, r.WithContext(ctx))
+		outcome := OutcomeMiss
+		if rb.status != http.StatusOK {
+			outcome = OutcomeError
+		} else if !rec.ReadFailed() && len(rec.Writes()) == 0 {
+			deps := rec.Reads()
+			if h.TTL > 0 {
+				// Semantic windows replace invalidation-based consistency:
+				// the page is valid for the full window regardless of
+				// writes (§4.3 — "the best seller pages were marked
+				// cacheable for a full 30 second window"), so it carries no
+				// dependency information.
+				deps = nil
+			}
+			w.cache.Insert(key, rb.body.Bytes(), rb.contentType(), deps, h.TTL)
+		}
+		// A "read" handler that wrote must still invalidate (defensive: the
+		// weaving rules misclassified it).
+		invalidated := w.applyInvalidations(rec)
+		rb.replay(rw, outcome)
+		w.stats.Record(h.Name, outcome, time.Since(start), invalidated)
+	})
+}
+
+// afterAdvice implements Fig. 11: run the write interaction, then use its
+// captured invalidation information to remove the affected cache entries.
+func (w *Woven) afterAdvice(h servlet.HandlerInfo) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, rec := WithRecorder(r.Context())
+		rb := newResponseBuffer()
+		h.Fn(rb, r.WithContext(ctx))
+		outcome := OutcomeWrite
+		if rb.status != http.StatusOK {
+			outcome = OutcomeError
+		}
+		invalidated := w.applyInvalidations(rec)
+		rb.replay(rw, outcome)
+		w.stats.Record(h.Name, outcome, time.Since(start), invalidated)
+	})
+}
+
+// applyInvalidations processes the recorder's write captures against the
+// cache. An empty capture (a write the engine could not analyse) flushes the
+// whole cache — over-invalidation is always sound.
+func (w *Woven) applyInvalidations(rec *Recorder) int {
+	total := 0
+	for _, wc := range rec.Writes() {
+		if wc.SQL == "" {
+			n := w.cache.Len()
+			w.cache.Flush()
+			total += n
+			continue
+		}
+		n, err := w.cache.InvalidateWrite(wc)
+		if err != nil {
+			// Analysis failure: fall back to flushing (sound, never stale).
+			n = w.cache.Len()
+			w.cache.Flush()
+		}
+		total += n
+	}
+	return total
+}
+
+// uncacheable serves a read interaction directly, bypassing the cache — the
+// developer-marked hidden-state escape hatch of §4.3.
+func (w *Woven) uncacheable(h servlet.HandlerInfo) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rw.Header().Set(HeaderOutcome, string(OutcomeUncacheable))
+		h.Fn(rw, r)
+		w.stats.Record(h.Name, OutcomeUncacheable, time.Since(start), 0)
+	})
+}
+
+// passthrough serves the baseline (NoCache) configuration with statistics.
+func (w *Woven) passthrough(h servlet.HandlerInfo) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rw.Header().Set(HeaderOutcome, string(OutcomeNoCache))
+		h.Fn(rw, r)
+		w.stats.Record(h.Name, OutcomeNoCache, time.Since(start), 0)
+	})
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autowebcache/internal/weave"
+)
+
+// fixedSource cycles through a static set of targets.
+type fixedSource struct {
+	names   []string
+	targets []string
+}
+
+func (s *fixedSource) Request(rng *rand.Rand, client int) (string, string) {
+	i := rng.Intn(len(s.names))
+	return s.names[i], s.targets[i]
+}
+
+// instrumented builds a tiny woven app counting requests.
+func instrumented(t *testing.T, served *atomic.Uint64) (http.Handler, *weave.Stats) {
+	t.Helper()
+	stats := weave.NewStats()
+	mux := http.NewServeMux()
+	record := func(name string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			served.Add(1)
+			start := time.Now()
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok"))
+			stats.Record(name, weave.OutcomeMiss, time.Since(start)+time.Microsecond, 0)
+		}
+	}
+	mux.Handle("/a", record("A"))
+	mux.Handle("/b", record("B"))
+	return mux, stats
+}
+
+func TestRunRequestCounts(t *testing.T) {
+	var served atomic.Uint64
+	h, stats := instrumented(t, &served)
+	src := &fixedSource{names: []string{"A", "B"}, targets: []string{"/a", "/b"}}
+	res := Run(context.Background(), h, src, stats, Config{
+		Clients:         4,
+		WarmupRequests:  20,
+		MeasureRequests: 100,
+		Seed:            1,
+	})
+	if res.Requests != 100 {
+		t.Fatalf("measured requests: %d", res.Requests)
+	}
+	if served.Load() != 120 {
+		t.Fatalf("served: %d, want 120 (warmup + measure)", served.Load())
+	}
+	// Stats were reset after warm-up: totals reflect only measurement.
+	if res.Totals.Requests != 100 {
+		t.Fatalf("stats requests: %d", res.Totals.Requests)
+	}
+	if res.Totals.MeanResponse() <= 0 {
+		t.Fatal("mean response not recorded")
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if len(res.PerInteraction) != 2 {
+		t.Fatalf("interactions: %+v", res.PerInteraction)
+	}
+}
+
+func TestRunDurationBound(t *testing.T) {
+	var served atomic.Uint64
+	h, stats := instrumented(t, &served)
+	src := &fixedSource{names: []string{"A"}, targets: []string{"/a"}}
+	res := Run(context.Background(), h, src, stats, Config{
+		Clients: 2,
+		Measure: 50 * time.Millisecond,
+		Seed:    1,
+	})
+	if res.Requests == 0 {
+		t.Fatal("no requests issued in duration-bound run")
+	}
+	if res.Elapsed < 40*time.Millisecond {
+		t.Fatalf("elapsed: %v", res.Elapsed)
+	}
+}
+
+func TestRunHonoursContextCancel(t *testing.T) {
+	var served atomic.Uint64
+	h, stats := instrumented(t, &served)
+	src := &fixedSource{names: []string{"A"}, targets: []string{"/a"}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Result, 1)
+	go func() {
+		done <- Run(ctx, h, src, stats, Config{Clients: 2, Measure: time.Hour, Seed: 1})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop after context cancellation")
+	}
+}
+
+func TestRunZeroClientsDefaultsToOne(t *testing.T) {
+	var served atomic.Uint64
+	h, stats := instrumented(t, &served)
+	src := &fixedSource{names: []string{"A"}, targets: []string{"/a"}}
+	res := Run(context.Background(), h, src, stats, Config{MeasureRequests: 10, Seed: 1})
+	if res.Requests != 10 {
+		t.Fatalf("requests: %d", res.Requests)
+	}
+}
+
+func TestRunWithThinkTime(t *testing.T) {
+	var served atomic.Uint64
+	h, stats := instrumented(t, &served)
+	src := &fixedSource{names: []string{"A"}, targets: []string{"/a"}}
+	start := time.Now()
+	res := Run(context.Background(), h, src, stats, Config{
+		Clients:         2,
+		MeasureRequests: 10,
+		ThinkTime:       2 * time.Millisecond,
+		Seed:            1,
+	})
+	if res.Requests != 10 {
+		t.Fatalf("requests: %d", res.Requests)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("think time apparently not applied")
+	}
+}
+
+func TestRunDeterministicSequence(t *testing.T) {
+	// Same seed, single client: identical request sequences.
+	var seq1, seq2 []string
+	collect := func(out *[]string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			*out = append(*out, r.URL.Path)
+			w.WriteHeader(http.StatusOK)
+		})
+	}
+	src := &fixedSource{names: []string{"A", "B"}, targets: []string{"/a", "/b"}}
+	stats := weave.NewStats()
+	Run(context.Background(), collect(&seq1), src, stats, Config{Clients: 1, MeasureRequests: 30, Seed: 9})
+	Run(context.Background(), collect(&seq2), src, stats, Config{Clients: 1, MeasureRequests: 30, Seed: 9})
+	if len(seq1) != len(seq2) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq1), len(seq2))
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("sequence diverged at %d: %s vs %s", i, seq1[i], seq2[i])
+		}
+	}
+}
