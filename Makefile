@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test race bench experiments
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) test -bench . -run '^$$' -benchtime 1s .
+
+experiments:
+	$(GO) run ./cmd/experiments -fast

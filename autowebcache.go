@@ -111,6 +111,10 @@ type Config struct {
 	// Replacement picks the eviction policy for bounded caches (default
 	// LRU).
 	Replacement Replacement
+	// Shards is the page cache's lock-stripe count, rounded up to a power
+	// of two (0 picks GOMAXPROCS rounded likewise). Higher values reduce
+	// contention between concurrent request goroutines.
+	Shards int
 	// Disabled builds the baseline configuration: handlers still work and
 	// statistics are collected, but nothing is cached (the paper's
 	// "No cache" comparison).
@@ -162,6 +166,7 @@ func New(db *DB, cfg Config) (*Runtime, error) {
 		Engine:      engine,
 		MaxEntries:  cfg.MaxEntries,
 		Replacement: cfg.Replacement,
+		Shards:      cfg.Shards,
 	})
 	if err != nil {
 		return nil, err

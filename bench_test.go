@@ -183,6 +183,82 @@ func BenchmarkAnalysisIntersects(b *testing.B) {
 	}
 }
 
+// newParallelCache builds a page cache pre-loaded with nKeys pages, each
+// depending on one read-query instance, for the parallel benchmarks.
+func newParallelCache(b *testing.B, nKeys int) (*cache.Cache, []string) {
+	b.Helper()
+	eng, err := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cache.New(cache.Options{Engine: eng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := make([]byte, 1024)
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/page?x=%d", i)
+		c.Insert(keys[i], body, "text/html", []analysis.Query{
+			{SQL: "SELECT a FROM t WHERE b = ?", Args: []memdb.Value{int64(i)}},
+		}, 0)
+	}
+	return c, keys
+}
+
+// BenchmarkLookupParallel measures page-cache hit throughput under
+// concurrent readers (run with -cpu 8 for the 8-goroutine figure). This is
+// the hot path the sharded page table is designed to scale: before the
+// lock-striping every Lookup serialised behind one cache-wide mutex.
+func BenchmarkLookupParallel(b *testing.B) {
+	c, keys := newParallelCache(b, 512)
+	mask := len(keys) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, ok := c.Lookup(keys[i&mask]); !ok {
+				b.Fatal("unexpected miss")
+			}
+			i += 7 // co-prime stride: spread goroutines over distinct keys
+		}
+	})
+}
+
+// BenchmarkMixedParallel measures a read-dominated mix (lookups with
+// periodic inserts and write invalidations) under concurrent clients — the
+// shape of the paper's RUBiS bidding mix (85% reads).
+func BenchmarkMixedParallel(b *testing.B) {
+	c, keys := newParallelCache(b, 512)
+	mask := len(keys) - 1
+	body := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			k := (i * 7) & mask
+			switch {
+			case i%32 == 0:
+				c.Insert(keys[k], body, "text/html", []analysis.Query{
+					{SQL: "SELECT a FROM t WHERE b = ?", Args: []memdb.Value{int64(k)}},
+				}, 0)
+			case i%64 == 1:
+				w := analysis.WriteCapture{Query: analysis.Query{
+					SQL: "UPDATE t SET a = ? WHERE b = ?", Args: []memdb.Value{int64(1), int64(k)},
+				}}
+				if _, err := c.InvalidateWrite(w); err != nil {
+					b.Fatal(err)
+				}
+			default:
+				c.Lookup(keys[k])
+			}
+		}
+	})
+}
+
 // BenchmarkWovenHitPath measures the full request path on a cache hit.
 func BenchmarkWovenHitPath(b *testing.B) {
 	db := autowebcache.NewDB()

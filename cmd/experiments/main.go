@@ -27,7 +27,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "experiment to run: 4, 13, 14, 15, 16, 17, 18, 19, 20, A, B, C or all")
+	fig := fs.String("fig", "all", "experiment to run: 4, 13, 14, 15, 16, 17, 18, 19, 20, A, B, C, P or all")
 	fast := fs.Bool("fast", false, "use small parameters for a quick run")
 	root := fs.String("root", ".", "repository root (for the fig. 20 code-size scan)")
 	if err := fs.Parse(args); err != nil {
@@ -51,10 +51,11 @@ func run(args []string) error {
 		"A":  func() (*bench.Table, error) { return bench.AblationStrategies(p) },
 		"B":  func() (*bench.Table, error) { return bench.AblationReplacement(p) },
 		"C":  func() (*bench.Table, error) { return bench.AblationComposition(p) },
+		"P":  func() (*bench.Table, error) { return bench.ParallelScalability(p) },
 	}
 	if strings.EqualFold(*fig, "all") {
 		// Render incrementally: full-effort experiments take minutes each.
-		for _, id := range []string{"4", "13", "14", "15", "16", "17", "18", "19", "20", "A", "B", "C"} {
+		for _, id := range []string{"4", "13", "14", "15", "16", "17", "18", "19", "20", "A", "B", "C", "P"} {
 			tbl, err := runners[id]()
 			if err != nil {
 				return fmt.Errorf("experiment %s: %w", id, err)

@@ -69,4 +69,45 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-app", "nope"}, &out); err == nil {
 		t.Fatal("expected app error")
 	}
+	if err := run([]string{"-clients", "0"}, &out); err == nil {
+		t.Fatal("expected error for zero clients")
+	}
+	if err := run([]string{"-clients", "0", "-concurrency", "-1"}, &out); err == nil {
+		t.Fatal("expected error for non-positive concurrency")
+	}
+}
+
+// TestConcurrencyFlag drives a live server with -concurrency, the parallel
+// client-goroutine knob that exercises the sharded page cache.
+func TestConcurrencyFlag(t *testing.T) {
+	db := autowebcache.NewDB()
+	scale := rubis.Scale{Regions: 2, Categories: 3, Users: 10, Items: 20,
+		BidsPerItem: 2, CommentsPerUser: 1, BuyNows: 5, Seed: 1}
+	last, err := rubis.Load(db, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := autowebcache.New(db, autowebcache.Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := rubis.New(rt.Conn(), scale, last)
+	h, err := rt.Weave(app.Handlers(), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var out strings.Builder
+	err = run([]string{
+		"-target", srv.URL, "-app", "rubis", "-clients", "1",
+		"-concurrency", "8", "-duration", "300ms", "-think", "0s",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "total ") {
+		t.Fatalf("report: %q", out.String())
+	}
 }

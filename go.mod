@@ -1,0 +1,3 @@
+module autowebcache
+
+go 1.24

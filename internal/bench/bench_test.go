@@ -300,3 +300,22 @@ func TestTableRender(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelScalability(t *testing.T) {
+	p := Fast()
+	p.Measure = 200 // keep the per-cell op count small for CI
+	tbl, err := ParallelScalability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		for i, cell := range row {
+			if cell == "" {
+				t.Fatalf("empty cell %d in row %v", i, row)
+			}
+		}
+	}
+}

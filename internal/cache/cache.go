@@ -13,16 +13,30 @@
 // lists as future work: bounded capacity with pluggable replacement policies
 // (LRU, LFU, FIFO) and time-lagged (TTL) weak consistency, which also
 // realises the TPC-W BestSellers 30-second semantic window of §4.3.
+//
+// Both tables are lock-striped: the page table over power-of-two shards
+// keyed by an FNV hash of the page key, and the dependency table over
+// shards keyed by a hash of the read-query template, so concurrent lookups
+// and inserts on distinct keys never contend and a write only locks the
+// dependency shards it scans, one at a time. Counters are atomics. The
+// paper's strong-consistency contract is preserved: InvalidateWrite returns
+// only after every dependent page fully inserted before the call has been
+// removed, so the writer's response is released strictly after the
+// invalidation (§3.2). Lock order is always page shard -> dependency shard,
+// never the reverse, and no two shards of the same stripe are held at once.
 package cache
 
 import (
 	"container/list"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/memdb"
+	"autowebcache/internal/stripe"
 )
 
 // ReplacementPolicy selects the eviction order under bounded capacity.
@@ -57,6 +71,9 @@ type Options struct {
 	// Replacement selects the eviction policy when MaxEntries is exceeded.
 	// Defaults to LRU.
 	Replacement ReplacementPolicy
+	// Shards is the lock-stripe count for the page and dependency tables,
+	// rounded up to a power of two. 0 picks GOMAXPROCS rounded likewise.
+	Shards int
 	// Clock supplies the current time; defaults to time.Now. Injectable for
 	// deterministic TTL tests.
 	Clock func() time.Time
@@ -81,8 +98,12 @@ type Entry struct {
 	// used for TTL (weak) consistency and semantic windows.
 	ExpiresAt time.Time
 
-	hits       uint64
-	lastAccess time.Time
+	hits uint64
+	// seq is the entry's position in the global replacement order: assigned
+	// from the cache-wide sequence at insert, and refreshed on every hit
+	// under LRU. The globally-minimal seq is the LRU/FIFO victim, and the
+	// LFU tie-break, even though each shard keeps its own list.
+	seq uint64
 }
 
 // Stats are cumulative cache counters.
@@ -180,23 +201,41 @@ func (dt *depTemplate) removeInstance(argsKey string, inst *depInstance) {
 	}
 }
 
-// Cache is the page cache. It is safe for concurrent use.
-type Cache struct {
-	opts Options
-
+// pageShard is one stripe of the page table with its replacement list.
+type pageShard struct {
 	mu    sync.Mutex
 	pages map[string]*list.Element // key -> element holding *Entry
 	order *list.List               // LRU/FIFO order: front = next victim
+}
+
+// depShard is one stripe of the dependency table.
+type depShard struct {
+	mu sync.Mutex
 	// deps: template SQL -> template group (instances + probe indexes).
 	deps map[string]*depTemplate
+}
 
-	hits          uint64
-	misses        uint64
-	inserts       uint64
-	invalidations uint64
-	evictions     uint64
-	expirations   uint64
-	writesSeen    uint64
+// Cache is the page cache. It is safe for concurrent use.
+type Cache struct {
+	opts Options
+	mask uint32 // shard count - 1 (power of two)
+
+	pageShards []pageShard
+	depShards  []depShard
+
+	// seq orders entries globally for replacement; entries counts pages
+	// across all shards (including slots reserved by in-flight inserts),
+	// so the MaxEntries bound is never exceeded.
+	seq     atomic.Uint64
+	entries atomic.Int64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	inserts       atomic.Uint64
+	invalidations atomic.Uint64
+	evictions     atomic.Uint64
+	expirations   atomic.Uint64
+	writesSeen    atomic.Uint64
 }
 
 // New creates a cache. Options.Engine must be set.
@@ -218,45 +257,75 @@ func New(opts Options) (*Cache, error) {
 	if opts.MaxEntries < 0 {
 		return nil, fmt.Errorf("cache: negative MaxEntries")
 	}
-	return &Cache{
-		opts:  opts,
-		pages: make(map[string]*list.Element),
-		order: list.New(),
-		deps:  make(map[string]*depTemplate),
-	}, nil
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("cache: negative Shards")
+	}
+	n := stripe.Count(opts.Shards)
+	c := &Cache{
+		opts:       opts,
+		mask:       uint32(n - 1),
+		pageShards: make([]pageShard, n),
+		depShards:  make([]depShard, n),
+	}
+	for i := range c.pageShards {
+		c.pageShards[i].pages = make(map[string]*list.Element)
+		c.pageShards[i].order = list.New()
+	}
+	for i := range c.depShards {
+		c.depShards[i].deps = make(map[string]*depTemplate)
+	}
+	return c, nil
+}
+
+func (c *Cache) pageShard(key string) *pageShard {
+	return &c.pageShards[stripe.Hash(key)&c.mask]
+}
+
+func (c *Cache) depShard(tmpl string) *depShard {
+	return &c.depShards[stripe.Hash(tmpl)&c.mask]
 }
 
 // Engine returns the cache's analysis engine.
 func (c *Cache) Engine() *analysis.Engine { return c.opts.Engine }
 
+// Shards returns the lock-stripe count.
+func (c *Cache) Shards() int { return len(c.pageShards) }
+
 // Lookup returns the cached page for key, if present and not expired
 // (§3.1 "cache checks").
 func (c *Cache) Lookup(key string) (body []byte, contentType string, ok bool) {
 	now := c.opts.Clock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, present := c.pages[key]
+	s := c.pageShard(key)
+	s.mu.Lock()
+	el, present := s.pages[key]
 	if !present || c.opts.ForceMiss {
-		c.misses++
+		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil, "", false
 	}
 	e := el.Value.(*Entry)
 	if !e.ExpiresAt.IsZero() && now.After(e.ExpiresAt) {
-		c.removeEntryLocked(el)
-		c.expirations++
-		c.misses++
+		c.removeEntryLocked(s, el)
+		s.mu.Unlock()
+		c.expirations.Add(1)
+		c.misses.Add(1)
 		return nil, "", false
 	}
-	c.hits++
 	e.hits++
-	e.lastAccess = now
-	if c.opts.Replacement == LRU {
-		c.order.MoveToBack(el)
+	// Recency only matters when eviction can happen; on an unbounded cache
+	// the list order is never consulted, so skip the global-sequence tick.
+	if c.opts.Replacement == LRU && c.opts.MaxEntries > 0 {
+		s.order.MoveToBack(el)
+		e.seq = c.seq.Add(1)
 	}
-	// Copy at the boundary: callers own the returned slice.
-	out := make([]byte, len(e.Body))
-	copy(out, e.Body)
-	return out, e.ContentType, true
+	raw, ctype := e.Body, e.ContentType
+	s.mu.Unlock()
+	c.hits.Add(1)
+	// Copy at the boundary: callers own the returned slice. The body is
+	// immutable once inserted, so the copy can run outside the shard lock.
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out, ctype, true
 }
 
 // Insert stores a page with its dependency information (§3.1 "cache
@@ -271,44 +340,96 @@ func (c *Cache) Insert(key string, body []byte, contentType string, deps []analy
 		ContentType: contentType,
 		Deps:        copyDeps(deps),
 		InsertedAt:  now,
-		lastAccess:  now,
 	}
 	if ttl > 0 {
 		e.ExpiresAt = now.Add(ttl)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if old, exists := c.pages[key]; exists {
-		c.removeEntryLocked(old)
+	s := c.pageShard(key)
+	// Replacing a resident key happens atomically under the shard lock,
+	// reusing the old entry's capacity slot: the page never transiently
+	// vanishes for concurrent lookups, and a replacement at full capacity
+	// never evicts an innocent victim.
+	s.mu.Lock()
+	if old, exists := s.pages[key]; exists {
+		c.detachEntryLocked(s, old)
+		c.insertEntryLocked(s, e)
+		s.mu.Unlock()
+		c.inserts.Add(1)
+		return
 	}
-	if c.opts.MaxEntries > 0 {
-		for len(c.pages) >= c.opts.MaxEntries {
-			c.evictOneLocked()
-		}
+	s.mu.Unlock()
+	c.reserveSlot()
+	s.mu.Lock()
+	if cur, exists := s.pages[key]; exists {
+		// A concurrent insert of the same key won the race; take over its
+		// slot and give back the one we reserved.
+		c.detachEntryLocked(s, cur)
+		c.entries.Add(-1)
 	}
-	el := c.order.PushBack(e)
-	c.pages[key] = el
+	c.insertEntryLocked(s, e)
+	s.mu.Unlock()
+	c.inserts.Add(1)
+}
+
+// insertEntryLocked links a fully-built entry (whose capacity slot is
+// already accounted) into the shard and the dependency table. The caller
+// holds s.mu.
+func (c *Cache) insertEntryLocked(s *pageShard, e *Entry) {
+	e.seq = c.seq.Add(1)
+	s.pages[e.Key] = s.order.PushBack(e)
 	for _, d := range e.Deps {
-		dt := c.deps[d.SQL]
-		if dt == nil {
-			// The template info (and its probe predicates) is memoised in
-			// the engine; an unparseable template degrades to unindexed.
-			info, err := c.opts.Engine.Template(d.SQL)
-			if err != nil {
-				info = nil
-			}
-			dt = newDepTemplate(info)
-			c.deps[d.SQL] = dt
-		}
-		ak := argsKey(d.Args)
-		inst := dt.instances[ak]
-		if inst == nil {
-			inst = &depInstance{query: d, pages: make(map[string]bool)}
-			dt.addInstance(ak, inst)
-		}
-		inst.pages[key] = true
+		c.addDepLocked(d, e.Key)
 	}
-	c.inserts++
+}
+
+// reserveSlot claims one unit of capacity, evicting until a slot is free.
+// The claimed unit is released by removeEntryLocked when the entry (or, on
+// a replacement race, its predecessor) is removed.
+func (c *Cache) reserveSlot() {
+	max := int64(c.opts.MaxEntries)
+	if max <= 0 {
+		c.entries.Add(1)
+		return
+	}
+	for {
+		n := c.entries.Load()
+		if n < max {
+			if c.entries.CompareAndSwap(n, n+1) {
+				return
+			}
+			continue
+		}
+		if !c.evictOne() {
+			// Every slot is reserved by an in-flight insert; let them land.
+			runtime.Gosched()
+		}
+	}
+}
+
+// addDepLocked registers one (template, vector) -> page link. The caller
+// holds the page's shard lock; the dependency shard lock nests inside it.
+func (c *Cache) addDepLocked(d analysis.Query, pageKey string) {
+	ds := c.depShard(d.SQL)
+	ds.mu.Lock()
+	dt := ds.deps[d.SQL]
+	if dt == nil {
+		// The template info (and its probe predicates) is memoised in
+		// the engine; an unparseable template degrades to unindexed.
+		info, err := c.opts.Engine.Template(d.SQL)
+		if err != nil {
+			info = nil
+		}
+		dt = newDepTemplate(info)
+		ds.deps[d.SQL] = dt
+	}
+	ak := argsKey(d.Args)
+	inst := dt.instances[ak]
+	if inst == nil {
+		inst = &depInstance{query: d, pages: make(map[string]bool)}
+		dt.addInstance(ak, inst)
+	}
+	inst.pages[pageKey] = true
+	ds.mu.Unlock()
 }
 
 // InvalidateWrite removes every cached page whose dependency set intersects
@@ -316,9 +437,9 @@ func (c *Cache) Insert(key string, body []byte, contentType string, deps []analy
 // invalidated. The write should have been captured with
 // Engine.CaptureWrite before the write executed.
 func (c *Cache) InvalidateWrite(w analysis.WriteCapture) (int, error) {
-	// Snapshot the dependency instances under the lock, then run the
-	// (potentially extra-query-backed) intersection tests outside it so
-	// concurrent lookups are not serialised behind the analysis.
+	// Snapshot the dependency instances shard by shard, then run the
+	// (potentially extra-query-backed) intersection tests outside all locks
+	// so concurrent lookups are not serialised behind the analysis.
 	type candidate struct {
 		query analysis.Query
 		pages []string
@@ -327,53 +448,56 @@ func (c *Cache) InvalidateWrite(w analysis.WriteCapture) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	c.writesSeen.Add(1)
 	// ColumnOnly deliberately ignores bound values, so the value-based
 	// probe index must not narrow its candidate set.
 	useProbes := c.opts.Engine.Strategy() != analysis.StrategyColumnOnly
 
-	c.mu.Lock()
-	c.writesSeen++
 	var candidates []candidate
-	for tmpl, dt := range c.deps {
-		dep, err := c.opts.Engine.PossiblyDependent(tmpl, w.SQL)
-		if err != nil {
-			c.mu.Unlock()
-			return 0, err
-		}
-		if !dep {
-			continue
-		}
-		collect := func(inst *depInstance) {
-			cand := candidate{query: inst.query, pages: make([]string, 0, len(inst.pages))}
-			for page := range inst.pages {
-				cand.pages = append(cand.pages, page)
+	for i := range c.depShards {
+		ds := &c.depShards[i]
+		ds.mu.Lock()
+		for tmpl, dt := range ds.deps {
+			dep, derr := c.opts.Engine.PossiblyDependent(tmpl, w.SQL)
+			if derr != nil {
+				ds.mu.Unlock()
+				return 0, derr
 			}
-			candidates = append(candidates, cand)
-		}
-		probed := false
-		if useProbes && dt.info != nil {
-			if p, hasProbe := dt.info.Probes[pw.Table()]; hasProbe {
-				if keys, bounded := pw.ProbeKeys(p.Col); bounded {
-					seen := make(map[*depInstance]bool)
-					for _, key := range keys {
-						for _, inst := range dt.probeIdx[pw.Table()][key] {
-							if !seen[inst] {
-								seen[inst] = true
-								collect(inst)
+			if !dep {
+				continue
+			}
+			collect := func(inst *depInstance) {
+				cand := candidate{query: inst.query, pages: make([]string, 0, len(inst.pages))}
+				for page := range inst.pages {
+					cand.pages = append(cand.pages, page)
+				}
+				candidates = append(candidates, cand)
+			}
+			probed := false
+			if useProbes && dt.info != nil {
+				if p, hasProbe := dt.info.Probes[pw.Table()]; hasProbe {
+					if keys, bounded := pw.ProbeKeys(p.Col); bounded {
+						seen := make(map[*depInstance]bool)
+						for _, key := range keys {
+							for _, inst := range dt.probeIdx[pw.Table()][key] {
+								if !seen[inst] {
+									seen[inst] = true
+									collect(inst)
+								}
 							}
 						}
+						probed = true
 					}
-					probed = true
+				}
+			}
+			if !probed {
+				for _, inst := range dt.instances {
+					collect(inst)
 				}
 			}
 		}
-		if !probed {
-			for _, inst := range dt.instances {
-				collect(inst)
-			}
-		}
+		ds.mu.Unlock()
 	}
-	c.mu.Unlock()
 
 	victims := make(map[string]bool)
 	for _, cand := range candidates {
@@ -390,15 +514,16 @@ func (c *Cache) InvalidateWrite(w analysis.WriteCapture) (int, error) {
 	}
 
 	n := 0
-	c.mu.Lock()
 	for key := range victims {
-		if el, ok := c.pages[key]; ok {
-			c.removeEntryLocked(el)
-			c.invalidations++
+		s := c.pageShard(key)
+		s.mu.Lock()
+		if el, ok := s.pages[key]; ok {
+			c.removeEntryLocked(s, el)
+			c.invalidations.Add(1)
 			n++
 		}
+		s.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return n, nil
 }
 
@@ -406,40 +531,46 @@ func (c *Cache) InvalidateWrite(w analysis.WriteCapture) (int, error) {
 // page was removed. This is the developer-facing escape hatch the paper's
 // §8 describes for externally-driven invalidation (e.g. database triggers).
 func (c *Cache) InvalidateKey(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.pages[key]
+	s := c.pageShard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.pages[key]
 	if !ok {
 		return false
 	}
-	c.removeEntryLocked(el)
-	c.invalidations++
+	c.removeEntryLocked(s, el)
+	c.invalidations.Add(1)
 	return true
 }
 
-// Flush empties the cache.
+// Flush empties the cache. Entries are removed shard by shard through the
+// regular removal path, so the dependency table stays consistent; pages
+// inserted concurrently with the flush may survive, as they would had they
+// been inserted just after it.
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.pages = make(map[string]*list.Element)
-	c.order = list.New()
-	c.deps = make(map[string]*depTemplate)
+	for i := range c.pageShards {
+		s := &c.pageShards[i]
+		s.mu.Lock()
+		for s.order.Front() != nil {
+			c.removeEntryLocked(s, s.order.Front())
+		}
+		s.mu.Unlock()
+	}
 }
 
 // Len returns the current number of cached pages.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.pages)
+	return int(c.entries.Load())
 }
 
 // Contains reports whether key is cached (without touching recency state or
 // hit/miss counters). Expired entries report false.
 func (c *Cache) Contains(key string) bool {
 	now := c.opts.Clock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.pages[key]
+	s := c.pageShard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.pages[key]
 	if !ok {
 		return false
 	}
@@ -449,75 +580,122 @@ func (c *Cache) Contains(key string) bool {
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	nInst := 0
-	for _, dt := range c.deps {
-		nInst += len(dt.instances)
+	st := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Inserts:       c.inserts.Load(),
+		Invalidations: c.invalidations.Load(),
+		Evictions:     c.evictions.Load(),
+		Expirations:   c.expirations.Load(),
+		WritesSeen:    c.writesSeen.Load(),
+		Entries:       int(c.entries.Load()),
 	}
-	return Stats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Inserts:       c.inserts,
-		Invalidations: c.invalidations,
-		Evictions:     c.evictions,
-		Expirations:   c.expirations,
-		WritesSeen:    c.writesSeen,
-		Entries:       len(c.pages),
-		DepTemplates:  len(c.deps),
-		DepInstances:  nInst,
+	for i := range c.depShards {
+		ds := &c.depShards[i]
+		ds.mu.Lock()
+		st.DepTemplates += len(ds.deps)
+		for _, dt := range ds.deps {
+			st.DepInstances += len(dt.instances)
+		}
+		ds.mu.Unlock()
 	}
+	return st
 }
 
-// removeEntryLocked unlinks an entry from the page table, the order list and
-// the dependency table. The caller holds c.mu.
-func (c *Cache) removeEntryLocked(el *list.Element) {
+// removeEntryLocked unlinks an entry from its shard's page table and order
+// list, releases its capacity slot, and clears its dependency links. The
+// caller holds s.mu; dependency shard locks nest inside it.
+func (c *Cache) removeEntryLocked(s *pageShard, el *list.Element) {
+	c.detachEntryLocked(s, el)
+	c.entries.Add(-1)
+}
+
+// detachEntryLocked is removeEntryLocked without releasing the capacity
+// slot — used by replacement, which hands the slot to the new entry.
+func (c *Cache) detachEntryLocked(s *pageShard, el *list.Element) {
 	e := el.Value.(*Entry)
-	c.order.Remove(el)
-	delete(c.pages, e.Key)
+	s.order.Remove(el)
+	delete(s.pages, e.Key)
 	for _, d := range e.Deps {
-		dt := c.deps[d.SQL]
-		if dt == nil {
-			continue
-		}
-		ak := argsKey(d.Args)
-		inst := dt.instances[ak]
-		if inst == nil {
-			continue
-		}
-		delete(inst.pages, e.Key)
-		if len(inst.pages) == 0 {
-			dt.removeInstance(ak, inst)
-		}
-		if len(dt.instances) == 0 {
-			delete(c.deps, d.SQL)
-		}
-	}
-}
-
-// evictOneLocked removes one page according to the replacement policy. The
-// caller holds c.mu and guarantees the cache is non-empty.
-func (c *Cache) evictOneLocked() {
-	var victim *list.Element
-	switch c.opts.Replacement {
-	case LRU, FIFO:
-		// LRU keeps the order list in recency order (MoveToBack on hit);
-		// FIFO never reorders. Either way the front is the victim.
-		victim = c.order.Front()
-	case LFU:
-		minHits := ^uint64(0)
-		for el := c.order.Front(); el != nil; el = el.Next() {
-			e := el.Value.(*Entry)
-			if e.hits < minHits {
-				minHits = e.hits
-				victim = el
+		ds := c.depShard(d.SQL)
+		ds.mu.Lock()
+		if dt := ds.deps[d.SQL]; dt != nil {
+			ak := argsKey(d.Args)
+			if inst := dt.instances[ak]; inst != nil {
+				delete(inst.pages, e.Key)
+				if len(inst.pages) == 0 {
+					dt.removeInstance(ak, inst)
+				}
+				if len(dt.instances) == 0 {
+					delete(ds.deps, d.SQL)
+				}
 			}
 		}
+		ds.mu.Unlock()
 	}
-	if victim != nil {
-		c.removeEntryLocked(victim)
-		c.evictions++
+}
+
+// evictOne removes the globally-best victim under the replacement policy,
+// locking one shard at a time: fronts (LRU/FIFO) or full scans (LFU) pick
+// the candidate, then the winning shard is re-locked to evict. It reports
+// whether a page was removed.
+func (c *Cache) evictOne() bool {
+	type pick struct {
+		shard *pageShard
+		key   string
+		hits  uint64
+		seq   uint64
 	}
+	var best *pick
+	better := func(p pick) bool {
+		if best == nil {
+			return true
+		}
+		if c.opts.Replacement == LFU && p.hits != best.hits {
+			return p.hits < best.hits
+		}
+		return p.seq < best.seq
+	}
+	for i := range c.pageShards {
+		s := &c.pageShards[i]
+		s.mu.Lock()
+		switch c.opts.Replacement {
+		case LRU, FIFO:
+			// LRU keeps each shard's list in recency order (MoveToBack on
+			// hit refreshes seq); FIFO never reorders. Either way the shard
+			// front carries the shard-minimal seq.
+			if el := s.order.Front(); el != nil {
+				e := el.Value.(*Entry)
+				if p := (pick{shard: s, key: e.Key, seq: e.seq}); better(p) {
+					best = &p
+				}
+			}
+		case LFU:
+			for el := s.order.Front(); el != nil; el = el.Next() {
+				e := el.Value.(*Entry)
+				if p := (pick{shard: s, key: e.Key, hits: e.hits, seq: e.seq}); better(p) {
+					best = &p
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	if best == nil {
+		return false
+	}
+	s := best.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The victim may have been removed (or, for LRU, touched) since the
+	// scan; evicting whatever entry now holds the key is still sound — any
+	// resident entry is a valid victim — but a vanished key means retry.
+	el, ok := s.pages[best.key]
+	if !ok {
+		return false
+	}
+	c.removeEntryLocked(s, el)
+	c.evictions.Add(1)
+	return true
 }
 
 func copyDeps(deps []analysis.Query) []analysis.Query {

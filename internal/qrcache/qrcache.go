@@ -9,17 +9,26 @@
 // It composes with the weave package: stack it under the RecordingConn
 // (weave.NewConn(qrcache.New(db, engine, n), engine)) so pages that the
 // front-end cache cannot hold still skip the database on repeated queries.
+//
+// Like the page cache, the instance map is lock-striped over power-of-two
+// shards keyed by an FNV hash of the (template, vector) key, and the
+// per-template probe index over shards keyed by the template, so concurrent
+// queries on distinct keys never contend. Lock order is always entry shard
+// -> template shard, never the reverse.
 package qrcache
 
 import (
 	"container/list"
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/memdb"
 	"autowebcache/internal/sqlparser"
+	"autowebcache/internal/stripe"
 )
 
 // Stats are cumulative counters of the result cache.
@@ -33,9 +42,13 @@ type Stats struct {
 
 // entry is one cached result set.
 type entry struct {
+	key   string // full cache key: template + "\x00" + argsKey
 	query analysis.Query
 	rows  *memdb.Rows
-	el    *list.Element // position in the LRU list
+	el    *list.Element // position in the owning shard's LRU list
+	// seq is the entry's position in the global LRU order (refreshed on
+	// every hit); the globally-minimal seq is the eviction victim.
+	seq uint64
 }
 
 // tmplGroup groups a template's cached instances with a per-table probe
@@ -99,65 +112,101 @@ func (g *tmplGroup) remove(argsKey string, e *entry) {
 	}
 }
 
+// qrShard is one stripe of the instance map with its slice of the LRU list.
+type qrShard struct {
+	mu      sync.Mutex
+	entries map[string]*entry // full key -> entry
+	lru     *list.List        // front = shard's LRU entry; values are *entry
+}
+
+// tmplShard is one stripe of the template -> instances index.
+type tmplShard struct {
+	mu     sync.Mutex
+	groups map[string]*tmplGroup
+}
+
 // Conn is a caching connection. It is safe for concurrent use.
 type Conn struct {
 	base   memdb.Conn
 	engine *analysis.Engine
 	max    int
+	mask   uint32
 
-	parse   sqlparser.Cache
-	canonMu sync.RWMutex
-	canon   map[string]string
+	parse sqlparser.Cache
+	canon sync.Map // raw SQL -> canonical template text
 
-	mu         sync.Mutex
-	entries    map[string]*entry     // full key -> entry
-	byTemplate map[string]*tmplGroup // template -> instances + probe indexes
-	lru        *list.List            // front = next victim; values are full keys
+	shards     []qrShard
+	tmplShards []tmplShard
 
-	hits          uint64
-	misses        uint64
-	invalidations uint64
-	evictions     uint64
+	seq   atomic.Uint64
+	count atomic.Int64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+	evictions     atomic.Uint64
 }
 
 var _ memdb.Conn = (*Conn)(nil)
 
 // New wraps base with a result cache of at most maxEntries result sets
-// (0 = unbounded). The engine decides write/read intersections.
+// (0 = unbounded). The engine decides write/read intersections. The stripe
+// count defaults to GOMAXPROCS rounded to a power of two; use
+// NewWithShards to pin it.
 func New(base memdb.Conn, engine *analysis.Engine, maxEntries int) (*Conn, error) {
+	return NewWithShards(base, engine, maxEntries, 0)
+}
+
+// NewWithShards is New with an explicit lock-stripe count (rounded up to a
+// power of two; 0 picks GOMAXPROCS rounded likewise).
+func NewWithShards(base memdb.Conn, engine *analysis.Engine, maxEntries, shards int) (*Conn, error) {
 	if base == nil || engine == nil {
 		return nil, fmt.Errorf("qrcache: base connection and engine are required")
 	}
 	if maxEntries < 0 {
 		return nil, fmt.Errorf("qrcache: negative maxEntries")
 	}
-	return &Conn{
+	if shards < 0 {
+		return nil, fmt.Errorf("qrcache: negative shards")
+	}
+	n := stripe.Count(shards)
+	c := &Conn{
 		base:       base,
 		engine:     engine,
 		max:        maxEntries,
-		canon:      make(map[string]string),
-		entries:    make(map[string]*entry),
-		byTemplate: make(map[string]*tmplGroup),
-		lru:        list.New(),
-	}, nil
+		mask:       uint32(n - 1),
+		shards:     make([]qrShard, n),
+		tmplShards: make([]tmplShard, n),
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry)
+		c.shards[i].lru = list.New()
+	}
+	for i := range c.tmplShards {
+		c.tmplShards[i].groups = make(map[string]*tmplGroup)
+	}
+	return c, nil
+}
+
+func (c *Conn) shard(key string) *qrShard {
+	return &c.shards[stripe.Hash(key)&c.mask]
+}
+
+func (c *Conn) tmplShard(tmpl string) *tmplShard {
+	return &c.tmplShards[stripe.Hash(tmpl)&c.mask]
 }
 
 // canonicalize maps raw SQL to canonical template text.
 func (c *Conn) canonicalize(sql string) (string, error) {
-	c.canonMu.RLock()
-	got, ok := c.canon[sql]
-	c.canonMu.RUnlock()
-	if ok {
-		return got, nil
+	if got, ok := c.canon.Load(sql); ok {
+		return got.(string), nil
 	}
 	stmt, err := c.parse.Get(sql)
 	if err != nil {
 		return "", err
 	}
 	text := stmt.String()
-	c.canonMu.Lock()
-	c.canon[sql] = text
-	c.canonMu.Unlock()
+	c.canon.Store(sql, text)
 	return text, nil
 }
 
@@ -192,16 +241,23 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows,
 	ak := memdb.KeyOfValues(vals)
 	key := tmpl + "\x00" + ak
 
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.hits++
-		c.lru.MoveToBack(e.el)
-		rows := copyRows(e.rows)
-		c.mu.Unlock()
-		return rows, nil
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		// Recency only matters when eviction can happen; an unbounded cache
+		// never consults the list order.
+		if c.max > 0 {
+			s.lru.MoveToBack(e.el)
+			e.seq = c.seq.Add(1)
+		}
+		rows := e.rows
+		s.mu.Unlock()
+		c.hits.Add(1)
+		// Cached rows are immutable; the defensive copy runs outside the lock.
+		return copyRows(rows), nil
 	}
-	c.misses++
-	c.mu.Unlock()
+	s.mu.Unlock()
+	c.misses.Add(1)
 
 	rows, err := c.base.Query(ctx, sql, args...)
 	if err != nil {
@@ -210,29 +266,59 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows,
 	if ctx.Value(noStoreKey{}) != nil {
 		return rows, nil
 	}
-	e := &entry{query: analysis.Query{SQL: tmpl, Args: vals}, rows: copyRows(rows)}
-	c.mu.Lock()
-	if _, exists := c.entries[key]; !exists {
-		if c.max > 0 {
-			for len(c.entries) >= c.max {
-				c.evictOneLocked()
-			}
-		}
-		e.el = c.lru.PushBack(key)
-		c.entries[key] = e
-		g := c.byTemplate[tmpl]
-		if g == nil {
-			info, ierr := c.engine.Template(tmpl)
-			if ierr != nil {
-				info = nil
-			}
-			g = newTmplGroup(info)
-			c.byTemplate[tmpl] = g
-		}
-		g.add(ak, e)
+	e := &entry{key: key, query: analysis.Query{SQL: tmpl, Args: vals}, rows: copyRows(rows)}
+	c.reserveSlot()
+	s.mu.Lock()
+	if cur, exists := s.entries[key]; exists {
+		// A concurrent query cached the same instance first; replace it so
+		// the reserved slot is accounted to ours.
+		c.removeLocked(s, cur)
 	}
-	c.mu.Unlock()
+	e.seq = c.seq.Add(1)
+	e.el = s.lru.PushBack(e)
+	s.entries[key] = e
+	c.addToGroupLocked(tmpl, ak, e)
+	s.mu.Unlock()
 	return rows, nil
+}
+
+// reserveSlot claims one unit of capacity, evicting until a slot is free.
+func (c *Conn) reserveSlot() {
+	max := int64(c.max)
+	if max <= 0 {
+		c.count.Add(1)
+		return
+	}
+	for {
+		n := c.count.Load()
+		if n < max {
+			if c.count.CompareAndSwap(n, n+1) {
+				return
+			}
+			continue
+		}
+		if !c.evictOne() {
+			runtime.Gosched() // slots held by in-flight inserts; let them land
+		}
+	}
+}
+
+// addToGroupLocked links an entry into its template group. The caller holds
+// the entry's shard lock; the template shard lock nests inside it.
+func (c *Conn) addToGroupLocked(tmpl, ak string, e *entry) {
+	ts := c.tmplShard(tmpl)
+	ts.mu.Lock()
+	g := ts.groups[tmpl]
+	if g == nil {
+		info, ierr := c.engine.Template(tmpl)
+		if ierr != nil {
+			info = nil
+		}
+		g = newTmplGroup(info)
+		ts.groups[tmpl] = g
+	}
+	g.add(ak, e)
+	ts.mu.Unlock()
 }
 
 // Exec forwards a write and invalidates every cached result set the write
@@ -280,44 +366,47 @@ func (c *Conn) invalidate(w analysis.WriteCapture) (int, error) {
 	}
 	// ColumnOnly ignores bound values; the probe index must not narrow it.
 	useProbes := c.engine.Strategy() != analysis.StrategyColumnOnly
-	c.mu.Lock()
 	var candidates []cand
-	for tmpl, g := range c.byTemplate {
-		dep, err := c.engine.PossiblyDependent(tmpl, w.SQL)
-		if err != nil {
-			c.mu.Unlock()
-			return 0, err
-		}
-		if !dep {
-			continue
-		}
-		collect := func(ak string, e *entry) {
-			candidates = append(candidates, cand{key: tmpl + "\x00" + ak, query: e.query})
-		}
-		probed := false
-		if useProbes && g.info != nil {
-			if p, hasProbe := g.info.Probes[pw.Table()]; hasProbe {
-				if keys, bounded := pw.ProbeKeys(p.Col); bounded {
-					seen := make(map[string]bool)
-					for _, key := range keys {
-						for ak, e := range g.probeIdx[pw.Table()][key] {
-							if !seen[ak] {
-								seen[ak] = true
-								collect(ak, e)
+	for i := range c.tmplShards {
+		ts := &c.tmplShards[i]
+		ts.mu.Lock()
+		for tmpl, g := range ts.groups {
+			dep, derr := c.engine.PossiblyDependent(tmpl, w.SQL)
+			if derr != nil {
+				ts.mu.Unlock()
+				return 0, derr
+			}
+			if !dep {
+				continue
+			}
+			collect := func(ak string, e *entry) {
+				candidates = append(candidates, cand{key: tmpl + "\x00" + ak, query: e.query})
+			}
+			probed := false
+			if useProbes && g.info != nil {
+				if p, hasProbe := g.info.Probes[pw.Table()]; hasProbe {
+					if keys, bounded := pw.ProbeKeys(p.Col); bounded {
+						seen := make(map[string]bool)
+						for _, key := range keys {
+							for ak, e := range g.probeIdx[pw.Table()][key] {
+								if !seen[ak] {
+									seen[ak] = true
+									collect(ak, e)
+								}
 							}
 						}
+						probed = true
 					}
-					probed = true
+				}
+			}
+			if !probed {
+				for ak, e := range g.instances {
+					collect(ak, e)
 				}
 			}
 		}
-		if !probed {
-			for ak, e := range g.instances {
-				collect(ak, e)
-			}
-		}
+		ts.mu.Unlock()
 	}
-	c.mu.Unlock()
 
 	var victims []string
 	for _, cd := range candidates {
@@ -330,63 +419,92 @@ func (c *Conn) invalidate(w analysis.WriteCapture) (int, error) {
 		}
 	}
 	n := 0
-	c.mu.Lock()
 	for _, key := range victims {
-		if c.removeLocked(key) {
-			c.invalidations++
+		s := c.shard(key)
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			c.removeLocked(s, e)
+			c.invalidations.Add(1)
 			n++
 		}
+		s.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return n, nil
 }
 
-// removeLocked unlinks one entry; the caller holds c.mu.
-func (c *Conn) removeLocked(key string) bool {
-	e, ok := c.entries[key]
-	if !ok {
-		return false
-	}
-	delete(c.entries, key)
-	c.lru.Remove(e.el)
+// removeLocked unlinks one entry from its shard and template group,
+// releasing its capacity slot. The caller holds s.mu; the template shard
+// lock nests inside it.
+func (c *Conn) removeLocked(s *qrShard, e *entry) {
+	delete(s.entries, e.key)
+	s.lru.Remove(e.el)
+	c.count.Add(-1)
 	tmpl := e.query.SQL
-	if g := c.byTemplate[tmpl]; g != nil {
+	ts := c.tmplShard(tmpl)
+	ts.mu.Lock()
+	if g := ts.groups[tmpl]; g != nil {
 		g.remove(memdb.KeyOfValues(e.query.Args), e)
 		if len(g.instances) == 0 {
-			delete(c.byTemplate, tmpl)
+			delete(ts.groups, tmpl)
 		}
 	}
+	ts.mu.Unlock()
+}
+
+// evictOne removes the result set with the globally-minimal LRU sequence,
+// locking one shard at a time. It reports whether an entry was removed.
+func (c *Conn) evictOne() bool {
+	var (
+		bestShard *qrShard
+		bestKey   string
+		bestSeq   uint64
+		found     bool
+	)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if front := s.lru.Front(); front != nil {
+			e := front.Value.(*entry)
+			if !found || e.seq < bestSeq {
+				found, bestShard, bestKey, bestSeq = true, s, e.key, e.seq
+			}
+		}
+		s.mu.Unlock()
+	}
+	if !found {
+		return false
+	}
+	bestShard.mu.Lock()
+	defer bestShard.mu.Unlock()
+	e, ok := bestShard.entries[bestKey]
+	if !ok {
+		return false // vanished since the scan; caller retries
+	}
+	c.removeLocked(bestShard, e)
+	c.evictions.Add(1)
 	return true
 }
 
-func (c *Conn) evictOneLocked() {
-	front := c.lru.Front()
-	if front == nil {
-		return
-	}
-	if c.removeLocked(front.Value.(string)) {
-		c.evictions++
-	}
-}
-
-// flush drops every cached result set.
+// flush drops every cached result set, shard by shard through the regular
+// removal path so the template index stays consistent.
 func (c *Conn) flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*entry)
-	c.byTemplate = make(map[string]*tmplGroup)
-	c.lru = list.New()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for s.lru.Front() != nil {
+			c.removeLocked(s, s.lru.Front().Value.(*entry))
+		}
+		s.mu.Unlock()
+	}
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Conn) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return Stats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Invalidations: c.invalidations,
-		Evictions:     c.evictions,
-		Entries:       len(c.entries),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Evictions:     c.evictions.Load(),
+		Entries:       int(c.count.Load()),
 	}
 }

@@ -33,7 +33,9 @@ func newFixture(t *testing.T, maxEntries int) (*memdb.DB, *Conn) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(db, engine, maxEntries)
+	// Pin 8 stripes so the cross-shard paths are exercised even when the
+	// test host has GOMAXPROCS=1.
+	c, err := NewWithShards(db, engine, maxEntries, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +53,9 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := New(db, engine, -1); err == nil {
 		t.Error("expected error for negative capacity")
+	}
+	if _, err := NewWithShards(db, engine, 0, -1); err == nil {
+		t.Error("expected error for negative shards")
 	}
 }
 

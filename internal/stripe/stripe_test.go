@@ -1,0 +1,25 @@
+package stripe
+
+import "testing"
+
+func TestCount(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 250: 256, 1000: 256}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %d, want %d", in, got, want)
+		}
+	}
+	n := Count(0) // GOMAXPROCS-derived: must still be a power of two in range
+	if n < 1 || n > MaxShards || n&(n-1) != 0 {
+		t.Errorf("Count(0) = %d, not a power of two in [1,%d]", n, MaxShards)
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	if Hash("") != 2166136261 {
+		t.Errorf("FNV-1a offset basis: got %d", Hash(""))
+	}
+	if Hash("/page?x=1") == Hash("/page?x=2") {
+		t.Error("adjacent keys collide")
+	}
+}

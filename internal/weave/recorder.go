@@ -101,9 +101,9 @@ type RecordingConn struct {
 	base   memdb.Conn
 	engine *analysis.Engine
 	parse  sqlparser.Cache
-	// canonical memoises raw SQL -> canonical template text.
-	canonMu sync.RWMutex
-	canon   map[string]string
+	// canon memoises raw SQL -> canonical template text; a sync.Map keeps
+	// the per-query hot path lock-free once a statement has been seen.
+	canon sync.Map
 }
 
 var _ memdb.Conn = (*RecordingConn)(nil)
@@ -111,7 +111,7 @@ var _ memdb.Conn = (*RecordingConn)(nil)
 // NewConn wraps a database connection with query capture for the given
 // analysis engine.
 func NewConn(base memdb.Conn, engine *analysis.Engine) *RecordingConn {
-	return &RecordingConn{base: base, engine: engine, canon: make(map[string]string)}
+	return &RecordingConn{base: base, engine: engine}
 }
 
 // Base returns the wrapped connection.
@@ -120,20 +120,15 @@ func (c *RecordingConn) Base() memdb.Conn { return c.base }
 // canonicalize maps raw SQL to the canonical template text used as the
 // dependency-table key, so equivalent spellings share one template row.
 func (c *RecordingConn) canonicalize(sql string) (string, error) {
-	c.canonMu.RLock()
-	got, ok := c.canon[sql]
-	c.canonMu.RUnlock()
-	if ok {
-		return got, nil
+	if got, ok := c.canon.Load(sql); ok {
+		return got.(string), nil
 	}
 	stmt, err := c.parse.Get(sql)
 	if err != nil {
 		return "", err
 	}
 	text := stmt.String()
-	c.canonMu.Lock()
-	c.canon[sql] = text
-	c.canonMu.Unlock()
+	c.canon.Store(sql, text)
 	return text, nil
 }
 

@@ -3,6 +3,7 @@ package weave
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -93,75 +94,114 @@ func (s *InteractionStats) add(o *InteractionStats) {
 	s.PagesInvalidated += o.PagesInvalidated
 }
 
-// Stats collects per-interaction statistics. It is safe for concurrent use.
+// counters is the lock-free accumulator behind one interaction's stats:
+// every field is an atomic so the per-request hot path never takes a lock.
+type counters struct {
+	requests     atomic.Uint64
+	hits         atomic.Uint64
+	semanticHits atomic.Uint64
+	misses       atomic.Uint64
+	writes       atomic.Uint64
+	uncacheable  atomic.Uint64
+	errors       atomic.Uint64
+
+	totalNs atomic.Int64
+	hitNs   atomic.Int64
+	missNs  atomic.Int64
+
+	pagesInvalidated atomic.Uint64
+}
+
+// snapshot materialises the counters as an InteractionStats value. The
+// fields are loaded individually, so a snapshot taken concurrently with
+// recording is per-field (not cross-field) consistent — same as any
+// monitoring read of live counters.
+func (c *counters) snapshot(name string) InteractionStats {
+	return InteractionStats{
+		Name:             name,
+		Requests:         c.requests.Load(),
+		Hits:             c.hits.Load(),
+		SemanticHits:     c.semanticHits.Load(),
+		Misses:           c.misses.Load(),
+		Writes:           c.writes.Load(),
+		Uncacheable:      c.uncacheable.Load(),
+		Errors:           c.errors.Load(),
+		TotalTime:        time.Duration(c.totalNs.Load()),
+		HitTime:          time.Duration(c.hitNs.Load()),
+		MissTime:         time.Duration(c.missNs.Load()),
+		PagesInvalidated: c.pagesInvalidated.Load(),
+	}
+}
+
+// Stats collects per-interaction statistics. It is safe for concurrent use;
+// recording is lock-free (a sync.Map read plus atomic adds).
 type Stats struct {
-	mu sync.Mutex
-	m  map[string]*InteractionStats
+	m sync.Map // interaction name -> *counters
 }
 
 // NewStats creates an empty collector.
 func NewStats() *Stats {
-	return &Stats{m: make(map[string]*InteractionStats)}
+	return &Stats{}
+}
+
+// get returns the interaction's accumulator, creating it on first use.
+func (s *Stats) get(name string) *counters {
+	if c, ok := s.m.Load(name); ok {
+		return c.(*counters)
+	}
+	c, _ := s.m.LoadOrStore(name, &counters{})
+	return c.(*counters)
 }
 
 // Record accounts one request.
 func (s *Stats) Record(name string, outcome Outcome, d time.Duration, invalidated int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	is := s.m[name]
-	if is == nil {
-		is = &InteractionStats{Name: name}
-		s.m[name] = is
-	}
-	is.Requests++
-	is.TotalTime += d
+	c := s.get(name)
+	c.requests.Add(1)
+	c.totalNs.Add(int64(d))
 	switch outcome {
 	case OutcomeHit:
-		is.Hits++
-		is.HitTime += d
+		c.hits.Add(1)
+		c.hitNs.Add(int64(d))
 	case OutcomeSemanticHit:
-		is.SemanticHits++
-		is.HitTime += d
+		c.semanticHits.Add(1)
+		c.hitNs.Add(int64(d))
 	case OutcomeMiss:
-		is.Misses++
-		is.MissTime += d
+		c.misses.Add(1)
+		c.missNs.Add(int64(d))
 	case OutcomeWrite:
-		is.Writes++
-		is.PagesInvalidated += uint64(invalidated)
+		c.writes.Add(1)
+		c.pagesInvalidated.Add(uint64(invalidated))
 	case OutcomeUncacheable, OutcomeNoCache:
-		is.Uncacheable++
+		c.uncacheable.Add(1)
 	case OutcomeError:
-		is.Errors++
+		c.errors.Add(1)
 	}
 }
 
 // Snapshot returns a copy of the per-interaction statistics, sorted by name.
 func (s *Stats) Snapshot() []InteractionStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]InteractionStats, 0, len(s.m))
-	for _, is := range s.m {
-		out = append(out, *is)
-	}
+	var out []InteractionStats
+	s.m.Range(func(k, v any) bool {
+		out = append(out, v.(*counters).snapshot(k.(string)))
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // Totals aggregates all interactions into one record named "TOTAL".
 func (s *Stats) Totals() InteractionStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	total := InteractionStats{Name: "TOTAL"}
-	for _, is := range s.m {
-		total.add(is)
-	}
+	s.m.Range(func(k, v any) bool {
+		is := v.(*counters).snapshot(k.(string))
+		total.add(&is)
+		return true
+	})
 	return total
 }
 
 // Reset clears all statistics (used between the warm-up and measurement
 // phases of the experiments, mirroring the paper's 15-minute warm-up).
 func (s *Stats) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m = make(map[string]*InteractionStats)
+	s.m.Clear()
 }
