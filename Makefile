@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench experiments
+.PHONY: check build vet test race bench benchsmoke experiments
 
 check: build vet race
 
@@ -17,7 +17,11 @@ race:
 	$(GO) test -race -count=1 ./...
 
 bench:
-	$(GO) test -bench . -run '^$$' -benchtime 1s .
+	$(GO) test -bench . -run '^$$' -benchtime 1s -benchmem .
+	$(GO) run ./cmd/benchjson -out BENCH_2.json
+
+benchsmoke:
+	$(GO) test -bench 'Cache|Parallel|Coalesced|Qrcache' -run '^$$' -benchtime 100x -benchmem .
 
 experiments:
 	$(GO) run ./cmd/experiments -fast

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"autowebcache"
@@ -12,6 +13,7 @@ import (
 	"autowebcache/internal/bench"
 	"autowebcache/internal/cache"
 	"autowebcache/internal/memdb"
+	"autowebcache/internal/qrcache"
 	"autowebcache/internal/sqlparser"
 )
 
@@ -134,7 +136,7 @@ func BenchmarkCacheLookupHit(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, ok := c.Lookup("/page?x=1"); !ok {
+		if _, ok := c.Lookup("/page?x=1"); !ok {
 			b.Fatal("unexpected miss")
 		}
 	}
@@ -218,7 +220,7 @@ func BenchmarkLookupParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if _, _, ok := c.Lookup(keys[i&mask]); !ok {
+			if _, ok := c.Lookup(keys[i&mask]); !ok {
 				b.Fatal("unexpected miss")
 			}
 			i += 7 // co-prime stride: spread goroutines over distinct keys
@@ -301,5 +303,104 @@ func BenchmarkWovenHitPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rr := httptest.NewRecorder()
 		h.ServeHTTP(rr, req)
+	}
+}
+
+// BenchmarkQrcacheHit measures a warm query-result-cache hit of a 100-row
+// result set. Since the zero-copy rework the hit returns the stored
+// immutable snapshot by reference, so allocations no longer scale with the
+// number of rows (previously one per row plus the column slice).
+func BenchmarkQrcacheHit(b *testing.B) {
+	db := memdb.New()
+	db.MustCreateTable(memdb.TableSpec{
+		Name: "t",
+		Columns: []memdb.Column{
+			{Name: "id", Type: memdb.TypeInt, AutoIncrement: true},
+			{Name: "grp", Type: memdb.TypeInt},
+			{Name: "val", Type: memdb.TypeString},
+		},
+		Indexed: []string{"grp"},
+	})
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec(ctx, "INSERT INTO t (grp, val) VALUES (?, ?)", 0, "payload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng, err := analysis.NewEngine(analysis.StrategyWhereMatch, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qc, err := qrcache.New(db, eng, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const q = "SELECT id, val FROM t WHERE grp = ?"
+	if _, err := qc.Query(ctx, q, 0); err != nil {
+		b.Fatal(err) // prime
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := qc.Query(ctx, q, 0)
+		if err != nil || rows.Len() != 100 {
+			b.Fatalf("hit failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkCoalescedMiss measures the thundering-herd path: every iteration
+// flushes the cache and fires 8 concurrent requests at one cold key; the
+// single-flight advice runs the handler once and the other 7 requests share
+// the inserted body. Reported ns/op is per 8-request round.
+func BenchmarkCoalescedMiss(b *testing.B) {
+	db := autowebcache.NewDB()
+	if err := db.CreateTable(autowebcache.TableSpec{
+		Name: "notes",
+		Columns: []autowebcache.Column{
+			{Name: "id", Type: autowebcache.TypeInt, AutoIncrement: true},
+			{Name: "note", Type: autowebcache.TypeString},
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(context.Background(), "INSERT INTO notes (note) VALUES ('x')"); err != nil {
+		b.Fatal(err)
+	}
+	rt, err := autowebcache.New(db, autowebcache.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn := rt.Conn()
+	handlers := []autowebcache.HandlerInfo{{
+		Name: "List", Path: "/list",
+		Fn: func(w http.ResponseWriter, r *http.Request) {
+			rows, err := conn.Query(r.Context(), "SELECT note FROM notes")
+			if err != nil {
+				http.Error(w, err.Error(), 500)
+				return
+			}
+			_, _ = w.Write([]byte(rows.Str(0, 0)))
+		},
+	}}
+	h, err := rt.Weave(handlers, autowebcache.Rules{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const herd = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Cache().Flush()
+		var wg sync.WaitGroup
+		for g := 0; g < herd; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodGet, "/list", nil)
+				h.ServeHTTP(httptest.NewRecorder(), req)
+			}()
+		}
+		wg.Wait()
 	}
 }

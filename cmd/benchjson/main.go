@@ -1,0 +1,29 @@
+// Command benchjson runs the hit-path micro-benchmarks (page-cache hit,
+// miss+insert, query-result-cache hit, coalesced miss, mixed parallel) and
+// writes the results — ns/op, allocs/op, B/op — as JSON, so each PR's perf
+// trajectory is recorded machine-readably (the BENCH_N.json convention used
+// by `make bench`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autowebcache/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output JSON path")
+	flag.Parse()
+	recs, err := bench.WriteHitPathJSON(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, r := range recs {
+		fmt.Printf("%-18s %10.0f ns/op %6d allocs/op %8d B/op  %s\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Note)
+	}
+	fmt.Println("wrote", *out)
+}

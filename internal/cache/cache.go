@@ -85,6 +85,21 @@ type Options struct {
 	ForceMiss bool
 }
 
+// Page is the caller-facing view of one cached page: the stored body slice
+// and content type, handed out by reference.
+//
+// Ownership contract: the body is copied exactly once, at Insert, and is
+// immutable from then on. Lookup returns the stored slice itself — no
+// per-hit copy — so callers must treat Page.Body as read-only. Mutating it
+// is a data race and corrupts the cache for every later reader. Entries are
+// only ever removed whole (invalidation, eviction, expiry, flush), never
+// rewritten in place, so views returned before a removal stay valid and
+// self-consistent for as long as the caller holds them.
+type Page struct {
+	Body        []byte
+	ContentType string
+}
+
 // Entry is one cached page together with its dependency information.
 type Entry struct {
 	Key         string
@@ -288,12 +303,20 @@ func (c *Cache) depShard(tmpl string) *depShard {
 // Engine returns the cache's analysis engine.
 func (c *Cache) Engine() *analysis.Engine { return c.opts.Engine }
 
+// ForceMiss reports whether the cache is in the forced-miss measurement
+// mode (every Lookup misses). Interposition layers use it to disable
+// optimisations — like single-flight miss coalescing — that would skip the
+// handler executions the mode exists to measure.
+func (c *Cache) ForceMiss() bool { return c.opts.ForceMiss }
+
 // Shards returns the lock-stripe count.
 func (c *Cache) Shards() int { return len(c.pageShards) }
 
 // Lookup returns the cached page for key, if present and not expired
-// (§3.1 "cache checks").
-func (c *Cache) Lookup(key string) (body []byte, contentType string, ok bool) {
+// (§3.1 "cache checks"). The returned Page is a zero-copy view of the
+// stored entry: its body is shared and immutable (see Page), so the hit
+// path performs no allocation.
+func (c *Cache) Lookup(key string) (Page, bool) {
 	now := c.opts.Clock()
 	s := c.pageShard(key)
 	s.mu.Lock()
@@ -301,7 +324,7 @@ func (c *Cache) Lookup(key string) (body []byte, contentType string, ok bool) {
 	if !present || c.opts.ForceMiss {
 		s.mu.Unlock()
 		c.misses.Add(1)
-		return nil, "", false
+		return Page{}, false
 	}
 	e := el.Value.(*Entry)
 	if !e.ExpiresAt.IsZero() && now.After(e.ExpiresAt) {
@@ -309,7 +332,7 @@ func (c *Cache) Lookup(key string) (body []byte, contentType string, ok bool) {
 		s.mu.Unlock()
 		c.expirations.Add(1)
 		c.misses.Add(1)
-		return nil, "", false
+		return Page{}, false
 	}
 	e.hits++
 	// Recency only matters when eviction can happen; on an unbounded cache
@@ -318,32 +341,35 @@ func (c *Cache) Lookup(key string) (body []byte, contentType string, ok bool) {
 		s.order.MoveToBack(el)
 		e.seq = c.seq.Add(1)
 	}
-	raw, ctype := e.Body, e.ContentType
+	pg := Page{Body: e.Body, ContentType: e.ContentType}
 	s.mu.Unlock()
 	c.hits.Add(1)
-	// Copy at the boundary: callers own the returned slice. The body is
-	// immutable once inserted, so the copy can run outside the shard lock.
-	out := make([]byte, len(raw))
-	copy(out, raw)
-	return out, ctype, true
+	return pg, true
 }
 
 // Insert stores a page with its dependency information (§3.1 "cache
 // inserts"). ttl > 0 arms an expiry (TTL consistency / semantic windows);
-// ttl == 0 means the entry lives until invalidated or evicted. The body and
-// deps are copied.
-func (c *Cache) Insert(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration) {
+// ttl == 0 means the entry lives until invalidated or evicted.
+//
+// The body is copied exactly once, here; the stored copy is what every
+// later Lookup hands out by reference, and Insert returns the same
+// immutable view so the inserting request can serve (or share) the stored
+// bytes without a second copy. The cache takes ownership of deps — the
+// caller must not retain or mutate the slice (or its Args vectors) after
+// the call.
+func (c *Cache) Insert(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration) Page {
 	now := c.opts.Clock()
 	e := &Entry{
 		Key:         key,
 		Body:        append([]byte(nil), body...),
 		ContentType: contentType,
-		Deps:        copyDeps(deps),
+		Deps:        deps,
 		InsertedAt:  now,
 	}
 	if ttl > 0 {
 		e.ExpiresAt = now.Add(ttl)
 	}
+	stored := Page{Body: e.Body, ContentType: e.ContentType}
 	s := c.pageShard(key)
 	// Replacing a resident key happens atomically under the shard lock,
 	// reusing the old entry's capacity slot: the page never transiently
@@ -355,7 +381,7 @@ func (c *Cache) Insert(key string, body []byte, contentType string, deps []analy
 		c.insertEntryLocked(s, e)
 		s.mu.Unlock()
 		c.inserts.Add(1)
-		return
+		return stored
 	}
 	s.mu.Unlock()
 	c.reserveSlot()
@@ -369,6 +395,7 @@ func (c *Cache) Insert(key string, body []byte, contentType string, deps []analy
 	c.insertEntryLocked(s, e)
 	s.mu.Unlock()
 	c.inserts.Add(1)
+	return stored
 }
 
 // insertEntryLocked links a fully-built entry (whose capacity slot is
@@ -696,14 +723,6 @@ func (c *Cache) evictOne() bool {
 	c.removeEntryLocked(s, el)
 	c.evictions.Add(1)
 	return true
-}
-
-func copyDeps(deps []analysis.Query) []analysis.Query {
-	out := make([]analysis.Query, len(deps))
-	for i, d := range deps {
-		out[i] = analysis.Query{SQL: d.SQL, Args: append([]memdb.Value(nil), d.Args...)}
-	}
-	return out
 }
 
 // argsKey renders a value vector as a map key.

@@ -36,13 +36,13 @@ func wcap(sql string, args ...memdb.Value) analysis.WriteCapture {
 
 func TestLookupMissThenHit(t *testing.T) {
 	c := newTestCache(t, Options{})
-	if _, _, ok := c.Lookup("/page?x=1"); ok {
+	if _, ok := c.Lookup("/page?x=1"); ok {
 		t.Fatal("unexpected hit")
 	}
 	c.Insert("/page?x=1", []byte("<html>1</html>"), "text/html", nil, 0)
-	body, ct, ok := c.Lookup("/page?x=1")
-	if !ok || string(body) != "<html>1</html>" || ct != "text/html" {
-		t.Fatalf("hit: %v %q %q", ok, body, ct)
+	pg, ok := c.Lookup("/page?x=1")
+	if !ok || string(pg.Body) != "<html>1</html>" || pg.ContentType != "text/html" {
+		t.Fatalf("hit: %v %q %q", ok, pg.Body, pg.ContentType)
 	}
 	st := c.Stats()
 	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 || st.Entries != 1 {
@@ -50,14 +50,18 @@ func TestLookupMissThenHit(t *testing.T) {
 	}
 }
 
-func TestLookupReturnsCopy(t *testing.T) {
+// TestLookupReturnsSharedView pins the zero-copy contract: every hit hands
+// out the same stored slice the insert returned, with no per-hit copy.
+func TestLookupReturnsSharedView(t *testing.T) {
 	c := newTestCache(t, Options{})
-	c.Insert("k", []byte("abc"), "text/html", nil, 0)
-	body, _, _ := c.Lookup("k")
-	body[0] = 'X'
-	body2, _, _ := c.Lookup("k")
-	if string(body2) != "abc" {
-		t.Fatal("cached body was mutated through the returned slice")
+	stored := c.Insert("k", []byte("abc"), "text/html", nil, 0)
+	pg1, _ := c.Lookup("k")
+	pg2, _ := c.Lookup("k")
+	if &pg1.Body[0] != &stored.Body[0] || &pg2.Body[0] != &stored.Body[0] {
+		t.Fatal("Lookup copied the body instead of returning the stored view")
+	}
+	if string(pg1.Body) != "abc" || pg1.ContentType != "text/html" {
+		t.Fatalf("view: %q %q", pg1.Body, pg1.ContentType)
 	}
 }
 
@@ -66,8 +70,8 @@ func TestInsertCopiesBody(t *testing.T) {
 	b := []byte("abc")
 	c.Insert("k", b, "text/html", nil, 0)
 	b[0] = 'X'
-	got, _, _ := c.Lookup("k")
-	if string(got) != "abc" {
+	got, _ := c.Lookup("k")
+	if string(got.Body) != "abc" {
 		t.Fatal("cache aliased the caller's slice")
 	}
 }
@@ -152,9 +156,9 @@ func TestReinsertReplacesEntry(t *testing.T) {
 	c := newTestCache(t, Options{})
 	c.Insert("/k", []byte("v1"), "text/html", []analysis.Query{dep("SELECT a FROM T WHERE b = ?", int64(1))}, 0)
 	c.Insert("/k", []byte("v2"), "text/html", []analysis.Query{dep("SELECT a FROM T WHERE b = ?", int64(2))}, 0)
-	body, _, ok := c.Lookup("/k")
-	if !ok || string(body) != "v2" {
-		t.Fatalf("body: %q", body)
+	pg, ok := c.Lookup("/k")
+	if !ok || string(pg.Body) != "v2" {
+		t.Fatalf("body: %q", pg.Body)
 	}
 	if c.Len() != 1 {
 		t.Fatalf("len: %d", c.Len())
@@ -174,11 +178,11 @@ func TestTTLExpiry(t *testing.T) {
 	clock := func() time.Time { return now }
 	c := newTestCache(t, Options{Clock: clock})
 	c.Insert("/k", []byte("v"), "text/html", nil, 30*time.Second)
-	if _, _, ok := c.Lookup("/k"); !ok {
+	if _, ok := c.Lookup("/k"); !ok {
 		t.Fatal("expected hit before expiry")
 	}
 	now = now.Add(31 * time.Second)
-	if _, _, ok := c.Lookup("/k"); ok {
+	if _, ok := c.Lookup("/k"); ok {
 		t.Fatal("expected miss after expiry")
 	}
 	st := c.Stats()
@@ -231,7 +235,7 @@ func TestCapacityLRU(t *testing.T) {
 		c.Insert(fmt.Sprintf("/p%d", i), []byte("x"), "text/html", nil, 0)
 	}
 	// Touch p0 so p1 becomes the LRU victim.
-	if _, _, ok := c.Lookup("/p0"); !ok {
+	if _, ok := c.Lookup("/p0"); !ok {
 		t.Fatal("p0 missing")
 	}
 	c.Insert("/p3", []byte("x"), "text/html", nil, 0)
@@ -320,7 +324,7 @@ func TestConcurrentCacheAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("/p%d", (g*7+i)%40)
-				if _, _, ok := c.Lookup(key); !ok {
+				if _, ok := c.Lookup(key); !ok {
 					c.Insert(key, []byte("body"), "text/html",
 						[]analysis.Query{dep("SELECT a FROM T WHERE b = ?", int64(i%5))}, 0)
 				}

@@ -98,7 +98,7 @@ func TestForceMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Insert("/k", []byte("v"), "text/html", nil, 0)
-	if _, _, ok := c.Lookup("/k"); ok {
+	if _, ok := c.Lookup("/k"); ok {
 		t.Fatal("ForceMiss cache must never hit")
 	}
 	st := c.Stats()

@@ -42,7 +42,7 @@ func TestStressStrongConsistency(t *testing.T) {
 				for i := 0; i < 200; i++ {
 					k := (g*13 + i) % keys
 					key := version(k)
-					if _, _, ok := c.Lookup(key); !ok {
+					if _, ok := c.Lookup(key); !ok {
 						// The page depends on the row it was built from:
 						// items with b = k (the shared hot template).
 						c.Insert(key, body, "text/html", []analysis.Query{

@@ -22,6 +22,20 @@ type Rows struct {
 // Len returns the number of rows.
 func (r *Rows) Len() int { return len(r.Data) }
 
+// Snapshot deep-copies the result set: fresh column and row slices sharing
+// nothing with r. Caching layers use it to take one immutable copy at
+// insert time, after which the snapshot can be shared by reference.
+func (r *Rows) Snapshot() *Rows {
+	out := &Rows{
+		Columns: append([]string(nil), r.Columns...),
+		Data:    make([][]Value, len(r.Data)),
+	}
+	for i, row := range r.Data {
+		out.Data[i] = append([]Value(nil), row...)
+	}
+	return out
+}
+
 // Int returns the value at (row, col) as int64 (0 when NULL or non-numeric).
 func (r *Rows) Int(row, col int) int64 {
 	f, ok := ToFloat(r.Data[row][col])

@@ -216,19 +216,15 @@ func (c *Conn) canonicalize(sql string) (string, error) {
 // triggered them.
 type noStoreKey struct{}
 
-// copyRows deep-copies a result set so cached data never aliases callers.
-func copyRows(r *memdb.Rows) *memdb.Rows {
-	out := &memdb.Rows{
-		Columns: append([]string(nil), r.Columns...),
-		Data:    make([][]memdb.Value, len(r.Data)),
-	}
-	for i, row := range r.Data {
-		out.Data[i] = append([]memdb.Value(nil), row...)
-	}
-	return out
-}
-
 // Query serves a SELECT from the result cache when possible.
+//
+// Ownership contract: the result set is snapshotted exactly once, when it
+// is inserted on a miss; every hit returns that shared immutable snapshot
+// by reference, with no per-hit copy of columns or rows. Callers must
+// treat the returned Rows as read-only — mutating them is a data race and
+// corrupts the cache for every later reader. Invalidation removes whole
+// entries and never rewrites rows in place, so a view obtained before an
+// invalidation stays valid and self-consistent for as long as it is held.
 func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows, error) {
 	tmpl, err := c.canonicalize(sql)
 	if err != nil {
@@ -253,8 +249,8 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows,
 		rows := e.rows
 		s.mu.Unlock()
 		c.hits.Add(1)
-		// Cached rows are immutable; the defensive copy runs outside the lock.
-		return copyRows(rows), nil
+		// Zero-copy hit: hand out the stored immutable snapshot.
+		return rows, nil
 	}
 	s.mu.Unlock()
 	c.misses.Add(1)
@@ -266,7 +262,11 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows,
 	if ctx.Value(noStoreKey{}) != nil {
 		return rows, nil
 	}
-	e := &entry{key: key, query: analysis.Query{SQL: tmpl, Args: vals}, rows: copyRows(rows)}
+	// Snapshot once at insert; the snapshot is both what the cache stores
+	// and what this (missing) caller receives, so hits and the originating
+	// miss all share the same immutable data.
+	rows = rows.Snapshot()
+	e := &entry{key: key, query: analysis.Query{SQL: tmpl, Args: vals}, rows: rows}
 	c.reserveSlot()
 	s.mu.Lock()
 	if cur, exists := s.entries[key]; exists {

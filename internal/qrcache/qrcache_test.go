@@ -84,20 +84,41 @@ func TestHitServesCachedResult(t *testing.T) {
 	}
 }
 
-func TestResultIsCopied(t *testing.T) {
+// TestResultIsSharedSnapshot pins the zero-copy contract: the result set is
+// snapshotted once at insert, and the miss and every subsequent hit hand out
+// that same immutable snapshot by reference.
+func TestResultIsSharedSnapshot(t *testing.T) {
 	_, c := newFixture(t, 0)
 	ctx := context.Background()
 	r1, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ?", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1.Data[0][0] = int64(-999)
 	r2, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ?", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r2.Int(0, 0) == -999 {
-		t.Fatal("caller mutation leaked into the cache")
+	if r1 != r2 {
+		t.Fatal("hit copied the result set instead of returning the stored snapshot")
+	}
+	// The snapshot must not alias the base database's storage: writing the
+	// rows through the base must not change the held view (invalidation
+	// removes the entry; the old view stays frozen).
+	if _, err := c.Exec(ctx, "UPDATE t SET val = ? WHERE grp = ?", -999, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Int(0, 0) == -999 {
+		t.Fatal("cached snapshot aliases table storage")
+	}
+	r3, err := c.Query(ctx, "SELECT val FROM t WHERE grp = ?", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("invalidated snapshot was served again")
+	}
+	if r3.Int(0, 0) != -999 {
+		t.Fatalf("post-invalidation read is stale: %v", r3.Data[0][0])
 	}
 }
 

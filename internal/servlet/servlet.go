@@ -13,7 +13,7 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 )
 
@@ -48,31 +48,49 @@ func PageKey(r *http.Request) string {
 	return PageKeyOf(r.URL.Path, r.URL.Query())
 }
 
+// keyBuf is a pooled scratch buffer for page-key construction: the builder
+// bytes (and the small sort scratch) are reused across requests, so building
+// a key costs a single allocation — the final string itself.
+type keyBuf struct {
+	buf  []byte
+	keys []string
+}
+
+var keyBufPool = sync.Pool{
+	New: func() any { return &keyBuf{buf: make([]byte, 0, 128)} },
+}
+
 // PageKeyOf builds a canonical page key from a path and parameter set.
 func PageKeyOf(path string, params url.Values) string {
 	if len(params) == 0 {
 		return path
 	}
-	keys := make([]string, 0, len(params))
+	kb := keyBufPool.Get().(*keyBuf)
+	kb.keys = kb.keys[:0]
 	for k := range params {
-		keys = append(keys, k)
+		kb.keys = append(kb.keys, k)
 	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteString(path)
+	sort.Strings(kb.keys)
+	b := append(kb.buf[:0], path...)
 	sep := byte('?')
-	for _, k := range keys {
-		vals := append([]string(nil), params[k]...)
-		sort.Strings(vals)
+	for _, k := range kb.keys {
+		vals := params[k]
+		if len(vals) > 1 {
+			vals = append([]string(nil), vals...)
+			sort.Strings(vals)
+		}
 		for _, v := range vals {
-			b.WriteByte(sep)
+			b = append(b, sep)
 			sep = '&'
-			b.WriteString(url.QueryEscape(k))
-			b.WriteByte('=')
-			b.WriteString(url.QueryEscape(v))
+			b = append(b, url.QueryEscape(k)...)
+			b = append(b, '=')
+			b = append(b, url.QueryEscape(v)...)
 		}
 	}
-	return b.String()
+	key := string(b)
+	kb.buf = b
+	keyBufPool.Put(kb)
+	return key
 }
 
 // PageKeyWithCookies extends PageKey with the values of the named cookies.
@@ -85,17 +103,20 @@ func PageKeyWithCookies(r *http.Request, names []string) string {
 	if len(names) == 0 {
 		return key
 	}
-	var b strings.Builder
-	b.WriteString(key)
+	kb := keyBufPool.Get().(*keyBuf)
+	b := append(kb.buf[:0], key...)
 	for _, name := range names {
-		b.WriteByte(';')
-		b.WriteString(url.QueryEscape(name))
-		b.WriteByte('=')
+		b = append(b, ';')
+		b = append(b, url.QueryEscape(name)...)
+		b = append(b, '=')
 		if c, err := r.Cookie(name); err == nil {
-			b.WriteString(url.QueryEscape(c.Value))
+			b = append(b, url.QueryEscape(c.Value)...)
 		}
 	}
-	return b.String()
+	key = string(b)
+	kb.buf = b
+	keyBufPool.Put(kb)
+	return key
 }
 
 // Param returns a request parameter (query string or form).

@@ -1,0 +1,288 @@
+package weave
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/cache"
+	"autowebcache/internal/servlet"
+)
+
+// slowApp is a one-interaction application whose handler counts executions
+// and blocks until release is closed, so a test can pile up concurrent
+// requests on a cold key.
+func slowApp(executions *atomic.Int64, release <-chan struct{}) []servlet.HandlerInfo {
+	fn := func(w http.ResponseWriter, r *http.Request) {
+		executions.Add(1)
+		if release != nil {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+				http.Error(w, "cancelled", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		servlet.WriteHTML(w, "<html>expensive page</html>")
+	}
+	return []servlet.HandlerInfo{{Name: "Slow", Path: "/slow", Fn: fn}}
+}
+
+func buildSlowWoven(t *testing.T, executions *atomic.Int64, release <-chan struct{}) *Woven {
+	t.Helper()
+	engine, err := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(cache.Options{Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(slowApp(executions, release), c, Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestCoalescedMissSingleExecution: M concurrent misses on one cold key run
+// the handler exactly once; one request reports "miss", the other M-1 report
+// "coalesced", and every response carries the same body.
+func TestCoalescedMissSingleExecution(t *testing.T) {
+	const M = 16
+	var executions atomic.Int64
+	release := make(chan struct{})
+	w := buildSlowWoven(t, &executions, release)
+
+	var started, wg sync.WaitGroup
+	started.Add(M)
+	recorders := make([]*httptest.ResponseRecorder, M)
+	for i := 0; i < M; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr := httptest.NewRecorder()
+			recorders[i] = rr
+			started.Done()
+			w.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/slow", nil))
+		}(i)
+	}
+	started.Wait()
+	// Give the followers time to join the leader's flight, then unblock it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("handler executed %d times for %d concurrent misses, want 1", n, M)
+	}
+	misses, coalesced, hits := 0, 0, 0
+	for i, rr := range recorders {
+		switch Outcome(rr.Header().Get(HeaderOutcome)) {
+		case OutcomeMiss:
+			misses++
+		case OutcomeCoalesced:
+			coalesced++
+		case OutcomeHit:
+			// A goroutine descheduled past the whole flight arrives to a
+			// warm cache; legal, just not coalesced.
+			hits++
+		default:
+			t.Fatalf("request %d: outcome %q", i, rr.Header().Get(HeaderOutcome))
+		}
+		if rr.Body.String() != recorders[0].Body.String() {
+			t.Fatalf("request %d body differs from leader's", i)
+		}
+		if rr.Code != http.StatusOK {
+			t.Fatalf("request %d status %d", i, rr.Code)
+		}
+	}
+	if misses != 1 || coalesced+hits != M-1 {
+		t.Fatalf("outcomes: %d miss + %d coalesced + %d hit, want 1 + %d", misses, coalesced, hits, M-1)
+	}
+	if coalesced == 0 {
+		t.Fatal("no request was coalesced despite the blocked leader")
+	}
+	st := w.Stats().Totals()
+	if st.Misses != 1 || st.Coalesced != uint64(coalesced) || st.Hits != uint64(M-1) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestForceMissBypassesCoalescing: the forced-miss measurement mode exists
+// to execute the handler on every request, so concurrent requests on one
+// key must all run it — none may be parked as flight followers.
+func TestForceMissBypassesCoalescing(t *testing.T) {
+	const M = 8
+	var executions atomic.Int64
+	release := make(chan struct{})
+	engine, err := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(cache.Options{Engine: engine, ForceMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(slowApp(&executions, release), c, Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < M; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/slow", nil))
+		}()
+	}
+	// All M handlers must be in flight simultaneously: if any request had
+	// been coalesced it would be waiting on the blocked leader instead.
+	deadline := time.Now().Add(2 * time.Second)
+	for executions.Load() != M {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d handlers executing; forced-miss requests were coalesced", executions.Load(), M)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestCancelledFollowerDoesNotPoisonFlight: a follower that gives up
+// (context cancelled) while the leader is still working must not disturb
+// the flight — the leader completes, later requests hit the cache.
+func TestCancelledFollowerDoesNotPoisonFlight(t *testing.T) {
+	var executions atomic.Int64
+	release := make(chan struct{})
+	w := buildSlowWoven(t, &executions, release)
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		w.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/slow", nil))
+	}()
+	// Wait until the leader's flight is registered.
+	for {
+		w.flightMu.Lock()
+		_, inflight := w.flights["/slow"]
+		w.flightMu.Unlock()
+		if inflight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		req := httptest.NewRequest(http.MethodGet, "/slow", nil).WithContext(ctx)
+		w.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-followerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled follower did not return while the leader was blocked")
+	}
+
+	close(release)
+	select {
+	case <-leaderDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("leader did not complete")
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("handler executed %d times, want 1", n)
+	}
+	// The flight is over and the page is cached: the next request is a hit.
+	rr := httptest.NewRecorder()
+	w.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/slow", nil))
+	if out := rr.Header().Get(HeaderOutcome); out != string(OutcomeHit) {
+		t.Fatalf("post-flight outcome %q, want hit", out)
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("post-flight hit re-executed the handler (%d executions)", n)
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonFlight: a leader whose request is
+// cancelled mid-handler produces an unshareable result; waiting followers
+// must recover by electing a new leader instead of failing or hanging.
+func TestCancelledLeaderDoesNotPoisonFlight(t *testing.T) {
+	var executions atomic.Int64
+	var first atomic.Bool
+	first.Store(true)
+	engine, err := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(cache.Options{Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{})
+	fn := func(rw http.ResponseWriter, r *http.Request) {
+		executions.Add(1)
+		if first.CompareAndSwap(true, false) {
+			close(blocked) // signal: leader is inside the handler
+			<-r.Context().Done()
+			http.Error(rw, "cancelled", http.StatusServiceUnavailable)
+			return
+		}
+		servlet.WriteHTML(rw, "<html>recovered</html>")
+	}
+	w, err := New([]servlet.HandlerInfo{{Name: "Flaky", Path: "/flaky", Fn: fn}}, c, Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		req := httptest.NewRequest(http.MethodGet, "/flaky", nil).WithContext(ctx)
+		w.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	<-blocked
+	// A follower joins the doomed flight, then the leader is cancelled.
+	followerDone := make(chan struct{})
+	var followerOut string
+	var followerBody string
+	go func() {
+		defer close(followerDone)
+		rr := httptest.NewRecorder()
+		w.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/flaky", nil))
+		followerOut = rr.Header().Get(HeaderOutcome)
+		followerBody = rr.Body.String()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-leaderDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled leader did not return")
+	}
+	select {
+	case <-followerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower hung after the leader failed")
+	}
+	// The follower re-ran the handler itself (miss) and got the good page.
+	if followerOut != string(OutcomeMiss) && followerOut != string(OutcomeHit) {
+		t.Fatalf("follower outcome %q after failed leader", followerOut)
+	}
+	if followerBody != "<html>recovered</html>" {
+		t.Fatalf("follower body %q", followerBody)
+	}
+	if n := executions.Load(); n != 2 {
+		t.Fatalf("handler executed %d times, want 2 (failed leader + recovering follower)", n)
+	}
+}

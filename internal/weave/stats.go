@@ -14,6 +14,7 @@ type Outcome string
 const (
 	OutcomeHit         Outcome = "hit"          // served from the cache
 	OutcomeSemanticHit Outcome = "semantic-hit" // served from the cache under a semantic TTL window
+	OutcomeCoalesced   Outcome = "coalesced"    // miss coalesced onto a concurrent flight's result
 	OutcomeMiss        Outcome = "miss"         // generated, then inserted
 	OutcomeWrite       Outcome = "write"        // write interaction (invalidates)
 	OutcomeUncacheable Outcome = "uncacheable"  // bypassed the cache by rule
@@ -31,8 +32,9 @@ type InteractionStats struct {
 	Name string
 
 	Requests     uint64
-	Hits         uint64 // strong-consistency cache hits
+	Hits         uint64 // strong-consistency cache hits (including coalesced)
 	SemanticHits uint64 // hits under a semantic TTL window
+	Coalesced    uint64 // misses served by a concurrent flight (subset of Hits/SemanticHits)
 	Misses       uint64
 	Writes       uint64
 	Uncacheable  uint64
@@ -84,6 +86,7 @@ func (s *InteractionStats) add(o *InteractionStats) {
 	s.Requests += o.Requests
 	s.Hits += o.Hits
 	s.SemanticHits += o.SemanticHits
+	s.Coalesced += o.Coalesced
 	s.Misses += o.Misses
 	s.Writes += o.Writes
 	s.Uncacheable += o.Uncacheable
@@ -100,6 +103,7 @@ type counters struct {
 	requests     atomic.Uint64
 	hits         atomic.Uint64
 	semanticHits atomic.Uint64
+	coalesced    atomic.Uint64
 	misses       atomic.Uint64
 	writes       atomic.Uint64
 	uncacheable  atomic.Uint64
@@ -122,6 +126,7 @@ func (c *counters) snapshot(name string) InteractionStats {
 		Requests:         c.requests.Load(),
 		Hits:             c.hits.Load(),
 		SemanticHits:     c.semanticHits.Load(),
+		Coalesced:        c.coalesced.Load(),
 		Misses:           c.misses.Load(),
 		Writes:           c.writes.Load(),
 		Uncacheable:      c.uncacheable.Load(),
@@ -165,6 +170,14 @@ func (s *Stats) Record(name string, outcome Outcome, d time.Duration, invalidate
 	case OutcomeSemanticHit:
 		c.semanticHits.Add(1)
 		c.hitNs.Add(int64(d))
+	case OutcomeCoalesced:
+		// A coalesced miss is served from the cache layer without handler
+		// execution, so it counts as a hit, and is tracked separately too.
+		// (The weave uses RecordCoalesced so semantic-window interactions
+		// land in the right bucket; this case covers direct callers.)
+		c.hits.Add(1)
+		c.coalesced.Add(1)
+		c.hitNs.Add(int64(d))
 	case OutcomeMiss:
 		c.misses.Add(1)
 		c.missNs.Add(int64(d))
@@ -175,6 +188,23 @@ func (s *Stats) Record(name string, outcome Outcome, d time.Duration, invalidate
 		c.uncacheable.Add(1)
 	case OutcomeError:
 		c.errors.Add(1)
+	}
+}
+
+// RecordCoalesced accounts a miss that was served by a concurrent flight's
+// result: it lands in the interaction's usual hit bucket (strong or
+// semantic, matching what a plain cache hit would have recorded) and in the
+// Coalesced counter.
+func (s *Stats) RecordCoalesced(name string, semantic bool, d time.Duration) {
+	c := s.get(name)
+	c.requests.Add(1)
+	c.totalNs.Add(int64(d))
+	c.hitNs.Add(int64(d))
+	c.coalesced.Add(1)
+	if semantic {
+		c.semanticHits.Add(1)
+	} else {
+		c.hits.Add(1)
 	}
 }
 

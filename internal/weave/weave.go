@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"autowebcache/internal/cache"
@@ -51,6 +52,24 @@ type Woven struct {
 	stats      *Stats
 	handlers   []servlet.HandlerInfo
 	keyCookies []string
+
+	// flights coalesces concurrent misses on one page key: the first
+	// request (the leader) runs the handler; followers wait and share the
+	// leader's inserted page instead of re-executing the handler.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+}
+
+// flight is one in-progress miss computation. done is closed when the
+// leader finishes; page/shared are valid only after that.
+type flight struct {
+	done chan struct{}
+	// page is the immutable stored view the leader inserted; shared is
+	// false when the leader's response was not cacheable (error status,
+	// failed read, or an interleaved write), in which case followers fall
+	// back to executing the handler themselves.
+	page   cache.Page
+	shared bool
 }
 
 // pageKey computes a request's cache identity, including rule-named cookies.
@@ -75,6 +94,7 @@ func New(handlers []servlet.HandlerInfo, c *cache.Cache, rules Rules) (*Woven, e
 		cache:      c,
 		stats:      NewStats(),
 		keyCookies: append([]string(nil), rules.KeyCookies...),
+		flights:    make(map[string]*flight),
 	}
 	seen := make(map[string]bool, len(handlers))
 	for _, h := range handlers {
@@ -113,9 +133,10 @@ func (w *Woven) Stats() *Stats { return w.stats }
 func (w *Woven) Cache() *cache.Cache { return w.cache }
 
 // Handlers returns the effective handler descriptions after rule
-// application.
+// application. The returned slice is the Woven's own immutable view —
+// frozen at New — shared across calls; callers must not modify it.
 func (w *Woven) Handlers() []servlet.HandlerInfo {
-	return append([]servlet.HandlerInfo(nil), w.handlers...)
+	return w.handlers
 }
 
 // responseBuffer captures a handler's response so it can be both cached and
@@ -126,8 +147,28 @@ type responseBuffer struct {
 	status int
 }
 
+// rbPool recycles response buffers (and their grown body bytes) across
+// requests, taking the steady-state miss path's capture allocation off the
+// per-request budget.
+var rbPool = sync.Pool{
+	New: func() any {
+		return &responseBuffer{header: make(http.Header), status: http.StatusOK}
+	},
+}
+
 func newResponseBuffer() *responseBuffer {
-	return &responseBuffer{header: make(http.Header), status: http.StatusOK}
+	return rbPool.Get().(*responseBuffer)
+}
+
+// release resets the buffer and returns it to the pool. Callers must not
+// touch rb (or slices obtained from rb.body.Bytes()) afterwards.
+func (rb *responseBuffer) release() {
+	for k := range rb.header {
+		delete(rb.header, k)
+	}
+	rb.body.Reset()
+	rb.status = http.StatusOK
+	rbPool.Put(rb)
 }
 
 func (rb *responseBuffer) Header() http.Header { return rb.header }
@@ -156,9 +197,25 @@ func (rb *responseBuffer) replay(rw http.ResponseWriter, outcome Outcome) {
 	_, _ = rw.Write(rb.body.Bytes())
 }
 
+// servePage writes a cached page view to the client.
+func servePage(rw http.ResponseWriter, pg cache.Page, outcome Outcome) {
+	rw.Header().Set("Content-Type", pg.ContentType)
+	rw.Header().Set(HeaderOutcome, string(outcome))
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(pg.Body)
+}
+
 // aroundAdvice implements Fig. 10: surround a read interaction with a cache
 // check, bypassing the handler on a hit and inserting the page (with its
 // dependency information) on a miss.
+//
+// Concurrent misses on one key are coalesced: the first request becomes the
+// flight leader and runs the handler; the others wait and are served the
+// leader's inserted page (outcome "coalesced"), so a thundering herd on a
+// cold page executes the handler exactly once. A follower whose context is
+// cancelled simply stops waiting; a leader whose response turns out not to
+// be shareable unblocks the followers, which re-check the cache and elect a
+// fresh leader — a failed flight never poisons the key.
 func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 	hitOutcome := OutcomeHit
 	if h.TTL > 0 {
@@ -167,38 +224,114 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		key := w.pageKey(r)
-		if body, ctype, ok := w.cache.Lookup(key); ok {
-			rw.Header().Set("Content-Type", ctype)
-			rw.Header().Set(HeaderOutcome, string(hitOutcome))
-			rw.WriteHeader(http.StatusOK)
-			_, _ = rw.Write(body)
+		if pg, ok := w.cache.Lookup(key); ok {
+			servePage(rw, pg, hitOutcome)
 			w.stats.Record(h.Name, hitOutcome, time.Since(start), 0)
 			return
 		}
-		ctx, rec := WithRecorder(r.Context())
-		rb := newResponseBuffer()
-		h.Fn(rb, r.WithContext(ctx))
-		outcome := OutcomeMiss
-		if rb.status != http.StatusOK {
-			outcome = OutcomeError
-		} else if !rec.ReadFailed() && len(rec.Writes()) == 0 {
-			deps := rec.Reads()
-			if h.TTL > 0 {
-				// Semantic windows replace invalidation-based consistency:
-				// the page is valid for the full window regardless of
-				// writes (§4.3 — "the best seller pages were marked
-				// cacheable for a full 30 second window"), so it carries no
-				// dependency information.
-				deps = nil
-			}
-			w.cache.Insert(key, rb.body.Bytes(), rb.contentType(), deps, h.TTL)
+		if w.cache.ForceMiss() {
+			// The forced-miss measurement mode exists to time the handler on
+			// every request (§6); coalescing would skip exactly those
+			// executions, so misses run uncoalesced.
+			w.leadMiss(rw, r, h, key, nil, start)
+			return
 		}
-		// A "read" handler that wrote must still invalidate (defensive: the
-		// weaving rules misclassified it).
-		invalidated := w.applyInvalidations(rec)
-		rb.replay(rw, outcome)
-		w.stats.Record(h.Name, outcome, time.Since(start), invalidated)
+		for {
+			w.flightMu.Lock()
+			f, inflight := w.flights[key]
+			if !inflight {
+				f = &flight{done: make(chan struct{})}
+				w.flights[key] = f
+				w.flightMu.Unlock()
+				// A flight that completed between our miss and taking
+				// leadership may have just inserted the page; serve it
+				// instead of re-executing the handler. (Contains first: it
+				// leaves the hit/miss counters untouched on the common
+				// genuinely-cold path.)
+				if w.cache.Contains(key) {
+					if pg, ok := w.cache.Lookup(key); ok {
+						f.page, f.shared = pg, true
+						w.flightMu.Lock()
+						delete(w.flights, key)
+						w.flightMu.Unlock()
+						close(f.done)
+						servePage(rw, pg, hitOutcome)
+						w.stats.Record(h.Name, hitOutcome, time.Since(start), 0)
+						return
+					}
+				}
+				w.leadMiss(rw, r, h, key, f, start)
+				return
+			}
+			w.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-r.Context().Done():
+				// The client is gone. Abandoning the wait cannot poison the
+				// flight: the leader finishes and cleans up on its own.
+				return
+			}
+			if f.shared {
+				servePage(rw, f.page, OutcomeCoalesced)
+				w.stats.RecordCoalesced(h.Name, h.TTL > 0, time.Since(start))
+				return
+			}
+			// The leader's response was not shareable (error, failed read,
+			// interleaved write). Re-check the cache, then compete to lead a
+			// fresh flight.
+			if pg, ok := w.cache.Lookup(key); ok {
+				servePage(rw, pg, hitOutcome)
+				w.stats.Record(h.Name, hitOutcome, time.Since(start), 0)
+				return
+			}
+		}
 	})
+}
+
+// leadMiss runs the handler as the flight leader for key and publishes the
+// result to the flight's followers. A nil flight runs the same miss path
+// uncoalesced (forced-miss mode).
+func (w *Woven) leadMiss(rw http.ResponseWriter, r *http.Request, h servlet.HandlerInfo, key string, f *flight, start time.Time) {
+	if f != nil {
+		defer func() {
+			// Unwind the flight even if the handler panics: remove the key
+			// so new arrivals start fresh, then unblock waiting followers.
+			w.flightMu.Lock()
+			delete(w.flights, key)
+			w.flightMu.Unlock()
+			close(f.done)
+		}()
+	}
+	ctx, rec := WithRecorder(r.Context())
+	rb := newResponseBuffer()
+	defer rb.release()
+	h.Fn(rb, r.WithContext(ctx))
+	outcome := OutcomeMiss
+	if rb.status != http.StatusOK {
+		outcome = OutcomeError
+	} else if !rec.ReadFailed() && len(rec.Writes()) == 0 {
+		deps := rec.Reads()
+		if h.TTL > 0 {
+			// Semantic windows replace invalidation-based consistency:
+			// the page is valid for the full window regardless of
+			// writes (§4.3 — "the best seller pages were marked
+			// cacheable for a full 30 second window"), so it carries no
+			// dependency information.
+			deps = nil
+		}
+		// The stored immutable view doubles as the flight's shared result,
+		// so followers serve the same bytes the cache now holds.
+		stored := w.cache.Insert(key, rb.body.Bytes(), rb.contentType(), deps, h.TTL)
+		if f != nil {
+			f.page = stored
+			f.shared = true
+		}
+	}
+	// A "read" handler that wrote must still invalidate (defensive: the
+	// weaving rules misclassified it).
+	invalidated := w.applyInvalidations(rec)
+	rb.replay(rw, outcome)
+	w.stats.Record(h.Name, outcome, time.Since(start), invalidated)
 }
 
 // afterAdvice implements Fig. 11: run the write interaction, then use its
@@ -208,6 +341,7 @@ func (w *Woven) afterAdvice(h servlet.HandlerInfo) http.Handler {
 		start := time.Now()
 		ctx, rec := WithRecorder(r.Context())
 		rb := newResponseBuffer()
+		defer rb.release()
 		h.Fn(rb, r.WithContext(ctx))
 		outcome := OutcomeWrite
 		if rb.status != http.StatusOK {
