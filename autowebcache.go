@@ -38,9 +38,11 @@ package autowebcache
 
 import (
 	"fmt"
+	"strings"
 
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/cache"
+	"autowebcache/internal/cluster"
 	"autowebcache/internal/memdb"
 	"autowebcache/internal/qrcache"
 	"autowebcache/internal/servlet"
@@ -75,6 +77,8 @@ type (
 	Engine = analysis.Engine
 	// QueryResultCache is the §9-extension back-end result cache.
 	QueryResultCache = qrcache.Conn
+	// ClusterNode is one member of the cache cluster's peer tier.
+	ClusterNode = cluster.Node
 )
 
 // Column types for TableSpec declarations.
@@ -198,4 +202,77 @@ func (rt *Runtime) Engine() *Engine { return rt.engine }
 // rules mark uncacheable pages and semantic windows.
 func (rt *Runtime) Weave(handlers []HandlerInfo, rules Rules) (*Woven, error) {
 	return weave.New(handlers, rt.cache, rules)
+}
+
+// ClusterConfig configures the optional peer tier turning N autowebcache
+// processes into one logical cache (consistent-hash key ownership,
+// cross-node fetch and replication, cluster-wide write invalidation).
+type ClusterConfig struct {
+	// ListenPeer is the peer-protocol listen address (e.g. "10.0.0.1:9080");
+	// as configured, it is also the node's ring identity, so it must match
+	// the string the other nodes carry in their Peers lists. Empty disables
+	// clustering (Cluster then returns a nil node) — but combined with a
+	// non-empty Peers it is a configuration error.
+	ListenPeer string
+	// Advertise overrides the ring identity when ListenPeer is not the
+	// address peers dial (all-interfaces listens, NAT).
+	Advertise string
+	// Peers are the OTHER nodes' peer addresses. Empty is pure local mode.
+	Peers []string
+	// Invalidation is "strong" (default: writes return only after every
+	// reachable peer has invalidated, §3.2 cluster-wide) or "async"
+	// (best-effort fire-and-forget, time-lagged peers — the §8 trade).
+	Invalidation string
+	// VNodes is the ring's virtual-node count per node (0 = 64).
+	VNodes int
+	// Replication is how many owner nodes hold each key (0 = 1).
+	Replication int
+}
+
+// Cluster boots the peer tier over the Runtime's caches and attaches it to
+// the woven handler: handler misses consult the key's owner nodes before
+// executing, and every cache invalidation fans out to the peers. The
+// returned node must be Closed on shutdown. Requires the cached
+// configuration (Config.Disabled unset).
+//
+// An empty ListenPeer disables clustering and returns a nil node, so
+// callers can pass their flag values straight through; Peers without
+// ListenPeer is rejected as a misconfiguration rather than silently
+// ignored.
+func (rt *Runtime) Cluster(handler *Woven, cfg ClusterConfig) (*ClusterNode, error) {
+	if cfg.ListenPeer == "" {
+		if len(cfg.Peers) > 0 {
+			return nil, fmt.Errorf("autowebcache: ClusterConfig.Peers set without ListenPeer")
+		}
+		return nil, nil
+	}
+	if rt.cache == nil {
+		return nil, fmt.Errorf("autowebcache: clustering requires the cache (Config.Disabled must be unset)")
+	}
+	var async bool
+	switch strings.ToLower(cfg.Invalidation) {
+	case "", "strong":
+	case "async":
+		async = true
+	default:
+		return nil, fmt.Errorf("autowebcache: unknown invalidation mode %q (strong, async)", cfg.Invalidation)
+	}
+	node, err := cluster.New(cluster.Config{
+		Listen:      cfg.ListenPeer,
+		Advertise:   cfg.Advertise,
+		Peers:       cfg.Peers,
+		Cache:       rt.cache,
+		QueryCache:  rt.qcache,
+		Async:       async,
+		VNodes:      cfg.VNodes,
+		Replication: cfg.Replication,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := node.Start(); err != nil {
+		return nil, err
+	}
+	handler.SetRemote(node)
+	return node, nil
 }

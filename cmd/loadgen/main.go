@@ -7,6 +7,13 @@
 //
 //	loadgen -target http://localhost:8080 -app rubis -clients 50 -duration 10s
 //	loadgen -target http://localhost:8081 -app tpcw -mix browsing
+//
+// Multi-target (cluster) mode plays the front-end load balancer of a
+// multi-node web tier: each client round-robins its requests across the
+// node list, so every node sees every interaction and the peer tier's
+// remote hits and invalidation broadcasts are exercised:
+//
+//	loadgen -targets http://node1:8080,http://node2:8080,http://node3:8080 -app rubis
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"autowebcache/internal/cluster"
 	"autowebcache/internal/rubis"
 	"autowebcache/internal/tpcw"
 )
@@ -72,6 +80,8 @@ func buildMix(app, mixName string) (mixSource, error) {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	target := fs.String("target", "http://localhost:8080", "base URL of the server under test")
+	targets := fs.String("targets", "",
+		"comma-separated base URLs of cluster nodes; clients round-robin across them (overrides -target)")
 	app := fs.String("app", "rubis", "application mix to use: rubis or tpcw")
 	mixName := fs.String("mix", "", "interaction mix (rubis: bidding, browsing; tpcw: shopping, browsing)")
 	clients := fs.Int("clients", 20, "concurrent emulated clients")
@@ -103,6 +113,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	targetList := []string{*target}
+	if *targets != "" {
+		if targetList = cluster.ParsePeerList(*targets); len(targetList) == 0 {
+			return fmt.Errorf("-targets %q contains no URLs", *targets)
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
@@ -110,6 +126,7 @@ func run(args []string, out io.Writer) error {
 
 	var mu sync.Mutex
 	stats := make(map[string]*outcomeStats)
+	perTarget := make([]int, len(targetList))
 	record := func(name, outcome string, d time.Duration, failed bool) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -133,10 +150,20 @@ func run(args []string, out io.Writer) error {
 		go func(client int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(client)*7919))
+			reqNum := 0
 			for ctx.Err() == nil {
 				name, path := mix.Request(rng, client)
+				// Round-robin across the node list, offset per client so the
+				// instantaneous load spreads even with few clients.
+				ti := (client + reqNum) % len(targetList)
+				reqNum++
 				start := time.Now()
-				outcome, err := fetch(ctx, httpClient, *target+path)
+				outcome, err := fetch(ctx, httpClient, targetList[ti]+path)
+				// Count every attempt, including failures: an unhealthy node
+				// must show its full share of the load, not look idle.
+				mu.Lock()
+				perTarget[ti]++
+				mu.Unlock()
 				record(name, outcome, time.Since(start), err != nil)
 				if *think > 0 {
 					d := time.Duration(rng.ExpFloat64() * float64(*think))
@@ -155,6 +182,12 @@ func run(args []string, out io.Writer) error {
 	}
 	wg.Wait()
 	report(out, stats)
+	if len(targetList) > 1 {
+		fmt.Fprintln(out)
+		for i, tgt := range targetList {
+			fmt.Fprintf(out, "target %-40s %8d requests\n", tgt, perTarget[i])
+		}
+	}
 	return nil
 }
 
@@ -184,21 +217,21 @@ func report(out io.Writer, stats map[string]*outcomeStats) {
 		names = append(names, name)
 		totalReq += s.count
 		totalDur += s.total
-		hits += s.outcomes["hit"] + s.outcomes["semantic-hit"]
+		hits += s.outcomes["hit"] + s.outcomes["semantic-hit"] + s.outcomes["remote-hit"]
 	}
 	sort.Strings(names)
-	fmt.Fprintf(out, "%-26s %8s %12s %6s %6s %6s %6s\n",
-		"interaction", "requests", "mean", "hit", "miss", "write", "errs")
+	fmt.Fprintf(out, "%-26s %8s %12s %6s %6s %6s %6s %6s\n",
+		"interaction", "requests", "mean", "hit", "remote", "miss", "write", "errs")
 	for _, name := range names {
 		s := stats[name]
 		mean := time.Duration(0)
 		if s.count > 0 {
 			mean = s.total / time.Duration(s.count)
 		}
-		fmt.Fprintf(out, "%-26s %8d %12v %6d %6d %6d %6d\n",
+		fmt.Fprintf(out, "%-26s %8d %12v %6d %6d %6d %6d %6d\n",
 			name, s.count, mean.Round(time.Microsecond),
-			s.outcomes["hit"]+s.outcomes["semantic-hit"], s.outcomes["miss"],
-			s.outcomes["write"], s.errors)
+			s.outcomes["hit"]+s.outcomes["semantic-hit"], s.outcomes["remote-hit"],
+			s.outcomes["miss"], s.outcomes["write"], s.errors)
 	}
 	if totalReq > 0 {
 		fmt.Fprintf(out, "\ntotal %d requests, mean %v, hit rate %.1f%%\n",

@@ -2,6 +2,7 @@ package main
 
 import (
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -109,5 +110,88 @@ func TestConcurrencyFlag(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "total ") {
 		t.Fatalf("report: %q", out.String())
+	}
+}
+
+// buildRubisServer spins one woven RUBiS app behind an httptest server.
+func buildRubisServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	db := autowebcache.NewDB()
+	scale := rubis.Scale{Regions: 2, Categories: 3, Users: 10, Items: 20,
+		BidsPerItem: 2, CommentsPerUser: 1, BuyNows: 5, Seed: 1}
+	last, err := rubis.Load(db, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := autowebcache.New(db, autowebcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := rubis.New(rt.Conn(), scale, last)
+	h, err := rt.Weave(app.Handlers(), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestMultiTargetMode drives two live servers through -targets and checks
+// that the round-robin reached both and the report breaks requests down per
+// target.
+func TestMultiTargetMode(t *testing.T) {
+	srv1 := buildRubisServer(t)
+	srv2 := buildRubisServer(t)
+
+	var out strings.Builder
+	err := run([]string{
+		"-targets", srv1.URL + " , " + srv2.URL + ",",
+		"-app", "rubis", "-clients", "4",
+		"-duration", "400ms", "-think", "1ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, url := range []string{srv1.URL, srv2.URL} {
+		idx := strings.Index(report, "target "+url)
+		if idx < 0 {
+			t.Fatalf("per-target line for %s missing:\n%s", url, report)
+		}
+		line := report[idx:]
+		if nl := strings.IndexByte(line, '\n'); nl >= 0 {
+			line = line[:nl]
+		}
+		fields := strings.Fields(line)
+		// "target <url> <count> requests"
+		if len(fields) != 4 || fields[3] != "requests" {
+			t.Fatalf("malformed per-target line %q", line)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 {
+			t.Fatalf("target %s received %q requests:\n%s", url, fields[2], report)
+		}
+	}
+	if !strings.Contains(report, "hit rate") {
+		t.Fatalf("summary missing:\n%s", report)
+	}
+}
+
+// TestMultiTargetFlagValidation: an all-empty -targets list is rejected;
+// single-target mode prints no per-target breakdown.
+func TestMultiTargetFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-targets", " , ,"}, &out); err == nil {
+		t.Fatal("expected error for empty -targets")
+	}
+	srv := buildRubisServer(t)
+	out.Reset()
+	if err := run([]string{"-target", srv.URL, "-app", "rubis", "-clients", "2",
+		"-duration", "200ms", "-think", "1ms"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "target "+srv.URL) {
+		t.Fatalf("single-target run printed a per-target breakdown:\n%s", out.String())
 	}
 }

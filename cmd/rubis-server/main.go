@@ -7,8 +7,14 @@
 //	rubis-server -nocache                    # baseline
 //	rubis-server -strategy columnonly        # pick an invalidation strategy
 //
+// Clustered (one logical cache across N processes):
+//
+//	rubis-server -addr :8080 -listen-peer 127.0.0.1:9080 \
+//	    -peers 127.0.0.1:9081,127.0.0.1:9082
+//	rubis-server ... -invalidation async     # best-effort, time-lagged peers
+//
 // Visit / for the home page; /browseCategories, /viewItem?itemId=1, etc.
-// Responses carry an X-Autowebcache header (hit/miss/write/...).
+// Responses carry an X-Autowebcache header (hit/miss/remote-hit/write/...).
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"autowebcache"
+	"autowebcache/internal/cluster"
 	"autowebcache/internal/rubis"
 )
 
@@ -50,6 +57,10 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
 	strategy := fs.String("strategy", "extraquery", "invalidation strategy: columnonly, wherematch, extraquery")
+	listenPeer := fs.String("listen-peer", "", "cluster peer-protocol listen address (enables the peer tier)")
+	peers := fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes")
+	invMode := fs.String("invalidation", "strong", "cluster invalidation mode: strong or async")
+	replication := fs.Int("replication", 1, "cluster ring replication factor (owner nodes per key)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +84,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	node, err := rt.Cluster(handler, autowebcache.ClusterConfig{
+		ListenPeer:   *listenPeer,
+		Peers:        cluster.ParsePeerList(*peers),
+		Invalidation: *invMode,
+		Replication:  *replication,
+	})
+	if err != nil {
+		return err
+	}
+	if node != nil {
+		defer node.Close()
+		log.Printf("cluster peer tier on %s (%d-node ring, invalidation=%s)",
+			node.Addr(), node.Ring().Len(), *invMode)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -95,6 +120,9 @@ func run(args []string) error {
 	}
 	if c := rt.Cache(); c != nil {
 		log.Printf("cache stats at exit: %+v", c.Stats())
+	}
+	if node != nil {
+		log.Printf("cluster stats at exit: %+v", node.Stats())
 	}
 	return nil
 }

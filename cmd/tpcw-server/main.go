@@ -7,6 +7,11 @@
 //	tpcw-server -nocache                     # baseline
 //	tpcw-server -bestseller-window 30s       # the paper's Fig. 15 semantics
 //
+// Clustered (one logical cache across N processes):
+//
+//	tpcw-server -addr :8081 -listen-peer 127.0.0.1:9081 \
+//	    -peers 127.0.0.1:9082,127.0.0.1:9083
+//
 // Visit /home?c_id=1, /bestSellers?subject=ARTS, /productDetail?i_id=1, ...
 package main
 
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"autowebcache"
+	"autowebcache/internal/cluster"
 	"autowebcache/internal/tpcw"
 )
 
@@ -35,6 +41,10 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8081", "listen address")
 	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
 	window := fs.Duration("bestseller-window", 0, "BestSellers semantic freshness window (paper: 30s)")
+	listenPeer := fs.String("listen-peer", "", "cluster peer-protocol listen address (enables the peer tier)")
+	peers := fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes")
+	invMode := fs.String("invalidation", "strong", "cluster invalidation mode: strong or async")
+	replication := fs.Int("replication", 1, "cluster ring replication factor (owner nodes per key)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +63,20 @@ func run(args []string) error {
 	handler, err := rt.Weave(app.Handlers(), tpcw.WeaveRules(*window))
 	if err != nil {
 		return err
+	}
+	node, err := rt.Cluster(handler, autowebcache.ClusterConfig{
+		ListenPeer:   *listenPeer,
+		Peers:        cluster.ParsePeerList(*peers),
+		Invalidation: *invMode,
+		Replication:  *replication,
+	})
+	if err != nil {
+		return err
+	}
+	if node != nil {
+		defer node.Close()
+		log.Printf("cluster peer tier on %s (%d-node ring, invalidation=%s)",
+			node.Addr(), node.Ring().Len(), *invMode)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
@@ -76,6 +100,9 @@ func run(args []string) error {
 	}
 	if c := rt.Cache(); c != nil {
 		log.Printf("cache stats at exit: %+v", c.Stats())
+	}
+	if node != nil {
+		log.Printf("cluster stats at exit: %+v", node.Stats())
 	}
 	return nil
 }

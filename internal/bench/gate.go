@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// DefaultMaxRegress is the bench-gate's allowed fractional ns/op regression
+// against the baseline: a tracked benchmark may be up to 25% slower before
+// the gate fails (micro-benchmark noise on shared CI runners is real;
+// sustained regressions are not).
+const DefaultMaxRegress = 0.25
+
+// GateResult is the comparison of one benchmark against its baseline.
+type GateResult struct {
+	Name        string
+	BaseNs      float64
+	FreshNs     float64
+	BaseAllocs  int64
+	FreshAllocs int64
+	// NsRatio is FreshNs/BaseNs (1.0 = unchanged, 2.0 = twice as slow).
+	NsRatio float64
+	// Missing marks records present in only one side (new or retired
+	// benchmarks); they inform but never fail the gate.
+	Missing bool
+	// Failed marks a regression beyond the gate's thresholds.
+	Failed bool
+	Reason string
+}
+
+// ReadHitPathJSON loads a BENCH_*.json records file.
+func ReadHitPathJSON(path string) ([]HitPathRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []HitPathRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Gate diffs fresh benchmark records against a committed baseline. A
+// tracked benchmark fails the gate when its ns/op regresses by more than
+// maxRegress (fractional; <0 picks DefaultMaxRegress) or its allocs/op
+// increases at all — the zero-copy hit-path guarantees are exact, so any
+// new allocation on a tracked path is a regression, not noise. Records
+// present on only one side are reported as Missing and never fail. ok is
+// true when no record failed.
+func Gate(fresh, baseline []HitPathRecord, maxRegress float64) (results []GateResult, ok bool) {
+	if maxRegress < 0 {
+		maxRegress = DefaultMaxRegress
+	}
+	base := make(map[string]HitPathRecord, len(baseline))
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	ok = true
+	seen := make(map[string]bool, len(fresh))
+	for _, f := range fresh {
+		seen[f.Name] = true
+		b, inBase := base[f.Name]
+		if !inBase {
+			results = append(results, GateResult{
+				Name: f.Name, FreshNs: f.NsPerOp, FreshAllocs: f.AllocsPerOp,
+				Missing: true, Reason: "new benchmark (not in baseline)",
+			})
+			continue
+		}
+		r := GateResult{
+			Name: f.Name, BaseNs: b.NsPerOp, FreshNs: f.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, FreshAllocs: f.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			r.NsRatio = f.NsPerOp / b.NsPerOp
+		}
+		switch {
+		case f.AllocsPerOp > b.AllocsPerOp:
+			r.Failed = true
+			r.Reason = fmt.Sprintf("allocs/op increased %d -> %d", b.AllocsPerOp, f.AllocsPerOp)
+		case b.NsPerOp > 0 && r.NsRatio > 1+maxRegress:
+			r.Failed = true
+			r.Reason = fmt.Sprintf("ns/op regressed %.0f -> %.0f (%.2fx > allowed %.2fx)",
+				b.NsPerOp, f.NsPerOp, r.NsRatio, 1+maxRegress)
+		default:
+			r.Reason = "ok"
+		}
+		if r.Failed {
+			ok = false
+		}
+		results = append(results, r)
+	}
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			results = append(results, GateResult{
+				Name: b.Name, BaseNs: b.NsPerOp, BaseAllocs: b.AllocsPerOp,
+				Missing: true, Reason: "benchmark missing from fresh run",
+			})
+		}
+	}
+	return results, ok
+}

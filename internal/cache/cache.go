@@ -121,6 +121,40 @@ type Entry struct {
 	seq uint64
 }
 
+// View is an exported snapshot of one cached entry for the cluster peer
+// protocol: the page plus the dependency information and remaining
+// freshness window a fetching node needs to insert a locally-invalidatable
+// replica. Body and Deps are the stored slices shared by reference — both
+// are immutable for the entry's lifetime and beyond (entries are removed
+// whole, never rewritten), so holding a View across a removal is safe; the
+// holder must treat them as read-only.
+type View struct {
+	Page
+	// Deps are the read-query instances the page depends on (shared).
+	Deps []analysis.Query
+	// TTL is the remaining freshness window; 0 means the entry lives until
+	// invalidated or evicted.
+	TTL time.Duration
+}
+
+// RemoteInvalidator receives the cache's write-invalidation traffic for
+// fan-out to cluster peers (§3.2 applied cluster-wide). In strong mode the
+// implementation returns only after every reachable peer has applied the
+// invalidation, so InvalidateWrite keeps its contract — the writer's
+// response is released strictly after all dependent pages, anywhere in the
+// cluster, are gone. An async implementation returns immediately
+// (best-effort, time-lagged — the weak-consistency trade of §8).
+type RemoteInvalidator interface {
+	// BroadcastWrite forwards a locally applied write capture to peers.
+	BroadcastWrite(w analysis.WriteCapture)
+	// BroadcastFlush forwards a full cache flush to peers.
+	BroadcastFlush()
+}
+
+// remoteBox wraps the interface for atomic.Value (which needs a consistent
+// concrete type).
+type remoteBox struct{ r RemoteInvalidator }
+
 // Stats are cumulative cache counters.
 type Stats struct {
 	Hits          uint64
@@ -251,6 +285,9 @@ type Cache struct {
 	evictions     atomic.Uint64
 	expirations   atomic.Uint64
 	writesSeen    atomic.Uint64
+
+	// remote, when set, fans invalidation traffic out to cluster peers.
+	remote atomic.Value // remoteBox
 }
 
 // New creates a cache. Options.Engine must be set.
@@ -312,11 +349,28 @@ func (c *Cache) ForceMiss() bool { return c.opts.ForceMiss }
 // Shards returns the lock-stripe count.
 func (c *Cache) Shards() int { return len(c.pageShards) }
 
-// Lookup returns the cached page for key, if present and not expired
-// (§3.1 "cache checks"). The returned Page is a zero-copy view of the
-// stored entry: its body is shared and immutable (see Page), so the hit
-// path performs no allocation.
-func (c *Cache) Lookup(key string) (Page, bool) {
+// SetRemote attaches the cluster peer tier: from now on InvalidateWrite and
+// Flush also broadcast to peers (a nil r detaches). Peers applying a
+// received broadcast must use InvalidateWriteLocal / FlushLocal, or the
+// invalidation would echo around the cluster forever.
+func (c *Cache) SetRemote(r RemoteInvalidator) {
+	c.remote.Store(remoteBox{r: r})
+}
+
+// loadRemote returns the attached peer tier, or nil.
+func (c *Cache) loadRemote() RemoteInvalidator {
+	if b, ok := c.remote.Load().(remoteBox); ok {
+		return b.r
+	}
+	return nil
+}
+
+// hitEntry is the shared hit path behind Lookup and Export: find the live
+// entry, expire it if its TTL passed, bump the hit count and recency, and
+// maintain the counters. The returned entry is read-only for the caller —
+// its Body, ContentType, Deps and ExpiresAt are immutable after insert, so
+// reading them outside the shard lock is safe.
+func (c *Cache) hitEntry(key string) (*Entry, bool) {
 	now := c.opts.Clock()
 	s := c.pageShard(key)
 	s.mu.Lock()
@@ -324,7 +378,7 @@ func (c *Cache) Lookup(key string) (Page, bool) {
 	if !present || c.opts.ForceMiss {
 		s.mu.Unlock()
 		c.misses.Add(1)
-		return Page{}, false
+		return nil, false
 	}
 	e := el.Value.(*Entry)
 	if !e.ExpiresAt.IsZero() && now.After(e.ExpiresAt) {
@@ -332,7 +386,7 @@ func (c *Cache) Lookup(key string) (Page, bool) {
 		s.mu.Unlock()
 		c.expirations.Add(1)
 		c.misses.Add(1)
-		return Page{}, false
+		return nil, false
 	}
 	e.hits++
 	// Recency only matters when eviction can happen; on an unbounded cache
@@ -341,10 +395,38 @@ func (c *Cache) Lookup(key string) (Page, bool) {
 		s.order.MoveToBack(el)
 		e.seq = c.seq.Add(1)
 	}
-	pg := Page{Body: e.Body, ContentType: e.ContentType}
 	s.mu.Unlock()
 	c.hits.Add(1)
-	return pg, true
+	return e, true
+}
+
+// Lookup returns the cached page for key, if present and not expired
+// (§3.1 "cache checks"). The returned Page is a zero-copy view of the
+// stored entry: its body is shared and immutable (see Page), so the hit
+// path performs no allocation.
+func (c *Cache) Lookup(key string) (Page, bool) {
+	e, ok := c.hitEntry(key)
+	if !ok {
+		return Page{}, false
+	}
+	return Page{Body: e.Body, ContentType: e.ContentType}, true
+}
+
+// Export returns the full stored entry for key — page, dependency info and
+// remaining TTL — for serving a cluster peer's fetch. It counts as a hit
+// (a remote fetch is a read of this node's cache) and refreshes recency
+// like Lookup. The returned View shares the stored immutable slices; see
+// View for the ownership contract.
+func (c *Cache) Export(key string) (View, bool) {
+	e, ok := c.hitEntry(key)
+	if !ok {
+		return View{}, false
+	}
+	v := View{Page: Page{Body: e.Body, ContentType: e.ContentType}, Deps: e.Deps}
+	if !e.ExpiresAt.IsZero() {
+		v.TTL = e.ExpiresAt.Sub(c.opts.Clock())
+	}
+	return v, true
 }
 
 // Insert stores a page with its dependency information (§3.1 "cache
@@ -460,10 +542,27 @@ func (c *Cache) addDepLocked(d analysis.Query, pageKey string) {
 }
 
 // InvalidateWrite removes every cached page whose dependency set intersects
-// the write (§3.1 "cache invalidations"). It returns the number of pages
-// invalidated. The write should have been captured with
-// Engine.CaptureWrite before the write executed.
+// the write (§3.1 "cache invalidations"), then broadcasts the capture to
+// the attached cluster peers, if any (§3.2 cluster-wide: in strong mode the
+// call returns only after every reachable peer has also invalidated). It
+// returns the number of pages invalidated locally. The write should have
+// been captured with Engine.CaptureWrite before the write executed.
 func (c *Cache) InvalidateWrite(w analysis.WriteCapture) (int, error) {
+	n, err := c.InvalidateWriteLocal(w)
+	if err != nil {
+		return n, err
+	}
+	if r := c.loadRemote(); r != nil {
+		r.BroadcastWrite(w)
+	}
+	return n, nil
+}
+
+// InvalidateWriteLocal is InvalidateWrite restricted to this process's
+// cache — no peer broadcast. It is the entry point for invalidations that
+// arrive FROM a peer (broadcasting those again would echo forever) and for
+// callers that manage fan-out themselves.
+func (c *Cache) InvalidateWriteLocal(w analysis.WriteCapture) (int, error) {
 	// Snapshot the dependency instances shard by shard, then run the
 	// (potentially extra-query-backed) intersection tests outside all locks
 	// so concurrent lookups are not serialised behind the analysis.
@@ -570,11 +669,21 @@ func (c *Cache) InvalidateKey(key string) bool {
 	return true
 }
 
-// Flush empties the cache. Entries are removed shard by shard through the
+// Flush empties the cache, then broadcasts the flush to the attached
+// cluster peers, if any. Entries are removed shard by shard through the
 // regular removal path, so the dependency table stays consistent; pages
 // inserted concurrently with the flush may survive, as they would had they
 // been inserted just after it.
 func (c *Cache) Flush() {
+	c.FlushLocal()
+	if r := c.loadRemote(); r != nil {
+		r.BroadcastFlush()
+	}
+}
+
+// FlushLocal empties this process's cache without broadcasting — the entry
+// point for flushes arriving from a peer.
+func (c *Cache) FlushLocal() {
 	for i := range c.pageShards {
 		s := &c.pageShards[i]
 		s.mu.Lock()

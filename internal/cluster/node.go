@@ -1,0 +1,469 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/cache"
+	"autowebcache/internal/qrcache"
+)
+
+// Deployment note: the tier keeps the CACHES consistent — it assumes the
+// paper's architecture, where every web-tier node queries one shared
+// database. The bundled servers embed a per-process memdb instead, so in
+// `make cluster-demo` each node's generated pages reflect its own database
+// copy and writes diverge across nodes; the cache-layer guarantees
+// (ownership, fetch, cluster-wide invalidation) are exactly what a
+// shared-database deployment would get.
+
+// Config configures a Node.
+type Config struct {
+	// Listen is the peer-protocol listen address (e.g. "127.0.0.1:9001", or
+	// "127.0.0.1:0" in tests). Its host:port — as configured — is the
+	// node's ring identity, so it must be the exact string the other nodes
+	// carry in their Peers lists, and peers must be able to dial it.
+	// Required.
+	Listen string
+	// Advertise overrides the ring identity when Listen is not the address
+	// peers dial (e.g. listening on all interfaces or behind NAT): set it
+	// to the exact string the other nodes carry in their Peers lists.
+	Advertise string
+	// Peers are the OTHER nodes' peer addresses; the node adds itself. An
+	// empty list is pure local mode: fetches miss without touching the
+	// network and broadcasts are no-ops.
+	Peers []string
+	// Cache is the process's page cache the node serves and invalidates.
+	// Required.
+	Cache *cache.Cache
+	// QueryCache, when set, also receives peer invalidation broadcasts.
+	QueryCache *qrcache.Conn
+	// Async switches invalidation broadcasts to best-effort fire-and-forget:
+	// InvalidateWrite returns without waiting for peers, so remote replicas
+	// may serve stale pages for the propagation delay — the time-lagged
+	// consistency trade of §8, cluster-flavoured. Default false (strong:
+	// the write blocks until every reachable peer has invalidated, §3.2).
+	Async bool
+	// VNodes is the virtual-node count per node (0 = DefaultVNodes).
+	VNodes int
+	// Replication is how many ring-successor nodes hold each key (0 = 1).
+	// Fetches try the owners in ring order; offers replicate to all of them.
+	Replication int
+	// DialTimeout and CallTimeout bound peer dials and round trips
+	// (default 2s each). A slow or dead peer costs at most one CallTimeout
+	// per operation, after which it is treated as a miss.
+	DialTimeout time.Duration
+	CallTimeout time.Duration
+}
+
+// Stats are cumulative node counters.
+type Stats struct {
+	RemoteHits     uint64 // fetches served by a peer
+	RemoteMisses   uint64 // fetches no peer could serve
+	FetchAborts    uint64 // fetched pages discarded: an invalidation raced the fetch
+	FetchErrors    uint64 // peer calls that failed mid-fetch
+	OffersSent     uint64 // pages replicated to owners
+	InvSent        uint64 // invalidation broadcasts sent (per peer)
+	InvErrors      uint64 // invalidation broadcasts that failed (per peer)
+	GetsServed     uint64 // peer fetches this node answered (found or not)
+	PutsApplied    uint64 // replica pages this node accepted
+	InvApplied     uint64 // peer invalidations this node applied
+	FlushApplied   uint64 // peer flushes this node applied
+	PagesRemoved   uint64 // pages removed by peer invalidations
+	ResultsRemoved uint64 // result sets removed by peer invalidations
+}
+
+// Node is one member of the cache cluster. It implements the weave's
+// Remote (Fetch/Offer) and the cache's RemoteInvalidator
+// (BroadcastWrite/BroadcastFlush). Create with New, then Start; Start
+// registers the node on its cache, so every InvalidateWrite on the local
+// cache fans out cluster-wide from then on.
+type Node struct {
+	cfg  Config
+	self string // resolved listen address = ring identity
+
+	ring atomic.Pointer[Ring]
+
+	mu    sync.Mutex
+	peers map[string]*peer // addr -> client (never contains self)
+
+	srv *server
+
+	// invEpoch counts invalidation events applied to this node (local
+	// writes, peer broadcasts, flushes). A fetch whose network round trip
+	// straddles an epoch change is discarded instead of inserted: the page
+	// may predate an invalidation that already swept this cache, and
+	// caching it would outlive the §3.2 guarantee.
+	invEpoch atomic.Uint64
+
+	remoteHits     atomic.Uint64
+	remoteMisses   atomic.Uint64
+	fetchAborts    atomic.Uint64
+	fetchErrors    atomic.Uint64
+	offersSent     atomic.Uint64
+	invSent        atomic.Uint64
+	invErrors      atomic.Uint64
+	getsServed     atomic.Uint64
+	putsApplied    atomic.Uint64
+	invApplied     atomic.Uint64
+	flushApplied   atomic.Uint64
+	pagesRemoved   atomic.Uint64
+	resultsRemoved atomic.Uint64
+}
+
+// New creates a Node. Call Start to listen and join the ring.
+func New(cfg Config) (*Node, error) {
+	if cfg.Cache == nil {
+		return nil, fmt.Errorf("cluster: Config.Cache is required")
+	}
+	if cfg.Listen == "" {
+		return nil, fmt.Errorf("cluster: Config.Listen is required")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	return &Node{cfg: cfg, peers: make(map[string]*peer)}, nil
+}
+
+// Start listens on the configured address, builds the ring from self +
+// Peers, and attaches the node to its cache as the remote invalidator.
+func (n *Node) Start() error {
+	ln, err := net.Listen("tcp", n.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("cluster: listen %s: %w", n.cfg.Listen, err)
+	}
+	self, err := ringIdentity(n.cfg, ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	n.self = self
+	n.srv = newServer(ln, n)
+	n.SetPeers(n.cfg.Peers)
+	n.cfg.Cache.SetRemote(n)
+	return nil
+}
+
+// ringIdentity picks the node's ring identity. Consistent hashing places
+// keys by the *string* identity, so every node must use for itself exactly
+// the string its peers dial; a silent mismatch (":9091" resolving to
+// "[::]:9091" while peers carry "127.0.0.1:9091") would make the nodes
+// disagree on ownership with no error anywhere.
+func ringIdentity(cfg Config, resolved string) (string, error) {
+	if cfg.Advertise != "" {
+		return cfg.Advertise, nil
+	}
+	host, port, err := net.SplitHostPort(cfg.Listen)
+	if err != nil {
+		return "", fmt.Errorf("cluster: bad listen address %q: %w", cfg.Listen, err)
+	}
+	unspecified := host == "" || host == "0.0.0.0" || host == "::"
+	if !unspecified && port != "0" {
+		// The configured address is concrete: use it verbatim, so it matches
+		// the peers' configured strings byte for byte.
+		return cfg.Listen, nil
+	}
+	if unspecified && len(cfg.Peers) > 0 {
+		return "", fmt.Errorf("cluster: listen address %q has no routable host for the ring identity; "+
+			"listen on an explicit host:port or set Config.Advertise", cfg.Listen)
+	}
+	// Port 0 (tests) or a solo node: the resolved address is fine.
+	return resolved, nil
+}
+
+// Close detaches the node from its cache, stops the server and drops every
+// peer connection.
+func (n *Node) Close() error {
+	n.cfg.Cache.SetRemote(nil)
+	if n.srv != nil {
+		n.srv.close()
+	}
+	n.mu.Lock()
+	peers := n.peers
+	n.peers = make(map[string]*peer)
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.close()
+	}
+	return nil
+}
+
+// Addr returns the node's resolved peer address (its ring identity) —
+// useful when Listen was ":0".
+func (n *Node) Addr() string { return n.self }
+
+// Ring returns the current membership snapshot.
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// SetPeers replaces the peer set (self is implicit) and rebuilds the ring —
+// the runtime membership-change entry point: removing a dead node here
+// rebalances its keyspace onto the survivors; adding one takes over its
+// ring arcs. Existing connections to retained peers are kept.
+func (n *Node) SetPeers(peers []string) {
+	n.mu.Lock()
+	next := make(map[string]*peer, len(peers))
+	for _, addr := range peers {
+		if addr == "" || addr == n.self {
+			continue
+		}
+		if p, ok := n.peers[addr]; ok {
+			next[addr] = p
+			delete(n.peers, addr)
+			continue
+		}
+		next[addr] = newPeer(addr, n.cfg.DialTimeout, n.cfg.CallTimeout)
+	}
+	dropped := n.peers
+	n.peers = next
+	members := make([]string, 0, len(next)+1)
+	members = append(members, n.self)
+	for addr := range next {
+		members = append(members, addr)
+	}
+	n.mu.Unlock()
+	n.ring.Store(NewRing(members, n.cfg.VNodes))
+	for _, p := range dropped {
+		p.close()
+	}
+}
+
+// peerFor returns the client for addr, or nil for self/unknown members.
+func (n *Node) peerFor(addr string) *peer {
+	n.mu.Lock()
+	p := n.peers[addr]
+	n.mu.Unlock()
+	return p
+}
+
+// owners returns the key's owner set under the current ring.
+func (n *Node) owners(key string) []string {
+	r := n.ring.Load()
+	if r == nil {
+		return nil
+	}
+	return r.Owners(key, n.cfg.Replication)
+}
+
+// Fetch implements weave.Remote: after a local miss, ask the key's owners
+// (in ring order, skipping self) for the page. On success the page is
+// inserted into the local cache with its dependency information — a replica
+// that later local lookups hit directly and that invalidation broadcasts
+// keep consistent — and the stored view is returned. ok=false means no
+// peer had the page (or all were unreachable): the caller falls back to
+// executing the handler.
+func (n *Node) Fetch(ctx context.Context, key string) (cache.Page, bool) {
+	for _, owner := range n.owners(key) {
+		if owner == n.self {
+			continue // we already missed locally
+		}
+		p := n.peerFor(owner)
+		if p == nil {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		epoch := n.invEpoch.Load()
+		var meta getRespMeta
+		body, err := p.call(msgGet, getMeta{Key: key}, nil, &meta)
+		if err != nil {
+			n.fetchErrors.Add(1)
+			continue
+		}
+		if !meta.Found {
+			continue
+		}
+		if n.invEpoch.Load() != epoch {
+			// An invalidation swept this cache while the page was in
+			// flight; it may predate the write, and the sweep that would
+			// have removed it has already run. Discard and regenerate.
+			n.fetchAborts.Add(1)
+			break
+		}
+		stored := n.cfg.Cache.Insert(key, body, meta.ContentType,
+			fromWireQueries(meta.Deps), ttlFromNanos(meta.TTLNanos))
+		n.remoteHits.Add(1)
+		return stored, true
+	}
+	n.remoteMisses.Add(1)
+	return cache.Page{}, false
+}
+
+// Offer implements weave.Remote: replicate a locally generated page to the
+// key's owners so the next fetch from any node finds it there. It is
+// synchronous — each owner is written before Offer returns, so a write
+// issued after this page's response cannot broadcast past an in-flight
+// replica. (A write *concurrent* with the generating request can still
+// land between the page's reads and this replication; that is the same
+// insert-after-read window the single-node weave has always had, and the
+// next write on the row clears it.) Errors are best-effort-ignored — a
+// lost replica only costs a future remote miss. Self-owned keys are
+// already stored locally; an empty peer set makes Offer a no-op.
+func (n *Node) Offer(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration) {
+	var wireDeps []wireQuery
+	for _, owner := range n.owners(key) {
+		if owner == n.self {
+			continue
+		}
+		p := n.peerFor(owner)
+		if p == nil {
+			continue
+		}
+		if wireDeps == nil {
+			wireDeps = toWireQueries(deps)
+		}
+		meta := putMeta{Key: key, ContentType: contentType, TTLNanos: int64(ttl), Deps: wireDeps}
+		if _, err := p.call(msgPut, meta, body, &putRespMeta{}); err == nil {
+			n.offersSent.Add(1)
+		}
+	}
+}
+
+// BroadcastWrite implements cache.RemoteInvalidator: forward a locally
+// applied write capture to every peer. Strong mode waits for all peers
+// (bounded by CallTimeout each, in parallel) before returning, so the
+// caller's InvalidateWrite — and therefore the writer's HTTP response —
+// is released only after the invalidation has been applied cluster-wide.
+// Async mode returns immediately.
+func (n *Node) BroadcastWrite(w analysis.WriteCapture) {
+	n.invEpoch.Add(1)
+	if n.cfg.Async {
+		go n.broadcast(msgInv, invMeta{Capture: toWireCapture(w)})
+		return
+	}
+	n.broadcast(msgInv, invMeta{Capture: toWireCapture(w)})
+}
+
+// BroadcastFlush implements cache.RemoteInvalidator for full flushes
+// (unanalysable writes fall back to flushing; the fallback must be
+// cluster-wide too or peers would keep serving pages the origin dropped).
+func (n *Node) BroadcastFlush() {
+	n.invEpoch.Add(1)
+	if n.cfg.Async {
+		go n.broadcast(msgFlush, struct{}{})
+		return
+	}
+	n.broadcast(msgFlush, struct{}{})
+}
+
+// broadcast sends one message to every peer in parallel and waits for the
+// responses (or their timeouts).
+func (n *Node) broadcast(typ byte, meta any) {
+	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	if len(peers) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			if _, err := p.call(typ, meta, nil, nil); err != nil {
+				n.invErrors.Add(1)
+				return
+			}
+			n.invSent.Add(1)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// handleFrame serves one peer request (the server side of the protocol).
+func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, error) {
+	switch typ {
+	case msgGet:
+		var m getMeta
+		if err := decodeMeta(typ, meta, &m); err != nil {
+			return 0, nil, nil, err
+		}
+		n.getsServed.Add(1)
+		v, ok := n.cfg.Cache.Export(m.Key)
+		if !ok {
+			return msgGetResp, getRespMeta{Found: false}, nil, nil
+		}
+		return msgGetResp, getRespMeta{
+			Found:       true,
+			ContentType: v.ContentType,
+			TTLNanos:    int64(v.TTL),
+			Deps:        toWireQueries(v.Deps),
+		}, v.Body, nil
+
+	case msgPut:
+		var m putMeta
+		if err := decodeMeta(typ, meta, &m); err != nil {
+			return 0, nil, nil, err
+		}
+		n.cfg.Cache.Insert(m.Key, body, m.ContentType,
+			fromWireQueries(m.Deps), ttlFromNanos(m.TTLNanos))
+		n.putsApplied.Add(1)
+		return msgPutResp, putRespMeta{OK: true}, nil, nil
+
+	case msgInv:
+		var m invMeta
+		if err := decodeMeta(typ, meta, &m); err != nil {
+			return 0, nil, nil, err
+		}
+		w := m.Capture.capture()
+		n.invEpoch.Add(1)
+		// Local-only application: re-broadcasting a received invalidation
+		// would echo around the cluster forever.
+		pages, err := n.cfg.Cache.InvalidateWriteLocal(w)
+		if err != nil {
+			// Unanalysable here: flush, the always-sound fallback.
+			pages = n.cfg.Cache.Len()
+			n.cfg.Cache.FlushLocal()
+		}
+		results := 0
+		if n.cfg.QueryCache != nil {
+			results = n.cfg.QueryCache.InvalidateCapture(w)
+		}
+		n.invApplied.Add(1)
+		n.pagesRemoved.Add(uint64(pages))
+		n.resultsRemoved.Add(uint64(results))
+		return msgInvResp, invRespMeta{Pages: pages, Results: results}, nil, nil
+
+	case msgFlush:
+		n.invEpoch.Add(1)
+		n.cfg.Cache.FlushLocal()
+		if n.cfg.QueryCache != nil {
+			n.cfg.QueryCache.Flush()
+		}
+		n.flushApplied.Add(1)
+		return msgFlushResp, flushRespMeta{OK: true}, nil, nil
+	}
+	return 0, nil, nil, fmt.Errorf("cluster: unknown message type %d", typ)
+}
+
+// Stats returns a snapshot of the node counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		RemoteHits:     n.remoteHits.Load(),
+		RemoteMisses:   n.remoteMisses.Load(),
+		FetchAborts:    n.fetchAborts.Load(),
+		FetchErrors:    n.fetchErrors.Load(),
+		OffersSent:     n.offersSent.Load(),
+		InvSent:        n.invSent.Load(),
+		InvErrors:      n.invErrors.Load(),
+		GetsServed:     n.getsServed.Load(),
+		PutsApplied:    n.putsApplied.Load(),
+		InvApplied:     n.invApplied.Load(),
+		FlushApplied:   n.flushApplied.Load(),
+		PagesRemoved:   n.pagesRemoved.Load(),
+		ResultsRemoved: n.resultsRemoved.Load(),
+	}
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// frameHandler serves one decoded request frame and returns the response
+// frame. Node implements it.
+type frameHandler interface {
+	handleFrame(typ byte, meta, body []byte) (respTyp byte, respMeta any, respBody []byte, err error)
+}
+
+// server accepts peer connections and serves request/response frames.
+type server struct {
+	ln      net.Listener
+	h       frameHandler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]bool
+	closing bool
+}
+
+func newServer(ln net.Listener, h frameHandler) *server {
+	s := &server{ln: ln, h: h, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+func (s *server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		typ, meta, body, err := readFrame(conn)
+		if err != nil {
+			return // EOF, peer gone, or garbage: drop the connection
+		}
+		respTyp, respMeta, respBody, err := s.h.handleFrame(typ, meta, body)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, respTyp, respMeta, respBody); err != nil {
+			return
+		}
+	}
+}
+
+// close stops accepting, severs live connections and waits for handlers.
+func (s *server) close() {
+	s.mu.Lock()
+	s.closing = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// maxIdleConns bounds the per-peer connection pool. Requests beyond the
+// pool dial fresh connections and the surplus is closed on return.
+const maxIdleConns = 4
+
+// peer is the client side of one remote node: a small pool of persistent
+// connections carrying strictly alternating request/response frames.
+type peer struct {
+	addr        string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+func newPeer(addr string, dialTimeout, callTimeout time.Duration) *peer {
+	return &peer{addr: addr, dialTimeout: dialTimeout, callTimeout: callTimeout}
+}
+
+// call performs one round trip, decoding the response meta into respMeta
+// (when non-nil) and returning the raw response body. Any transport error
+// discards the connection; the caller treats errors as a miss or a
+// best-effort failure, never retries into the same broken pipe.
+func (p *peer) call(typ byte, meta any, body []byte, respMeta any) ([]byte, error) {
+	conn, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(p.callTimeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeFrame(conn, typ, meta, body); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	gotTyp, gotMeta, gotBody, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if gotTyp != typ+1 {
+		conn.Close()
+		return nil, errUnexpectedResponse(gotTyp, typ+1)
+	}
+	if respMeta != nil {
+		if err := decodeMeta(gotTyp, gotMeta, respMeta); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	p.put(conn)
+	return gotBody, nil
+}
+
+type errUnexpected struct{ got, want byte }
+
+func errUnexpectedResponse(got, want byte) error { return errUnexpected{got, want} }
+
+func (e errUnexpected) Error() string {
+	return "cluster: unexpected response type " + string('0'+e.got) + " (want " + string('0'+e.want) + ")"
+}
+
+// get pops an idle connection or dials a new one.
+func (p *peer) get() (net.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return net.DialTimeout("tcp", p.addr, p.dialTimeout)
+}
+
+// put returns a healthy connection to the pool.
+func (p *peer) put(c net.Conn) {
+	_ = c.SetDeadline(time.Time{})
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= maxIdleConns {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// close drops the pool. In-flight calls finish on their own connections.
+func (p *peer) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/memdb"
+)
+
+// The peer protocol: each message is one length-prefixed frame,
+//
+//	[4B total length][1B message type][4B meta length][meta JSON][raw body]
+//
+// where the total length covers everything after itself. Page bodies travel
+// as the raw trailing bytes — never inside the JSON — so a fetch moves the
+// stored body with one copy onto the wire and no base64 inflation.
+// Requests and responses alternate strictly on one connection; concurrency
+// comes from the per-peer connection pool, not from multiplexing.
+const (
+	msgGet       byte = 1 // fetch a page from its owner; body: none
+	msgGetResp   byte = 2 // body: the page body when found
+	msgPut       byte = 3 // replicate a page to an owner; body: the page body
+	msgPutResp   byte = 4
+	msgInv       byte = 5 // apply a write invalidation; meta carries the capture
+	msgInvResp   byte = 6
+	msgFlush     byte = 7 // drop every cached page and result set
+	msgFlushResp byte = 8
+)
+
+// maxFrame bounds a frame so a corrupt or hostile length prefix cannot make
+// a peer allocate unboundedly. Cached pages are HTML; 64 MiB is generous.
+const maxFrame = 64 << 20
+
+// getMeta asks for one page.
+type getMeta struct {
+	Key string `json:"key"`
+}
+
+// getRespMeta describes the fetched page; the body rides as frame body.
+// Deps carry the page's dependency information so the fetching node can
+// insert a locally-invalidatable replica, and TTLNanos the remaining
+// freshness window (0 = lives until invalidated).
+type getRespMeta struct {
+	Found       bool        `json:"found"`
+	ContentType string      `json:"ct,omitempty"`
+	TTLNanos    int64       `json:"ttl,omitempty"`
+	Deps        []wireQuery `json:"deps,omitempty"`
+}
+
+// putMeta replicates a locally generated page to the key's owner.
+type putMeta struct {
+	Key         string      `json:"key"`
+	ContentType string      `json:"ct,omitempty"`
+	TTLNanos    int64       `json:"ttl,omitempty"`
+	Deps        []wireQuery `json:"deps,omitempty"`
+}
+
+type putRespMeta struct {
+	OK bool `json:"ok"`
+}
+
+// invMeta carries a write capture for remote invalidation. Flush is the
+// dedicated msgFlush, not an empty capture.
+type invMeta struct {
+	Capture wireCapture `json:"capture"`
+}
+
+// invRespMeta reports how many pages and result sets the peer removed.
+type invRespMeta struct {
+	Pages   int `json:"pages"`
+	Results int `json:"results"`
+}
+
+type flushRespMeta struct {
+	OK bool `json:"ok"`
+}
+
+// wireValue is a memdb.Value with its dynamic type made explicit, so int64
+// survives the JSON round trip instead of decaying to float64.
+type wireValue struct {
+	K string  `json:"k"` // "n" null, "i" int, "f" float, "s" string
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+}
+
+func toWireValue(v memdb.Value) wireValue {
+	switch x := v.(type) {
+	case nil:
+		return wireValue{K: "n"}
+	case int64:
+		return wireValue{K: "i", I: x}
+	case float64:
+		return wireValue{K: "f", F: x}
+	case string:
+		return wireValue{K: "s", S: x}
+	default:
+		// Unreachable for normalised values; stringify rather than drop.
+		return wireValue{K: "s", S: fmt.Sprint(x)}
+	}
+}
+
+func (w wireValue) value() memdb.Value {
+	switch w.K {
+	case "i":
+		return w.I
+	case "f":
+		return w.F
+	case "s":
+		return w.S
+	}
+	return nil
+}
+
+func toWireValues(vs []memdb.Value) []wireValue {
+	if vs == nil {
+		return nil
+	}
+	out := make([]wireValue, len(vs))
+	for i, v := range vs {
+		out[i] = toWireValue(v)
+	}
+	return out
+}
+
+func fromWireValues(ws []wireValue) []memdb.Value {
+	if ws == nil {
+		return nil
+	}
+	out := make([]memdb.Value, len(ws))
+	for i, w := range ws {
+		out[i] = w.value()
+	}
+	return out
+}
+
+// wireQuery is one dependency instance: template SQL + value vector.
+type wireQuery struct {
+	SQL  string      `json:"sql"`
+	Args []wireValue `json:"args,omitempty"`
+}
+
+func toWireQueries(qs []analysis.Query) []wireQuery {
+	if len(qs) == 0 {
+		return nil
+	}
+	out := make([]wireQuery, len(qs))
+	for i, q := range qs {
+		out[i] = wireQuery{SQL: q.SQL, Args: toWireValues(q.Args)}
+	}
+	return out
+}
+
+func fromWireQueries(ws []wireQuery) []analysis.Query {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]analysis.Query, len(ws))
+	for i, w := range ws {
+		out[i] = analysis.Query{SQL: w.SQL, Args: fromWireValues(w.Args)}
+	}
+	return out
+}
+
+// wireRows serialises a captured result set (the extra-query snapshot of
+// the rows a write touches), preserving the strategy's full precision on
+// the receiving node.
+type wireRows struct {
+	Columns []string      `json:"cols"`
+	Data    [][]wireValue `json:"rows"`
+}
+
+// wireCapture is analysis.WriteCapture on the wire.
+type wireCapture struct {
+	SQL       string      `json:"sql"`
+	Args      []wireValue `json:"args,omitempty"`
+	Affected  *wireRows   `json:"affected,omitempty"`
+	AutoID    int64       `json:"auto_id,omitempty"`
+	HasAutoID bool        `json:"has_auto_id,omitempty"`
+}
+
+func toWireCapture(w analysis.WriteCapture) wireCapture {
+	wc := wireCapture{
+		SQL:       w.SQL,
+		Args:      toWireValues(w.Args),
+		AutoID:    w.AutoID,
+		HasAutoID: w.HasAutoID,
+	}
+	if w.Affected != nil {
+		rows := &wireRows{Columns: w.Affected.Columns, Data: make([][]wireValue, len(w.Affected.Data))}
+		for i, row := range w.Affected.Data {
+			rows.Data[i] = toWireValues(row)
+		}
+		wc.Affected = rows
+	}
+	return wc
+}
+
+func (wc wireCapture) capture() analysis.WriteCapture {
+	w := analysis.WriteCapture{
+		Query:     analysis.Query{SQL: wc.SQL, Args: fromWireValues(wc.Args)},
+		AutoID:    wc.AutoID,
+		HasAutoID: wc.HasAutoID,
+	}
+	if wc.Affected != nil {
+		rows := &memdb.Rows{
+			Columns: append([]string(nil), wc.Affected.Columns...),
+			Data:    make([][]memdb.Value, len(wc.Affected.Data)),
+		}
+		for i, row := range wc.Affected.Data {
+			rows.Data[i] = fromWireValues(row)
+		}
+		w.Affected = rows
+	}
+	return w
+}
+
+// ttlFromNanos converts a wire TTL, clamping negatives (a page that expired
+// in flight) to a one-nanosecond TTL so the insert expires immediately
+// instead of living forever.
+func ttlFromNanos(n int64) time.Duration {
+	if n < 0 {
+		return time.Nanosecond
+	}
+	return time.Duration(n)
+}
+
+// writeFrame marshals meta and writes one frame.
+func writeFrame(w io.Writer, typ byte, meta any, body []byte) error {
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %d: %w", typ, err)
+	}
+	total := 1 + 4 + len(mb) + len(body)
+	if total > maxFrame {
+		return fmt.Errorf("cluster: frame too large (%d bytes)", total)
+	}
+	hdr := make([]byte, 0, 9+len(mb))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(total))
+	hdr = append(hdr, typ)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(mb)))
+	hdr = append(hdr, mb...)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, returning the message type, the raw meta JSON
+// and the raw body. The body aliases the frame's read buffer, which the
+// caller owns from here on.
+func readFrame(r io.Reader) (typ byte, meta, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 5 || total > maxFrame {
+		return 0, nil, nil, fmt.Errorf("cluster: bad frame length %d", total)
+	}
+	payload := make([]byte, total)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, nil, err
+	}
+	typ = payload[0]
+	metaLen := binary.BigEndian.Uint32(payload[1:5])
+	if uint64(5)+uint64(metaLen) > uint64(total) {
+		return 0, nil, nil, fmt.Errorf("cluster: bad meta length %d in %d-byte frame", metaLen, total)
+	}
+	return typ, payload[5 : 5+metaLen], payload[5+metaLen:], nil
+}
+
+// decodeMeta unmarshals a frame's meta JSON.
+func decodeMeta(typ byte, meta []byte, out any) error {
+	if err := json.Unmarshal(meta, out); err != nil {
+		return fmt.Errorf("cluster: unmarshal type-%d meta: %w", typ, err)
+	}
+	return nil
+}

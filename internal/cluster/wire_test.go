@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/memdb"
+)
+
+func TestWireValueRoundTrip(t *testing.T) {
+	vals := []memdb.Value{nil, int64(42), int64(-7), 3.25, "hello", ""}
+	got := fromWireValues(toWireValues(vals))
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("round trip: %#v != %#v", got, vals)
+	}
+	// int64 must stay int64 — the JSON float decay is what wireValue exists
+	// to prevent (memdb.Equal(int64, float64) holds, but KeyOfValues keys
+	// and probe indexes depend on canonical types).
+	if _, ok := got[1].(int64); !ok {
+		t.Fatalf("int64 decayed to %T", got[1])
+	}
+}
+
+func TestWireCaptureRoundTrip(t *testing.T) {
+	w := analysis.WriteCapture{
+		Query: analysis.Query{
+			SQL:  "UPDATE items SET qty = ? WHERE id = ?",
+			Args: []memdb.Value{int64(5), int64(9)},
+		},
+		Affected: &memdb.Rows{
+			Columns: []string{"id", "name", "qty"},
+			Data: [][]memdb.Value{
+				{int64(9), "anvil", int64(3)},
+				{int64(10), nil, 1.5},
+			},
+		},
+		AutoID:    77,
+		HasAutoID: true,
+	}
+	got := toWireCapture(w).capture()
+	if !reflect.DeepEqual(got, w) {
+		t.Fatalf("capture round trip:\n got %#v\nwant %#v", got, w)
+	}
+
+	// No affected rows: the pointer must stay nil (template-level path).
+	w2 := analysis.WriteCapture{Query: analysis.Query{SQL: "DELETE FROM t WHERE a = ?", Args: []memdb.Value{"x"}}}
+	got2 := toWireCapture(w2).capture()
+	if got2.Affected != nil {
+		t.Fatalf("nil Affected materialised: %#v", got2.Affected)
+	}
+	if !reflect.DeepEqual(got2, w2) {
+		t.Fatalf("capture round trip: %#v != %#v", got2, w2)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("<html>page body</html>")
+	meta := getRespMeta{Found: true, ContentType: "text/html", TTLNanos: 123,
+		Deps: []wireQuery{{SQL: "SELECT a FROM t WHERE b = ?", Args: toWireValues([]memdb.Value{int64(1)})}}}
+	if err := writeFrame(&buf, msgGetResp, meta, body); err != nil {
+		t.Fatal(err)
+	}
+	typ, rawMeta, gotBody, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgGetResp {
+		t.Fatalf("type = %d", typ)
+	}
+	var got getRespMeta
+	if err := decodeMeta(typ, rawMeta, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, meta) {
+		t.Fatalf("meta: %#v != %#v", got, meta)
+	}
+	if !bytes.Equal(gotBody, body) {
+		t.Fatalf("body: %q != %q", gotBody, body)
+	}
+}
+
+func TestFrameEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgFlush, struct{}{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, body, err := readFrame(&buf)
+	if err != nil || typ != msgFlush || len(body) != 0 {
+		t.Fatalf("typ=%d body=%q err=%v", typ, body, err)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// A length prefix beyond maxFrame must be rejected before allocation.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0}
+	if _, _, _, err := readFrame(bytes.NewReader(huge)); err == nil {
+		t.Fatal("accepted oversized frame")
+	}
+	// A meta length pointing past the frame end must be rejected.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgGet, getMeta{Key: "k"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[5], b[6], b[7], b[8] = 0xFF, 0xFF, 0xFF, 0xFF // corrupt meta length
+	if _, _, _, err := readFrame(bytes.NewReader(b)); err == nil ||
+		!strings.Contains(err.Error(), "meta length") {
+		t.Fatalf("err = %v", err)
+	}
+	// Truncated stream.
+	if _, _, _, err := readFrame(strings.NewReader("\x00\x00\x00\x10abc")); err == nil {
+		t.Fatal("accepted truncated frame")
+	}
+}
+
+func TestTTLFromNanosClampsNegative(t *testing.T) {
+	if d := ttlFromNanos(-5); d <= 0 {
+		t.Fatalf("negative wire TTL must become a positive immediate expiry, got %v", d)
+	}
+	if d := ttlFromNanos(0); d != 0 {
+		t.Fatalf("zero TTL must stay zero (no expiry), got %v", d)
+	}
+}

@@ -354,6 +354,25 @@ func (c *Conn) Exec(ctx context.Context, sql string, args ...any) (memdb.Result,
 	return res, nil
 }
 
+// InvalidateCapture applies a write capture that was analysed elsewhere —
+// the remote-invalidation entry point for the cluster peer tier, whose
+// broadcasts carry the origin node's capture (including the pre-write
+// extra-query snapshot, so the strategy keeps its full precision on every
+// node). An unanalysable capture flushes the whole cache: over-invalidation
+// is always sound. It returns the number of result sets removed (the whole
+// cache's worth on a flush).
+func (c *Conn) InvalidateCapture(w analysis.WriteCapture) int {
+	n, err := c.invalidate(w)
+	if err != nil {
+		n = int(c.count.Load())
+		c.flush()
+	}
+	return n
+}
+
+// Flush drops every cached result set — the remote-flush entry point.
+func (c *Conn) Flush() { c.flush() }
+
 // invalidate removes the result sets the write intersects.
 func (c *Conn) invalidate(w analysis.WriteCapture) (int, error) {
 	pw, err := c.engine.PrepareWrite(w)

@@ -15,6 +15,7 @@ const (
 	OutcomeHit         Outcome = "hit"          // served from the cache
 	OutcomeSemanticHit Outcome = "semantic-hit" // served from the cache under a semantic TTL window
 	OutcomeCoalesced   Outcome = "coalesced"    // miss coalesced onto a concurrent flight's result
+	OutcomeRemoteHit   Outcome = "remote-hit"   // local miss served by a cluster peer (owner fetch)
 	OutcomeMiss        Outcome = "miss"         // generated, then inserted
 	OutcomeWrite       Outcome = "write"        // write interaction (invalidates)
 	OutcomeUncacheable Outcome = "uncacheable"  // bypassed the cache by rule
@@ -35,6 +36,7 @@ type InteractionStats struct {
 	Hits         uint64 // strong-consistency cache hits (including coalesced)
 	SemanticHits uint64 // hits under a semantic TTL window
 	Coalesced    uint64 // misses served by a concurrent flight (subset of Hits/SemanticHits)
+	RemoteHits   uint64 // local misses served by a cluster peer
 	Misses       uint64
 	Writes       uint64
 	Uncacheable  uint64
@@ -73,12 +75,14 @@ func (s *InteractionStats) MissPenalty() time.Duration {
 	return p
 }
 
-// HitRate returns hits (including semantic hits) as a fraction of requests.
+// HitRate returns hits (strong, semantic and remote) as a fraction of
+// requests: every request the cache tier — local or peer — spared a handler
+// execution.
 func (s *InteractionStats) HitRate() float64 {
 	if s.Requests == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.SemanticHits) / float64(s.Requests)
+	return float64(s.Hits+s.SemanticHits+s.RemoteHits) / float64(s.Requests)
 }
 
 // add merges o into s (for totals).
@@ -87,6 +91,7 @@ func (s *InteractionStats) add(o *InteractionStats) {
 	s.Hits += o.Hits
 	s.SemanticHits += o.SemanticHits
 	s.Coalesced += o.Coalesced
+	s.RemoteHits += o.RemoteHits
 	s.Misses += o.Misses
 	s.Writes += o.Writes
 	s.Uncacheable += o.Uncacheable
@@ -104,6 +109,7 @@ type counters struct {
 	hits         atomic.Uint64
 	semanticHits atomic.Uint64
 	coalesced    atomic.Uint64
+	remoteHits   atomic.Uint64
 	misses       atomic.Uint64
 	writes       atomic.Uint64
 	uncacheable  atomic.Uint64
@@ -127,6 +133,7 @@ func (c *counters) snapshot(name string) InteractionStats {
 		Hits:             c.hits.Load(),
 		SemanticHits:     c.semanticHits.Load(),
 		Coalesced:        c.coalesced.Load(),
+		RemoteHits:       c.remoteHits.Load(),
 		Misses:           c.misses.Load(),
 		Writes:           c.writes.Load(),
 		Uncacheable:      c.uncacheable.Load(),
@@ -177,6 +184,11 @@ func (s *Stats) Record(name string, outcome Outcome, d time.Duration, invalidate
 		// land in the right bucket; this case covers direct callers.)
 		c.hits.Add(1)
 		c.coalesced.Add(1)
+		c.hitNs.Add(int64(d))
+	case OutcomeRemoteHit:
+		// A remote hit skipped the handler: the page came from a peer's
+		// cache. It counts towards HitRate via its own bucket.
+		c.remoteHits.Add(1)
 		c.hitNs.Add(int64(d))
 	case OutcomeMiss:
 		c.misses.Add(1)

@@ -2,14 +2,28 @@ package weave
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
+	"autowebcache/internal/analysis"
 	"autowebcache/internal/cache"
 	"autowebcache/internal/servlet"
 )
+
+// Remote is the optional cluster peer tier consulted between a local cache
+// miss and handler execution (internal/cluster.Node implements it). Fetch
+// asks the key's owner nodes for the page; on success the implementation
+// has inserted a local replica (with its dependency information, so local
+// invalidation covers it) and returns the stored immutable view. Offer
+// replicates a freshly generated page to the key's owners; its deps slice
+// is shared with the cache and must be treated read-only.
+type Remote interface {
+	Fetch(ctx context.Context, key string) (cache.Page, bool)
+	Offer(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration)
+}
 
 // Rules are the weaving rules: the per-application cacheability knowledge
 // that the paper keeps outside both the application and the caching library
@@ -52,6 +66,11 @@ type Woven struct {
 	stats      *Stats
 	handlers   []servlet.HandlerInfo
 	keyCookies []string
+
+	// remote, when set, is the cluster peer tier: flight leaders try a
+	// remote fetch before executing the handler, and misses replicate the
+	// generated page to the key's owners.
+	remote Remote
 
 	// flights coalesces concurrent misses on one page key: the first
 	// request (the leader) runs the handler; followers wait and share the
@@ -125,6 +144,13 @@ func New(handlers []servlet.HandlerInfo, c *cache.Cache, rules Rules) (*Woven, e
 func (w *Woven) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	w.mux.ServeHTTP(rw, r)
 }
+
+// SetRemote attaches the cluster peer tier (nil detaches). It must be
+// called before the Woven serves traffic; the field is read on every
+// request without synchronisation. The local-hit fast path is unaffected:
+// a page present in the local cache is served before the remote tier is
+// ever consulted, so clustering costs locally-owned hits nothing.
+func (w *Woven) SetRemote(r Remote) { w.remote = r }
 
 // Stats returns the per-interaction statistics collector.
 func (w *Woven) Stats() *Stats { return w.stats }
@@ -260,6 +286,22 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 						return
 					}
 				}
+				// The remote hop rides inside the flight: the leader pays the
+				// network round trip once and its followers share the fetched
+				// page, so a thundering herd on a remotely-owned key costs one
+				// peer call, not N.
+				if w.remote != nil {
+					if pg, ok := w.remote.Fetch(r.Context(), key); ok {
+						f.page, f.shared = pg, true
+						w.flightMu.Lock()
+						delete(w.flights, key)
+						w.flightMu.Unlock()
+						close(f.done)
+						servePage(rw, pg, OutcomeRemoteHit)
+						w.stats.Record(h.Name, OutcomeRemoteHit, time.Since(start), 0)
+						return
+					}
+				}
 				w.leadMiss(rw, r, h, key, f, start)
 				return
 			}
@@ -325,6 +367,11 @@ func (w *Woven) leadMiss(rw http.ResponseWriter, r *http.Request, h servlet.Hand
 		if f != nil {
 			f.page = stored
 			f.shared = true
+		}
+		// Replicate to the key's owner nodes (no-op when this node owns the
+		// key). The stored immutable body goes out, never the pooled buffer.
+		if w.remote != nil {
+			w.remote.Offer(key, stored.Body, stored.ContentType, deps, h.TTL)
 		}
 	}
 	// A "read" handler that wrote must still invalidate (defensive: the
