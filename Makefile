@@ -2,21 +2,31 @@ GO ?= go
 
 # make bench writes this PR's benchmark record; the gate diffs a fresh run
 # against the committed baseline of the previous PR.
-BENCH_OUT ?= BENCH_3.json
-BENCH_BASELINE ?= BENCH_2.json
+BENCH_OUT ?= BENCH_4.json
+BENCH_BASELINE ?= BENCH_3.json
 
 # cluster-demo knobs.
 CLUSTER_DURATION ?= 5s
 CLUSTER_CLIENTS ?= 30
 
-.PHONY: check ci fmtcheck build vet test race bench benchsmoke bench-gate experiments cluster-demo
+# Pinned linter versions, mirrored in .github/workflows/ci.yml.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# The coverage floor `make cover` (and CI) enforces on ./internal/... .
+COVER_FLOOR ?= 70
+
+.PHONY: check ci fmtcheck build vet test race bench benchsmoke bench-gate \
+	experiments cluster-demo cover staticcheck govulncheck lint
 
 check: build vet race
 
 # ci mirrors exactly what .github/workflows/ci.yml runs: the check job
-# (fmt, build, vet, race tests) plus the bench-gate job (smoke + regression
-# gate against the committed baseline).
-ci: fmtcheck build vet race benchsmoke bench-gate
+# (fmt, build, vet, lint, race tests, coverage floor) plus the bench-gate
+# job (smoke + regression gate against the committed baseline). The linters
+# need network access to fetch their pinned versions; on an air-gapped box
+# run the individual targets you can.
+ci: fmtcheck build vet lint race cover benchsmoke bench-gate
 
 fmtcheck:
 	@out=$$(gofmt -l .); \
@@ -33,6 +43,25 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+# cover writes cover.out for ./internal/... and fails when total statement
+# coverage drops below $(COVER_FLOOR)%. CI uploads cover.out as an artifact.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+	  if (t + 0 < floor + 0) { printf "coverage %.1f%% is below the %d%% floor\n", t, floor; exit 1 } \
+	  printf "coverage %.1f%% meets the %d%% floor\n", t, floor }'
+
+# lint runs both pinned linters (network required to fetch them).
+lint: staticcheck govulncheck
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 bench:
 	$(GO) test -bench . -run '^$$' -benchtime 1s -benchmem .
@@ -52,25 +81,12 @@ bench-gate:
 experiments:
 	$(GO) run ./cmd/experiments -fast
 
-# cluster-demo boots a 3-node RUBiS cache cluster on localhost and drives
-# it with the multi-target load generator (each client round-robins across
-# the nodes, exercising remote fetch, replication and cluster-wide
-# invalidation). Ctrl-C safe: the servers die with the recipe.
+# cluster-demo boots a 3-node RUBiS cache cluster on localhost, drives it
+# with the multi-target load generator, and asserts the cluster tier's
+# guarantees from the outside (non-zero hit rate, warm local hits, strong
+# cross-node invalidation after a write, cross-node page visibility) — a
+# non-zero exit means a guarantee broke, so CI runs this headlessly as the
+# e2e-cluster job. Ctrl-C safe: the servers die with the script.
 cluster-demo:
-	@mkdir -p bin
-	$(GO) build -o bin/rubis-server ./cmd/rubis-server
-	$(GO) build -o bin/loadgen ./cmd/loadgen
-	@bash -c ' \
-	  bin/rubis-server -addr :8091 -listen-peer 127.0.0.1:9091 -peers 127.0.0.1:9092,127.0.0.1:9093 & P1=$$!; \
-	  bin/rubis-server -addr :8092 -listen-peer 127.0.0.1:9092 -peers 127.0.0.1:9091,127.0.0.1:9093 & P2=$$!; \
-	  bin/rubis-server -addr :8093 -listen-peer 127.0.0.1:9093 -peers 127.0.0.1:9091,127.0.0.1:9092 & P3=$$!; \
-	  trap "kill $$P1 $$P2 $$P3 2>/dev/null" EXIT; \
-	  for port in 8091 8092 8093; do \
-	    for i in $$(seq 1 100); do \
-	      if curl -sf -o /dev/null http://localhost:$$port/; then break; fi; sleep 0.2; \
-	    done; \
-	  done; \
-	  echo "three nodes up; driving $(CLUSTER_CLIENTS) clients for $(CLUSTER_DURATION)"; \
-	  bin/loadgen -targets http://localhost:8091,http://localhost:8092,http://localhost:8093 \
-	    -app rubis -clients $(CLUSTER_CLIENTS) -duration $(CLUSTER_DURATION); \
-	'
+	CLUSTER_DURATION=$(CLUSTER_DURATION) CLUSTER_CLIENTS=$(CLUSTER_CLIENTS) \
+	  bash scripts/cluster-demo.sh

@@ -38,6 +38,8 @@ package autowebcache
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 
 	"autowebcache/internal/analysis"
@@ -106,12 +108,61 @@ const (
 // NewDB creates an empty embedded database.
 func NewDB() *DB { return memdb.New() }
 
+// ParseByteSize parses a human-readable byte size for cache budgets: a
+// plain integer is bytes; k/m/g suffixes (case-insensitive, optional
+// trailing b or ib) scale by 1024. "" and "0" mean unbounded.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, suf := range []struct {
+		text string
+		mult int64
+	}{
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(t, suf.text) {
+			t = strings.TrimSuffix(t, suf.text)
+			mult = suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("autowebcache: bad byte size %q (want e.g. 1048576, 64m, 2gib)", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("autowebcache: negative byte size %q", s)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("autowebcache: byte size %q overflows int64", s)
+	}
+	return n * mult, nil
+}
+
 // Config configures a Runtime.
 type Config struct {
 	// Strategy is the invalidation strategy; defaults to ExtraQuery.
 	Strategy Strategy
 	// MaxEntries bounds the page cache (0 = unbounded).
 	MaxEntries int
+	// MaxBytes bounds the page cache's accounted memory — body, key and
+	// dependency overhead per page — independently of MaxEntries (0 =
+	// unbounded). Setting it enables segmented (probation/protected)
+	// eviction: pages with proven reuse are evicted only after one-hit
+	// pages are exhausted.
+	MaxBytes int64
+	// Admission gates inserts under byte-budget pressure with a TinyLFU
+	// filter: at the budget, an entry is cached only when its request
+	// frequency beats the eviction victim's. It applies to each cache tier
+	// that has a byte budget (MaxBytes for the page cache, QueryCacheBytes
+	// for the query-result cache); setting it with no budget anywhere is a
+	// configuration error.
+	Admission bool
 	// Replacement picks the eviction policy for bounded caches (default
 	// LRU).
 	Replacement Replacement
@@ -126,9 +177,11 @@ type Config struct {
 	// QueryCache additionally stacks a back-end query-result cache under
 	// the page cache — the paper's §9 extension ("A database query-results
 	// cache is complementary to webpage caching"). QueryCacheEntries bounds
-	// it (0 = unbounded).
+	// its entry count, QueryCacheBytes its accounted memory (0 = unbounded
+	// for either).
 	QueryCache        bool
 	QueryCacheEntries int
+	QueryCacheBytes   int64
 }
 
 // Runtime wires a database to an analysis engine, a page cache and a
@@ -153,10 +206,17 @@ func New(db *DB, cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Admission && cfg.MaxBytes <= 0 && cfg.QueryCacheBytes <= 0 {
+		return nil, fmt.Errorf("autowebcache: Admission requires a byte budget (MaxBytes or QueryCacheBytes)")
+	}
 	rt := &Runtime{db: db, engine: engine}
 	var base memdb.Conn = db
 	if cfg.QueryCache {
-		rt.qcache, err = qrcache.New(db, engine, cfg.QueryCacheEntries)
+		rt.qcache, err = qrcache.NewWithOptions(db, engine, qrcache.Options{
+			MaxEntries: cfg.QueryCacheEntries,
+			MaxBytes:   cfg.QueryCacheBytes,
+			Admission:  cfg.Admission && cfg.QueryCacheBytes > 0,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -169,6 +229,8 @@ func New(db *DB, cfg Config) (*Runtime, error) {
 	rt.cache, err = cache.New(cache.Options{
 		Engine:      engine,
 		MaxEntries:  cfg.MaxEntries,
+		MaxBytes:    cfg.MaxBytes,
+		Admission:   cfg.Admission && cfg.MaxBytes > 0,
 		Replacement: cfg.Replacement,
 		Shards:      cfg.Shards,
 	})

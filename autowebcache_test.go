@@ -160,3 +160,76 @@ func TestFacadeBoundedCache(t *testing.T) {
 		t.Fatalf("cache exceeded capacity: %d", n)
 	}
 }
+
+func TestFacadeByteGovernance(t *testing.T) {
+	db := newDB(t)
+	rt, err := autowebcache.New(db, autowebcache.Config{
+		MaxBytes:        4096,
+		Admission:       true,
+		QueryCache:      true,
+		QueryCacheBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rt.Weave(buildApp(t, rt.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, h, "/add?note=hello")
+	for i := 0; i < 20; i++ {
+		get(t, h, fmt.Sprintf("/list?v=%d", i))
+	}
+	cs := rt.Cache().Stats()
+	if cs.Bytes <= 0 || cs.Bytes > 4096 {
+		t.Fatalf("page cache bytes %d outside (0, 4096]: %+v", cs.Bytes, cs)
+	}
+	qs := rt.QueryCache().Stats()
+	if qs.Bytes < 0 || qs.Bytes > 4096 {
+		t.Fatalf("query cache bytes %d outside [0, 4096]: %+v", qs.Bytes, qs)
+	}
+	// Admission without any byte budget is a configuration error, not a
+	// no-op.
+	if _, err := autowebcache.New(db, autowebcache.Config{Admission: true}); err == nil {
+		t.Fatal("Admission without a byte budget must be rejected")
+	}
+	// Admission scoped to the one governed tier is fine: here only the
+	// query cache has a budget.
+	if _, err := autowebcache.New(db, autowebcache.Config{
+		QueryCache: true, QueryCacheBytes: 4096, Admission: true,
+	}); err != nil {
+		t.Fatalf("query-cache-only admission rejected: %v", err)
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := map[string]int64{
+		"":       0,
+		"0":      0,
+		"1024":   1024,
+		"64k":    64 << 10,
+		"64kb":   64 << 10,
+		"64KiB":  64 << 10,
+		"8m":     8 << 20,
+		"8MB":    8 << 20,
+		"8mib":   8 << 20,
+		"2g":     2 << 30,
+		"2GiB":   2 << 30,
+		" 16 m ": 16 << 20,
+	}
+	for in, want := range cases {
+		got, err := autowebcache.ParseByteSize(in)
+		if err != nil {
+			t.Errorf("ParseByteSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"x", "-1", "1.5m", "mm", "12q", "18014398509481985k", "9223372036854775807g"} {
+		if _, err := autowebcache.ParseByteSize(bad); err == nil {
+			t.Errorf("ParseByteSize(%q) succeeded", bad)
+		}
+	}
+}

@@ -57,6 +57,8 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
 	strategy := fs.String("strategy", "extraquery", "invalidation strategy: columnonly, wherematch, extraquery")
+	maxBytes := fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)")
+	admission := fs.Bool("admission", false, "gate inserts with a TinyLFU admission filter under byte-budget pressure (requires -max-bytes)")
 	listenPeer := fs.String("listen-peer", "", "cluster peer-protocol listen address (enables the peer tier)")
 	peers := fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes")
 	invMode := fs.String("invalidation", "strong", "cluster invalidation mode: strong or async")
@@ -68,6 +70,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	budget, err := autowebcache.ParseByteSize(*maxBytes)
+	if err != nil {
+		return err
+	}
 
 	db := autowebcache.NewDB()
 	scale := rubis.DefaultScale()
@@ -75,7 +81,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	rt, err := autowebcache.New(db, autowebcache.Config{Strategy: strat, Disabled: *noCache})
+	rt, err := autowebcache.New(db, autowebcache.Config{
+		Strategy:  strat,
+		Disabled:  *noCache,
+		MaxBytes:  budget,
+		Admission: *admission,
+	})
 	if err != nil {
 		return err
 	}

@@ -41,11 +41,18 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8081", "listen address")
 	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
 	window := fs.Duration("bestseller-window", 0, "BestSellers semantic freshness window (paper: 30s)")
+	maxBytes := fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)")
+	admission := fs.Bool("admission", false, "gate inserts with a TinyLFU admission filter under byte-budget pressure (requires -max-bytes)")
 	listenPeer := fs.String("listen-peer", "", "cluster peer-protocol listen address (enables the peer tier)")
 	peers := fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes")
 	invMode := fs.String("invalidation", "strong", "cluster invalidation mode: strong or async")
 	replication := fs.Int("replication", 1, "cluster ring replication factor (owner nodes per key)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	budget, err := autowebcache.ParseByteSize(*maxBytes)
+	if err != nil {
 		return err
 	}
 
@@ -55,7 +62,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	rt, err := autowebcache.New(db, autowebcache.Config{Disabled: *noCache})
+	rt, err := autowebcache.New(db, autowebcache.Config{
+		Disabled:  *noCache,
+		MaxBytes:  budget,
+		Admission: *admission,
+	})
 	if err != nil {
 		return err
 	}

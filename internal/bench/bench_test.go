@@ -68,17 +68,48 @@ func TestFig4Stabilises(t *testing.T) {
 	}
 }
 
+// TestFig13CacheWins asserts the figure's claim deterministically: the
+// cached deployment must absorb a substantial share of the database load
+// the uncached one pays, measured in executed queries rather than
+// wall-clock response time. (The earlier latency comparison flaked under
+// the race detector on loaded single-core runners, where scheduling noise
+// overwhelmed the simulated service times; query counts are scheduling-
+// independent for a fixed request volume.)
 func TestFig13CacheWins(t *testing.T) {
-	tbl, err := Fig13(tiny(t))
+	p := tiny(t)
+	const clients = 8
+	dbQueries := func(cfg SystemConfig) uint64 {
+		d, err := newRubis(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := d.run(p, clients)
+		if res.Totals.Requests == 0 {
+			t.Fatal("no requests measured")
+		}
+		if cfg.Cached && res.Totals.HitRate() <= 0 {
+			t.Fatalf("cached deployment recorded no hits: %+v", res.Totals)
+		}
+		return d.db.Stats().Queries
+	}
+	noCache := dbQueries(SystemConfig{Cached: false})
+	cached := dbQueries(SystemConfig{Cached: true})
+	// The paper reports a ~54% hit rate on the bidding mix; demand at
+	// minimum that caching cuts database query volume by a quarter.
+	if cached >= noCache-noCache/4 {
+		t.Errorf("caching saved too little db load: %d queries cached vs %d uncached", cached, noCache)
+	}
+	// The figure itself must still render.
+	tbl, err := Fig13(p)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty fig13 table")
+	}
 	for _, row := range tbl.Rows {
-		noCache := parseMs(t, row[1])
-		awc := parseMs(t, row[2])
-		if awc > noCache {
-			t.Errorf("clients=%s: AutoWebCache (%.3fms) slower than NoCache (%.3fms)", row[0], awc, noCache)
-		}
+		parseMs(t, row[1])
+		parseMs(t, row[2])
 	}
 }
 

@@ -44,11 +44,20 @@ func record(name string, r testing.BenchmarkResult, note string) HitPathRecord {
 
 // newHitPathCache builds a page cache pre-loaded with nKeys 1 KiB pages.
 func newHitPathCache(nKeys int) (*cache.Cache, []string, error) {
+	return newHitPathCacheOpts(nKeys, cache.Options{Shards: 8})
+}
+
+// newHitPathCacheOpts is newHitPathCache with explicit cache options (the
+// governed variant sets MaxBytes + Admission). Pages are warmed with one
+// hit each so segmented eviction's one-time probation->protected promotion
+// is out of the measured path.
+func newHitPathCacheOpts(nKeys int, opts cache.Options) (*cache.Cache, []string, error) {
 	eng, err := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := cache.New(cache.Options{Engine: eng, Shards: 8})
+	opts.Engine = eng
+	c, err := cache.New(opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -59,6 +68,7 @@ func newHitPathCache(nKeys int) (*cache.Cache, []string, error) {
 		c.Insert(keys[i], body, "text/html", []analysis.Query{
 			{SQL: "SELECT a FROM t WHERE b = ?", Args: []memdb.Value{int64(i)}},
 		}, 0)
+		c.Lookup(keys[i])
 	}
 	return c, keys, nil
 }
@@ -159,6 +169,28 @@ func HitPathRecords() ([]HitPathRecord, error) {
 		}
 	})
 	out = append(out, record("page-hit", r, "warm Lookup, 1 KiB body, zero-copy view"))
+
+	// page-hit-governed: the same warm lookup with byte governance and the
+	// TinyLFU admission filter active — the sketch touch and segment
+	// maintenance must keep the hit path at 0 allocs/op.
+	cg, gkeys, err := newHitPathCacheOpts(512, cache.Options{
+		Shards: 8, MaxBytes: 16 << 20, Admission: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gmask := len(gkeys) - 1
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		i := 0
+		for n := 0; n < b.N; n++ {
+			if _, ok := cg.Lookup(gkeys[i&gmask]); !ok {
+				b.Fatal("unexpected miss")
+			}
+			i += 7
+		}
+	})
+	out = append(out, record("page-hit-governed", r, "warm Lookup with MaxBytes budget + TinyLFU admission"))
 
 	// page-miss-insert.
 	c2, _, err := newHitPathCache(0)

@@ -37,6 +37,7 @@ import (
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/memdb"
 	"autowebcache/internal/stripe"
+	"autowebcache/internal/tinylfu"
 )
 
 // ReplacementPolicy selects the eviction order under bounded capacity.
@@ -68,6 +69,29 @@ type Options struct {
 	Engine *analysis.Engine
 	// MaxEntries bounds the number of cached pages; 0 means unbounded.
 	MaxEntries int
+	// MaxBytes bounds the accounted memory of cached pages — body, key and
+	// dependency overhead, charged at Insert and credited at removal; 0
+	// means unbounded. Unlike MaxEntries it tracks actual payload size, so a
+	// handful of multi-megabyte pages cannot blow the heap while the entry
+	// count reads as healthy. Both bounds may be set; an insert must satisfy
+	// both. A single page costing more than MaxBytes is served to its
+	// requester but never cached.
+	//
+	// Setting MaxBytes also enables segmented (probation/protected)
+	// eviction: new pages start on probation and are promoted on their first
+	// hit; under pressure, probation pages are evicted before protected
+	// ones, so a burst of one-hit inserts cannot flush the proven working
+	// set. Within each segment the configured Replacement policy keeps its
+	// exact cross-shard victim order. (FIFO ignores segmentation: it has no
+	// notion of reuse to promote on.)
+	MaxBytes int64
+	// Admission additionally gates inserts under byte-budget pressure with a
+	// TinyLFU filter: when the cache is at MaxBytes, a candidate page is
+	// admitted — evicting the replacement victim — only if its estimated
+	// request frequency strictly beats the victim's. One-hit wonders are
+	// rejected (still served, just not cached) instead of displacing hot
+	// pages. Requires MaxBytes > 0.
+	Admission bool
 	// Replacement selects the eviction policy when MaxEntries is exceeded.
 	// Defaults to LRU.
 	Replacement ReplacementPolicy
@@ -119,6 +143,36 @@ type Entry struct {
 	// under LRU. The globally-minimal seq is the LRU/FIFO victim, and the
 	// LFU tie-break, even though each shard keeps its own list.
 	seq uint64
+	// cost is the entry's accounted size in bytes (see entryCost), charged
+	// against Options.MaxBytes for the entry's lifetime.
+	cost int64
+	// protected marks the entry's segment under byte governance: false =
+	// probation (new insert, first eviction tier), true = protected
+	// (promoted on first hit, evicted only when probation is empty).
+	protected bool
+}
+
+// Accounted per-entry overheads, approximating the Go-side cost of the maps,
+// list elements and struct headers an entry occupies beyond its payload.
+const (
+	entryOverhead = 160 // Entry struct + page-table slot + list element
+	depOverhead   = 96  // dependency-table instance + probe-index slots
+)
+
+// entryCost is the accounted byte size of one cached page: the body and key
+// payloads plus the dependency information (template text and value vector)
+// and fixed bookkeeping overheads.
+func entryCost(key string, body []byte, deps []analysis.Query) int64 {
+	cost := int64(entryOverhead) + int64(len(key)) + int64(len(body))
+	for _, d := range deps {
+		cost += depOverhead + int64(len(d.SQL)) + 16*int64(len(d.Args))
+		for _, a := range d.Args {
+			if s, ok := a.(string); ok {
+				cost += int64(len(s))
+			}
+		}
+	}
+	return cost
 }
 
 // View is an exported snapshot of one cached entry for the cluster peer
@@ -157,16 +211,22 @@ type remoteBox struct{ r RemoteInvalidator }
 
 // Stats are cumulative cache counters.
 type Stats struct {
-	Hits          uint64
-	Misses        uint64
-	Inserts       uint64
-	Invalidations uint64 // pages removed by write invalidation
-	Evictions     uint64 // pages removed by capacity pressure
-	Expirations   uint64 // pages removed because their TTL passed
-	WritesSeen    uint64 // InvalidateWrite calls
-	Entries       int    // current page count
-	DepTemplates  int    // current dependency-table template count
-	DepInstances  int    // current dependency-table (template, vector) count
+	Hits             uint64
+	Misses           uint64
+	Inserts          uint64
+	Invalidations    uint64 // pages removed by write invalidation
+	Evictions        uint64 // pages removed by capacity pressure
+	Expirations      uint64 // pages removed because their TTL passed
+	WritesSeen       uint64 // InvalidateWrite calls
+	AdmissionRejects uint64 // inserts refused by the TinyLFU admission filter
+	OversizeRejects  uint64 // inserts refused because one entry exceeds MaxBytes
+	Entries          int    // current page count
+	DepTemplates     int    // current dependency-table template count
+	DepInstances     int    // current dependency-table (template, vector) count
+	// Bytes is the accounted memory charged against MaxBytes: every linked
+	// entry's cost plus in-flight insert reservations. With MaxBytes set it
+	// never exceeds the budget.
+	Bytes int64
 }
 
 // depInstance is one row of the dependency table's value-vector level: a
@@ -250,11 +310,19 @@ func (dt *depTemplate) removeInstance(argsKey string, inst *depInstance) {
 	}
 }
 
-// pageShard is one stripe of the page table with its replacement list.
+// pageShard is one stripe of the page table with its replacement lists.
 type pageShard struct {
 	mu    sync.Mutex
 	pages map[string]*list.Element // key -> element holding *Entry
-	order *list.List               // LRU/FIFO order: front = next victim
+	order *list.List               // probation segment: front = next victim
+	// prot is the protected segment, populated only under byte governance:
+	// entries move here on their first hit and are evicted only when every
+	// probation segment is empty.
+	prot *list.List
+	// bytes is this shard's share of the accounted memory: the summed cost
+	// of the entries currently linked into the shard (in-flight insert
+	// reservations are carried by the cache-wide counter only).
+	bytes atomic.Int64
 }
 
 // depShard is one stripe of the dependency table.
@@ -278,13 +346,25 @@ type Cache struct {
 	seq     atomic.Uint64
 	entries atomic.Int64
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	inserts       atomic.Uint64
-	invalidations atomic.Uint64
-	evictions     atomic.Uint64
-	expirations   atomic.Uint64
-	writesSeen    atomic.Uint64
+	// bytesUsed is the byte-budget authority: the summed cost of linked
+	// entries plus in-flight insert reservations, CAS-reserved before an
+	// entry is built into the tables so the MaxBytes bound is never
+	// exceeded, even transiently.
+	bytesUsed atomic.Int64
+
+	// admit is the TinyLFU admission filter (nil unless Options.Admission):
+	// touched on every lookup, consulted when a reservation needs to evict.
+	admit *tinylfu.Filter
+
+	hits             atomic.Uint64
+	misses           atomic.Uint64
+	inserts          atomic.Uint64
+	invalidations    atomic.Uint64
+	evictions        atomic.Uint64
+	expirations      atomic.Uint64
+	writesSeen       atomic.Uint64
+	admissionRejects atomic.Uint64
+	oversizeRejects  atomic.Uint64
 
 	// remote, when set, fans invalidation traffic out to cluster peers.
 	remote atomic.Value // remoteBox
@@ -309,6 +389,12 @@ func New(opts Options) (*Cache, error) {
 	if opts.MaxEntries < 0 {
 		return nil, fmt.Errorf("cache: negative MaxEntries")
 	}
+	if opts.MaxBytes < 0 {
+		return nil, fmt.Errorf("cache: negative MaxBytes")
+	}
+	if opts.Admission && opts.MaxBytes <= 0 {
+		return nil, fmt.Errorf("cache: Admission requires MaxBytes (the filter gates byte-budget pressure)")
+	}
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("cache: negative Shards")
 	}
@@ -319,14 +405,35 @@ func New(opts Options) (*Cache, error) {
 		pageShards: make([]pageShard, n),
 		depShards:  make([]depShard, n),
 	}
+	if opts.Admission {
+		c.admit = tinylfu.New(admissionCounters(opts))
+	}
 	for i := range c.pageShards {
 		c.pageShards[i].pages = make(map[string]*list.Element)
 		c.pageShards[i].order = list.New()
+		c.pageShards[i].prot = list.New()
 	}
 	for i := range c.depShards {
 		c.depShards[i].deps = make(map[string]*depTemplate)
 	}
 	return c, nil
+}
+
+// admissionCounters sizes the TinyLFU filter: track roughly as many keys as
+// the governed cache can plausibly hold, assuming a small page when only the
+// byte bound is known.
+func admissionCounters(opts Options) int {
+	if opts.MaxEntries > 0 {
+		return opts.MaxEntries
+	}
+	const assumedPage = 4096
+	return int(min(opts.MaxBytes/assumedPage, 1<<20))
+}
+
+// segmented reports whether probation/protected eviction is active: byte
+// governance is on and the policy has a notion of reuse to promote on.
+func (c *Cache) segmented() bool {
+	return c.opts.MaxBytes > 0 && c.opts.Replacement != FIFO
 }
 
 func (c *Cache) pageShard(key string) *pageShard {
@@ -371,6 +478,11 @@ func (c *Cache) loadRemote() RemoteInvalidator {
 // its Body, ContentType, Deps and ExpiresAt are immutable after insert, so
 // reading them outside the shard lock is safe.
 func (c *Cache) hitEntry(key string) (*Entry, bool) {
+	// Every lookup — hit or miss — feeds the admission filter's frequency
+	// estimate, so a page's popularity is known before it is ever inserted.
+	if c.admit != nil {
+		c.admit.Touch(tinylfu.HashString(key))
+	}
 	now := c.opts.Clock()
 	s := c.pageShard(key)
 	s.mu.Lock()
@@ -391,8 +503,23 @@ func (c *Cache) hitEntry(key string) (*Entry, bool) {
 	e.hits++
 	// Recency only matters when eviction can happen; on an unbounded cache
 	// the list order is never consulted, so skip the global-sequence tick.
-	if c.opts.Replacement == LRU && c.opts.MaxEntries > 0 {
-		s.order.MoveToBack(el)
+	evictable := c.opts.MaxEntries > 0 || c.opts.MaxBytes > 0
+	if c.segmented() && !e.protected {
+		// First reuse: promote out of probation. The new list element is a
+		// one-time cost per entry; steady-state hits stay allocation-free.
+		s.order.Remove(el)
+		el = s.prot.PushBack(e)
+		s.pages[key] = el
+		e.protected = true
+		if c.opts.Replacement == LRU {
+			e.seq = c.seq.Add(1)
+		}
+	} else if c.opts.Replacement == LRU && evictable {
+		if e.protected {
+			s.prot.MoveToBack(el)
+		} else {
+			s.order.MoveToBack(el)
+		}
 		e.seq = c.seq.Add(1)
 	}
 	s.mu.Unlock()
@@ -439,7 +566,24 @@ func (c *Cache) Export(key string) (View, bool) {
 // bytes without a second copy. The cache takes ownership of deps — the
 // caller must not retain or mutate the slice (or its Args vectors) after
 // the call.
+//
+// Under byte governance the insert may be refused — the page is oversize,
+// or the admission filter sides with the eviction victim. The returned
+// view is still immutable and servable either way; callers that need to
+// know use TryInsert.
 func (c *Cache) Insert(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration) Page {
+	pg, _ := c.TryInsert(key, body, contentType, deps, ttl)
+	return pg
+}
+
+// TryInsert is Insert reporting whether the page was actually stored.
+// stored=false means the byte budget refused it: the entry costs more than
+// MaxBytes, or the admission filter judged it colder than every eviction
+// victim it would displace. The returned Page wraps this call's private
+// immutable copy of body in that case, so it is servable and shareable
+// regardless — the page just will not be found by later lookups. (The
+// cluster tier uses the flag to refuse replica offers it has no room for.)
+func (c *Cache) TryInsert(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration) (Page, bool) {
 	now := c.opts.Clock()
 	e := &Entry{
 		Key:         key,
@@ -447,6 +591,7 @@ func (c *Cache) Insert(key string, body []byte, contentType string, deps []analy
 		ContentType: contentType,
 		Deps:        deps,
 		InsertedAt:  now,
+		cost:        entryCost(key, body, deps),
 	}
 	if ttl > 0 {
 		e.ExpiresAt = now.Add(ttl)
@@ -454,18 +599,38 @@ func (c *Cache) Insert(key string, body []byte, contentType string, deps []analy
 	stored := Page{Body: e.Body, ContentType: e.ContentType}
 	s := c.pageShard(key)
 	// Replacing a resident key happens atomically under the shard lock,
-	// reusing the old entry's capacity slot: the page never transiently
-	// vanishes for concurrent lookups, and a replacement at full capacity
-	// never evicts an innocent victim.
+	// reusing the old entry's capacity slot AND its byte budget: only the
+	// cost delta is charged (before the old entry is unlinked, so at no
+	// instant is the key's budget released for a concurrent reservation to
+	// steal), the page never transiently vanishes for concurrent lookups,
+	// and a same-size regeneration at full budget needs no eviction, no
+	// admission duel, no innocent victim.
 	s.mu.Lock()
 	if old, exists := s.pages[key]; exists {
+		delta := e.cost - old.Value.(*Entry).cost
+		if delta <= 0 || c.chargeBytes(delta) {
+			c.unlinkEntryLocked(s, old)
+			if delta < 0 {
+				c.bytesUsed.Add(delta)
+			}
+			c.insertEntryLocked(s, e)
+			s.mu.Unlock()
+			c.inserts.Add(1)
+			return stored, true
+		}
+		// The replacement outgrows the resident entry plus the free budget
+		// and needs eviction (or is oversize): release the old entry and
+		// its slot, then take the slow path. The old entry staying gone is
+		// correct — it held the content this call is replacing.
 		c.detachEntryLocked(s, old)
-		c.insertEntryLocked(s, e)
-		s.mu.Unlock()
-		c.inserts.Add(1)
-		return stored
+		c.entries.Add(-1)
 	}
 	s.mu.Unlock()
+	// Slow path: the byte reservation happens before any table is touched,
+	// so the accounted total can never exceed MaxBytes, even transiently.
+	if !c.reserveBytes(e.cost, key) {
+		return stored, false
+	}
 	c.reserveSlot()
 	s.mu.Lock()
 	if cur, exists := s.pages[key]; exists {
@@ -477,15 +642,37 @@ func (c *Cache) Insert(key string, body []byte, contentType string, deps []analy
 	c.insertEntryLocked(s, e)
 	s.mu.Unlock()
 	c.inserts.Add(1)
-	return stored
+	return stored, true
 }
 
-// insertEntryLocked links a fully-built entry (whose capacity slot is
-// already accounted) into the shard and the dependency table. The caller
-// holds s.mu.
+// chargeBytes claims cost bytes of the budget only if they fit without
+// eviction, reporting success. Safe to call while holding a shard lock —
+// it touches nothing but the atomic counter (unlike reserveBytes, whose
+// eviction scan locks shards).
+func (c *Cache) chargeBytes(cost int64) bool {
+	max := c.opts.MaxBytes
+	if max <= 0 {
+		c.bytesUsed.Add(cost)
+		return true
+	}
+	for {
+		n := c.bytesUsed.Load()
+		if n+cost > max {
+			return false
+		}
+		if c.bytesUsed.CompareAndSwap(n, n+cost) {
+			return true
+		}
+	}
+}
+
+// insertEntryLocked links a fully-built entry (whose capacity slot and byte
+// cost are already accounted) into the shard and the dependency table. New
+// entries always start in the probation segment. The caller holds s.mu.
 func (c *Cache) insertEntryLocked(s *pageShard, e *Entry) {
 	e.seq = c.seq.Add(1)
 	s.pages[e.Key] = s.order.PushBack(e)
+	s.bytes.Add(e.cost)
 	for _, d := range e.Deps {
 		c.addDepLocked(d, e.Key)
 	}
@@ -512,6 +699,55 @@ func (c *Cache) reserveSlot() {
 			// Every slot is reserved by an in-flight insert; let them land.
 			runtime.Gosched()
 		}
+	}
+}
+
+// reserveBytes claims cost bytes of the MaxBytes budget for key's entry,
+// evicting replacement victims until the reservation fits. The CAS reserve
+// happens before the entry touches any table, so the accounted total never
+// exceeds the budget, even transiently. It returns false — and holds no
+// reservation — when the entry can never fit (cost > MaxBytes) or when the
+// admission filter sides with a victim: the candidate must beat every
+// victim it would displace, so one-hit wonders cannot churn the hot set.
+// The claimed bytes are credited back by detachEntryLocked at removal.
+func (c *Cache) reserveBytes(cost int64, key string) bool {
+	max := c.opts.MaxBytes
+	if max <= 0 {
+		c.bytesUsed.Add(cost)
+		return true
+	}
+	if cost > max {
+		c.oversizeRejects.Add(1)
+		return false
+	}
+	var keyHash uint64
+	hashed := false
+	for {
+		n := c.bytesUsed.Load()
+		if n+cost <= max {
+			if c.bytesUsed.CompareAndSwap(n, n+cost) {
+				return true
+			}
+			continue
+		}
+		v := c.pickVictim()
+		if v == nil {
+			// Every accounted byte belongs to an in-flight insert; let them
+			// link so victims exist.
+			runtime.Gosched()
+			continue
+		}
+		if c.admit != nil {
+			if !hashed {
+				keyHash = tinylfu.HashString(key)
+				hashed = true
+			}
+			if !c.admit.Admit(keyHash, tinylfu.HashString(v.key)) {
+				c.admissionRejects.Add(1)
+				return false
+			}
+		}
+		c.evictPick(v)
 	}
 }
 
@@ -690,6 +926,9 @@ func (c *Cache) FlushLocal() {
 		for s.order.Front() != nil {
 			c.removeEntryLocked(s, s.order.Front())
 		}
+		for s.prot.Front() != nil {
+			c.removeEntryLocked(s, s.prot.Front())
+		}
 		s.mu.Unlock()
 	}
 }
@@ -697,6 +936,24 @@ func (c *Cache) FlushLocal() {
 // Len returns the current number of cached pages.
 func (c *Cache) Len() int {
 	return int(c.entries.Load())
+}
+
+// Bytes returns the accounted memory currently charged against MaxBytes:
+// every linked entry's cost plus in-flight insert reservations.
+func (c *Cache) Bytes() int64 {
+	return c.bytesUsed.Load()
+}
+
+// ShardBytes returns the per-shard accounted byte counters — the summed
+// cost of the entries linked into each shard (in-flight reservations are
+// carried only by the cache-wide counter, so the slice sums to at most
+// Bytes). Diagnostic: a skewed distribution means a hot key-space region.
+func (c *Cache) ShardBytes() []int64 {
+	out := make([]int64, len(c.pageShards))
+	for i := range c.pageShards {
+		out[i] = c.pageShards[i].bytes.Load()
+	}
+	return out
 }
 
 // Contains reports whether key is cached (without touching recency state or
@@ -717,14 +974,17 @@ func (c *Cache) Contains(key string) bool {
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Inserts:       c.inserts.Load(),
-		Invalidations: c.invalidations.Load(),
-		Evictions:     c.evictions.Load(),
-		Expirations:   c.expirations.Load(),
-		WritesSeen:    c.writesSeen.Load(),
-		Entries:       int(c.entries.Load()),
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Inserts:          c.inserts.Load(),
+		Invalidations:    c.invalidations.Load(),
+		Evictions:        c.evictions.Load(),
+		Expirations:      c.expirations.Load(),
+		WritesSeen:       c.writesSeen.Load(),
+		AdmissionRejects: c.admissionRejects.Load(),
+		OversizeRejects:  c.oversizeRejects.Load(),
+		Entries:          int(c.entries.Load()),
+		Bytes:            c.bytesUsed.Load(),
 	}
 	for i := range c.depShards {
 		ds := &c.depShards[i]
@@ -747,10 +1007,24 @@ func (c *Cache) removeEntryLocked(s *pageShard, el *list.Element) {
 }
 
 // detachEntryLocked is removeEntryLocked without releasing the capacity
-// slot — used by replacement, which hands the slot to the new entry.
+// slot, crediting the entry's byte cost back to the budget.
 func (c *Cache) detachEntryLocked(s *pageShard, el *list.Element) {
+	c.unlinkEntryLocked(s, el)
+	c.bytesUsed.Add(-el.Value.(*Entry).cost)
+}
+
+// unlinkEntryLocked removes an entry from the shard's lists, page map and
+// dependency table WITHOUT touching the cache-wide byte counter — the
+// replacement fast path uses it to hand the old entry's budget directly to
+// its successor. All other removals go through detachEntryLocked.
+func (c *Cache) unlinkEntryLocked(s *pageShard, el *list.Element) {
 	e := el.Value.(*Entry)
-	s.order.Remove(el)
+	if e.protected {
+		s.prot.Remove(el)
+	} else {
+		s.order.Remove(el)
+	}
+	s.bytes.Add(-e.cost)
 	delete(s.pages, e.Key)
 	for _, d := range e.Deps {
 		ds := c.depShard(d.SQL)
@@ -771,17 +1045,43 @@ func (c *Cache) detachEntryLocked(s *pageShard, el *list.Element) {
 	}
 }
 
-// evictOne removes the globally-best victim under the replacement policy,
-// locking one shard at a time: fronts (LRU/FIFO) or full scans (LFU) pick
-// the candidate, then the winning shard is re-locked to evict. It reports
-// whether a page was removed.
+// pick identifies one eviction candidate found by a cross-shard scan.
+type pick struct {
+	shard *pageShard
+	key   string
+	hits  uint64
+	seq   uint64
+}
+
+// evictOne removes the globally-best victim under the replacement policy.
+// It reports whether a page was removed.
 func (c *Cache) evictOne() bool {
-	type pick struct {
-		shard *pageShard
-		key   string
-		hits  uint64
-		seq   uint64
+	v := c.pickVictim()
+	if v == nil {
+		return false
 	}
+	return c.evictPick(v)
+}
+
+// pickVictim scans for the globally-best victim under the replacement
+// policy, locking one shard at a time: list fronts (LRU/FIFO) or full scans
+// (LFU) pick the candidate. Under segmented eviction the probation segment
+// is exhausted cluster-of-shards-wide before any protected entry is
+// considered, so pages with proven reuse survive one-hit churn. nil means
+// no linked entry exists anywhere.
+func (c *Cache) pickVictim() *pick {
+	if v := c.scanSegment(false); v != nil {
+		return v
+	}
+	if c.segmented() {
+		return c.scanSegment(true)
+	}
+	return nil
+}
+
+// scanSegment finds the best victim within one segment (probation or
+// protected) across all shards.
+func (c *Cache) scanSegment(protected bool) *pick {
 	var best *pick
 	better := func(p pick) bool {
 		if best == nil {
@@ -794,20 +1094,25 @@ func (c *Cache) evictOne() bool {
 	}
 	for i := range c.pageShards {
 		s := &c.pageShards[i]
+		l := s.order
+		if protected {
+			l = s.prot
+		}
 		s.mu.Lock()
 		switch c.opts.Replacement {
 		case LRU, FIFO:
-			// LRU keeps each shard's list in recency order (MoveToBack on
-			// hit refreshes seq); FIFO never reorders. Either way the shard
-			// front carries the shard-minimal seq.
-			if el := s.order.Front(); el != nil {
+			// LRU keeps each list in recency order (MoveToBack on hit
+			// refreshes seq; promotion re-sequences into the protected
+			// list's back); FIFO never reorders or promotes. Either way the
+			// list front carries the shard-minimal seq for its segment.
+			if el := l.Front(); el != nil {
 				e := el.Value.(*Entry)
 				if p := (pick{shard: s, key: e.Key, seq: e.seq}); better(p) {
 					best = &p
 				}
 			}
 		case LFU:
-			for el := s.order.Front(); el != nil; el = el.Next() {
+			for el := l.Front(); el != nil; el = el.Next() {
 				e := el.Value.(*Entry)
 				if p := (pick{shard: s, key: e.Key, hits: e.hits, seq: e.seq}); better(p) {
 					best = &p
@@ -816,9 +1121,12 @@ func (c *Cache) evictOne() bool {
 		}
 		s.mu.Unlock()
 	}
-	if best == nil {
-		return false
-	}
+	return best
+}
+
+// evictPick re-locks the picked shard and evicts the victim. It reports
+// whether a page was removed.
+func (c *Cache) evictPick(best *pick) bool {
 	s := best.shard
 	s.mu.Lock()
 	defer s.mu.Unlock()

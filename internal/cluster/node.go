@@ -67,10 +67,12 @@ type Stats struct {
 	FetchAborts    uint64 // fetched pages discarded: an invalidation raced the fetch
 	FetchErrors    uint64 // peer calls that failed mid-fetch
 	OffersSent     uint64 // pages replicated to owners
+	OffersRejected uint64 // offers an owner's byte budget refused
 	InvSent        uint64 // invalidation broadcasts sent (per peer)
 	InvErrors      uint64 // invalidation broadcasts that failed (per peer)
 	GetsServed     uint64 // peer fetches this node answered (found or not)
 	PutsApplied    uint64 // replica pages this node accepted
+	PutsRejected   uint64 // replica pages this node refused (over budget)
 	InvApplied     uint64 // peer invalidations this node applied
 	FlushApplied   uint64 // peer flushes this node applied
 	PagesRemoved   uint64 // pages removed by peer invalidations
@@ -105,10 +107,12 @@ type Node struct {
 	fetchAborts    atomic.Uint64
 	fetchErrors    atomic.Uint64
 	offersSent     atomic.Uint64
+	offersRejected atomic.Uint64
 	invSent        atomic.Uint64
 	invErrors      atomic.Uint64
 	getsServed     atomic.Uint64
 	putsApplied    atomic.Uint64
+	putsRejected   atomic.Uint64
 	invApplied     atomic.Uint64
 	flushApplied   atomic.Uint64
 	pagesRemoved   atomic.Uint64
@@ -290,6 +294,9 @@ func (n *Node) Fetch(ctx context.Context, key string) (cache.Page, bool) {
 			n.fetchAborts.Add(1)
 			break
 		}
+		// Insert (not TryInsert): if the local byte budget refuses the
+		// replica, the returned view is still this fetch's servable copy —
+		// the page just stays remote-only and the next miss re-fetches.
 		stored := n.cfg.Cache.Insert(key, body, meta.ContentType,
 			fromWireQueries(meta.Deps), ttlFromNanos(meta.TTLNanos))
 		n.remoteHits.Add(1)
@@ -323,8 +330,15 @@ func (n *Node) Offer(key string, body []byte, contentType string, deps []analysi
 			wireDeps = toWireQueries(deps)
 		}
 		meta := putMeta{Key: key, ContentType: contentType, TTLNanos: int64(ttl), Deps: wireDeps}
-		if _, err := p.call(msgPut, meta, body, &putRespMeta{}); err == nil {
-			n.offersSent.Add(1)
+		var resp putRespMeta
+		if _, err := p.call(msgPut, meta, body, &resp); err == nil {
+			if resp.OK {
+				n.offersSent.Add(1)
+			} else {
+				// The owner's byte budget (or admission filter) refused the
+				// replica; the page stays a local-only copy.
+				n.offersRejected.Add(1)
+			}
 		}
 	}
 }
@@ -408,8 +422,17 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 		if err := decodeMeta(typ, meta, &m); err != nil {
 			return 0, nil, nil, err
 		}
-		n.cfg.Cache.Insert(m.Key, body, m.ContentType,
+		// The local byte budget governs replicas exactly like local inserts:
+		// an owner at MaxBytes refuses the offer (or its admission filter
+		// sides with a hotter victim) instead of letting replication traffic
+		// push it over budget. The rejection is reported so the offering
+		// node's counters tell the truth.
+		_, stored := n.cfg.Cache.TryInsert(m.Key, body, m.ContentType,
 			fromWireQueries(m.Deps), ttlFromNanos(m.TTLNanos))
+		if !stored {
+			n.putsRejected.Add(1)
+			return msgPutResp, putRespMeta{OK: false}, nil, nil
+		}
 		n.putsApplied.Add(1)
 		return msgPutResp, putRespMeta{OK: true}, nil, nil
 
@@ -457,10 +480,12 @@ func (n *Node) Stats() Stats {
 		FetchAborts:    n.fetchAborts.Load(),
 		FetchErrors:    n.fetchErrors.Load(),
 		OffersSent:     n.offersSent.Load(),
+		OffersRejected: n.offersRejected.Load(),
 		InvSent:        n.invSent.Load(),
 		InvErrors:      n.invErrors.Load(),
 		GetsServed:     n.getsServed.Load(),
 		PutsApplied:    n.putsApplied.Load(),
+		PutsRejected:   n.putsRejected.Load(),
 		InvApplied:     n.invApplied.Load(),
 		FlushApplied:   n.flushApplied.Load(),
 		PagesRemoved:   n.pagesRemoved.Load(),

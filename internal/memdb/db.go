@@ -36,6 +36,28 @@ func (r *Rows) Snapshot() *Rows {
 	return out
 }
 
+// ByteSize is the accounted memory of the result set: column names, row
+// slice headers and the values themselves (strings by length, numbers by
+// word size). Byte-governed caches charge it against their budget.
+func (r *Rows) ByteSize() int64 {
+	const sliceHeader = 24
+	size := int64(sliceHeader)
+	for _, c := range r.Columns {
+		size += sliceHeader + int64(len(c))
+	}
+	for _, row := range r.Data {
+		size += sliceHeader
+		for _, v := range row {
+			// A Value is an interface word pair plus string payload, if any.
+			size += 16
+			if s, ok := v.(string); ok {
+				size += int64(len(s))
+			}
+		}
+	}
+	return size
+}
+
 // Int returns the value at (row, col) as int64 (0 when NULL or non-numeric).
 func (r *Rows) Int(row, col int) int64 {
 	f, ok := ToFloat(r.Data[row][col])

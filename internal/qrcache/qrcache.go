@@ -29,15 +29,21 @@ import (
 	"autowebcache/internal/memdb"
 	"autowebcache/internal/sqlparser"
 	"autowebcache/internal/stripe"
+	"autowebcache/internal/tinylfu"
 )
 
 // Stats are cumulative counters of the result cache.
 type Stats struct {
-	Hits          uint64
-	Misses        uint64
-	Invalidations uint64 // result sets removed by writes
-	Evictions     uint64
-	Entries       int
+	Hits             uint64
+	Misses           uint64
+	Invalidations    uint64 // result sets removed by writes
+	Evictions        uint64
+	AdmissionRejects uint64 // inserts refused by the TinyLFU admission filter
+	OversizeRejects  uint64 // inserts refused because one result set exceeds MaxBytes
+	Entries          int
+	// Bytes is the accounted memory charged against Options.MaxBytes: every
+	// cached result set's cost plus in-flight insert reservations.
+	Bytes int64
 }
 
 // entry is one cached result set.
@@ -45,10 +51,27 @@ type entry struct {
 	key   string // full cache key: template + "\x00" + argsKey
 	query analysis.Query
 	rows  *memdb.Rows
-	el    *list.Element // position in the owning shard's LRU list
+	el    *list.Element // position in the owning shard's segment list
 	// seq is the entry's position in the global LRU order (refreshed on
 	// every hit); the globally-minimal seq is the eviction victim.
 	seq uint64
+	// cost is the accounted byte size (see resultCost), charged against
+	// Options.MaxBytes for the entry's lifetime.
+	cost int64
+	// protected marks the segment under byte governance: promoted out of
+	// probation on first hit, evicted only when probation is empty.
+	protected bool
+}
+
+// entryOverhead approximates the bookkeeping cost of one cached result set
+// beyond its payload: entry struct, map slots, list element, probe-index
+// slots.
+const entryOverhead = 256
+
+// resultCost is the accounted byte size of one cached result set: the full
+// cache key, the snapshotted rows and the fixed overhead.
+func resultCost(key string, rows *memdb.Rows) int64 {
+	return entryOverhead + int64(len(key)) + rows.ByteSize()
 }
 
 // tmplGroup groups a template's cached instances with a per-table probe
@@ -116,7 +139,14 @@ func (g *tmplGroup) remove(argsKey string, e *entry) {
 type qrShard struct {
 	mu      sync.Mutex
 	entries map[string]*entry // full key -> entry
-	lru     *list.List        // front = shard's LRU entry; values are *entry
+	lru     *list.List        // probation segment: front = shard's LRU entry
+	// prot is the protected segment, populated only under byte governance:
+	// entries move here on their first hit and are evicted only when every
+	// probation segment is empty.
+	prot *list.List
+	// bytes is this shard's share of the accounted memory (linked entries
+	// only; in-flight reservations live in the cache-wide counter).
+	bytes atomic.Int64
 }
 
 // tmplShard is one stripe of the template -> instances index.
@@ -125,11 +155,31 @@ type tmplShard struct {
 	groups map[string]*tmplGroup
 }
 
+// Options configures a Conn's bounds (the governance mirror of the page
+// cache's Options).
+type Options struct {
+	// MaxEntries bounds the number of cached result sets; 0 = unbounded.
+	MaxEntries int
+	// MaxBytes bounds the accounted memory of cached result sets (key +
+	// snapshotted rows + bookkeeping overhead); 0 = unbounded. Setting it
+	// also enables segmented (probation/protected) eviction. A single
+	// result set costing more than MaxBytes is served but never cached.
+	MaxBytes int64
+	// Admission gates inserts under byte-budget pressure with a TinyLFU
+	// filter: at MaxBytes, a result set is admitted only when its estimated
+	// query frequency strictly beats the eviction victim's. Requires
+	// MaxBytes > 0.
+	Admission bool
+	// Shards is the lock-stripe count, rounded up to a power of two
+	// (0 picks GOMAXPROCS rounded likewise).
+	Shards int
+}
+
 // Conn is a caching connection. It is safe for concurrent use.
 type Conn struct {
 	base   memdb.Conn
 	engine *analysis.Engine
-	max    int
+	opts   Options
 	mask   uint32
 
 	parse sqlparser.Cache
@@ -141,10 +191,20 @@ type Conn struct {
 	seq   atomic.Uint64
 	count atomic.Int64
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	invalidations atomic.Uint64
-	evictions     atomic.Uint64
+	// bytesUsed is the byte-budget authority: linked entry costs plus
+	// in-flight insert reservations, CAS-reserved so MaxBytes is never
+	// exceeded, even transiently.
+	bytesUsed atomic.Int64
+
+	// admit is the TinyLFU admission filter (nil unless Options.Admission).
+	admit *tinylfu.Filter
+
+	hits             atomic.Uint64
+	misses           atomic.Uint64
+	invalidations    atomic.Uint64
+	evictions        atomic.Uint64
+	admissionRejects atomic.Uint64
+	oversizeRejects  atomic.Uint64
 }
 
 var _ memdb.Conn = (*Conn)(nil)
@@ -152,41 +212,65 @@ var _ memdb.Conn = (*Conn)(nil)
 // New wraps base with a result cache of at most maxEntries result sets
 // (0 = unbounded). The engine decides write/read intersections. The stripe
 // count defaults to GOMAXPROCS rounded to a power of two; use
-// NewWithShards to pin it.
+// NewWithOptions to pin it or to set a byte budget.
 func New(base memdb.Conn, engine *analysis.Engine, maxEntries int) (*Conn, error) {
-	return NewWithShards(base, engine, maxEntries, 0)
+	return NewWithOptions(base, engine, Options{MaxEntries: maxEntries})
 }
 
 // NewWithShards is New with an explicit lock-stripe count (rounded up to a
 // power of two; 0 picks GOMAXPROCS rounded likewise).
 func NewWithShards(base memdb.Conn, engine *analysis.Engine, maxEntries, shards int) (*Conn, error) {
+	return NewWithOptions(base, engine, Options{MaxEntries: maxEntries, Shards: shards})
+}
+
+// NewWithOptions is the full constructor: entry and byte bounds, admission
+// filtering and the stripe count.
+func NewWithOptions(base memdb.Conn, engine *analysis.Engine, opts Options) (*Conn, error) {
 	if base == nil || engine == nil {
 		return nil, fmt.Errorf("qrcache: base connection and engine are required")
 	}
-	if maxEntries < 0 {
-		return nil, fmt.Errorf("qrcache: negative maxEntries")
+	if opts.MaxEntries < 0 {
+		return nil, fmt.Errorf("qrcache: negative MaxEntries")
 	}
-	if shards < 0 {
-		return nil, fmt.Errorf("qrcache: negative shards")
+	if opts.MaxBytes < 0 {
+		return nil, fmt.Errorf("qrcache: negative MaxBytes")
 	}
-	n := stripe.Count(shards)
+	if opts.Admission && opts.MaxBytes <= 0 {
+		return nil, fmt.Errorf("qrcache: Admission requires MaxBytes (the filter gates byte-budget pressure)")
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("qrcache: negative Shards")
+	}
+	n := stripe.Count(opts.Shards)
 	c := &Conn{
 		base:       base,
 		engine:     engine,
-		max:        maxEntries,
+		opts:       opts,
 		mask:       uint32(n - 1),
 		shards:     make([]qrShard, n),
 		tmplShards: make([]tmplShard, n),
 	}
+	if opts.Admission {
+		counters := opts.MaxEntries
+		if counters == 0 {
+			// Assume modest result sets when only the byte bound is known.
+			counters = int(min(opts.MaxBytes/1024, 1<<20))
+		}
+		c.admit = tinylfu.New(counters)
+	}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*entry)
 		c.shards[i].lru = list.New()
+		c.shards[i].prot = list.New()
 	}
 	for i := range c.tmplShards {
 		c.tmplShards[i].groups = make(map[string]*tmplGroup)
 	}
 	return c, nil
 }
+
+// segmented reports whether probation/protected eviction is active.
+func (c *Conn) segmented() bool { return c.opts.MaxBytes > 0 }
 
 func (c *Conn) shard(key string) *qrShard {
 	return &c.shards[stripe.Hash(key)&c.mask]
@@ -237,13 +321,29 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows,
 	ak := memdb.KeyOfValues(vals)
 	key := tmpl + "\x00" + ak
 
+	// Every lookup — hit or miss — feeds the admission filter's frequency
+	// estimate, so a query's popularity is known before its result set is
+	// ever cached.
+	if c.admit != nil {
+		c.admit.Touch(tinylfu.HashString(key))
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
 		// Recency only matters when eviction can happen; an unbounded cache
 		// never consults the list order.
-		if c.max > 0 {
-			s.lru.MoveToBack(e.el)
+		if c.segmented() && !e.protected {
+			// First reuse: promote out of probation (one-time list element).
+			s.lru.Remove(e.el)
+			e.el = s.prot.PushBack(e)
+			e.protected = true
+			e.seq = c.seq.Add(1)
+		} else if c.opts.MaxEntries > 0 || c.opts.MaxBytes > 0 {
+			if e.protected {
+				s.prot.MoveToBack(e.el)
+			} else {
+				s.lru.MoveToBack(e.el)
+			}
 			e.seq = c.seq.Add(1)
 		}
 		rows := e.rows
@@ -262,11 +362,18 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows,
 	if ctx.Value(noStoreKey{}) != nil {
 		return rows, nil
 	}
+	// The byte reservation precedes the snapshot copy: a result set the
+	// budget refuses (oversize, or colder than every victim) is returned
+	// to the caller uncopied and simply not cached.
+	cost := resultCost(key, rows)
+	if !c.reserveBytes(cost, key) {
+		return rows, nil
+	}
 	// Snapshot once at insert; the snapshot is both what the cache stores
 	// and what this (missing) caller receives, so hits and the originating
 	// miss all share the same immutable data.
 	rows = rows.Snapshot()
-	e := &entry{key: key, query: analysis.Query{SQL: tmpl, Args: vals}, rows: rows}
+	e := &entry{key: key, query: analysis.Query{SQL: tmpl, Args: vals}, rows: rows, cost: cost}
 	c.reserveSlot()
 	s.mu.Lock()
 	if cur, exists := s.entries[key]; exists {
@@ -277,6 +384,7 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows,
 	e.seq = c.seq.Add(1)
 	e.el = s.lru.PushBack(e)
 	s.entries[key] = e
+	s.bytes.Add(e.cost)
 	c.addToGroupLocked(tmpl, ak, e)
 	s.mu.Unlock()
 	return rows, nil
@@ -284,7 +392,7 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows,
 
 // reserveSlot claims one unit of capacity, evicting until a slot is free.
 func (c *Conn) reserveSlot() {
-	max := int64(c.max)
+	max := int64(c.opts.MaxEntries)
 	if max <= 0 {
 		c.count.Add(1)
 		return
@@ -300,6 +408,50 @@ func (c *Conn) reserveSlot() {
 		if !c.evictOne() {
 			runtime.Gosched() // slots held by in-flight inserts; let them land
 		}
+	}
+}
+
+// reserveBytes claims cost bytes of the MaxBytes budget, evicting LRU
+// victims (probation first) until the reservation fits. Returns false —
+// holding no reservation — when the result set can never fit or the
+// admission filter sides with a victim. The claimed bytes are credited
+// back by removeLocked at removal.
+func (c *Conn) reserveBytes(cost int64, key string) bool {
+	max := c.opts.MaxBytes
+	if max <= 0 {
+		c.bytesUsed.Add(cost)
+		return true
+	}
+	if cost > max {
+		c.oversizeRejects.Add(1)
+		return false
+	}
+	var keyHash uint64
+	hashed := false
+	for {
+		n := c.bytesUsed.Load()
+		if n+cost <= max {
+			if c.bytesUsed.CompareAndSwap(n, n+cost) {
+				return true
+			}
+			continue
+		}
+		v, ok := c.pickVictim()
+		if !ok {
+			runtime.Gosched() // all bytes held by in-flight inserts
+			continue
+		}
+		if c.admit != nil {
+			if !hashed {
+				keyHash = tinylfu.HashString(key)
+				hashed = true
+			}
+			if !c.admit.Admit(keyHash, tinylfu.HashString(v.key)) {
+				c.admissionRejects.Add(1)
+				return false
+			}
+		}
+		c.evictPick(v)
 	}
 }
 
@@ -452,11 +604,17 @@ func (c *Conn) invalidate(w analysis.WriteCapture) (int, error) {
 }
 
 // removeLocked unlinks one entry from its shard and template group,
-// releasing its capacity slot. The caller holds s.mu; the template shard
-// lock nests inside it.
+// releasing its capacity slot and crediting its byte cost. The caller holds
+// s.mu; the template shard lock nests inside it.
 func (c *Conn) removeLocked(s *qrShard, e *entry) {
 	delete(s.entries, e.key)
-	s.lru.Remove(e.el)
+	if e.protected {
+		s.prot.Remove(e.el)
+	} else {
+		s.lru.Remove(e.el)
+	}
+	s.bytes.Add(-e.cost)
+	c.bytesUsed.Add(-e.cost)
 	c.count.Add(-1)
 	tmpl := e.query.SQL
 	ts := c.tmplShard(tmpl)
@@ -470,36 +628,68 @@ func (c *Conn) removeLocked(s *qrShard, e *entry) {
 	ts.mu.Unlock()
 }
 
-// evictOne removes the result set with the globally-minimal LRU sequence,
-// locking one shard at a time. It reports whether an entry was removed.
+// victim identifies one eviction candidate found by a cross-shard scan.
+type victim struct {
+	shard *qrShard
+	key   string
+	seq   uint64
+}
+
+// evictOne removes the result set with the globally-minimal LRU sequence.
+// It reports whether an entry was removed.
 func (c *Conn) evictOne() bool {
-	var (
-		bestShard *qrShard
-		bestKey   string
-		bestSeq   uint64
-		found     bool
-	)
+	v, ok := c.pickVictim()
+	if !ok {
+		return false
+	}
+	return c.evictPick(v)
+}
+
+// pickVictim scans for the globally-minimal-seq entry, locking one shard at
+// a time. Under segmented eviction the probation segments are exhausted
+// before any protected entry is considered.
+func (c *Conn) pickVictim() (victim, bool) {
+	if v, ok := c.scanSegment(false); ok {
+		return v, true
+	}
+	if c.segmented() {
+		return c.scanSegment(true)
+	}
+	return victim{}, false
+}
+
+// scanSegment finds the minimal-seq entry within one segment across shards.
+func (c *Conn) scanSegment(protected bool) (victim, bool) {
+	var best victim
+	found := false
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		if front := s.lru.Front(); front != nil {
+		l := s.lru
+		if protected {
+			l = s.prot
+		}
+		if front := l.Front(); front != nil {
 			e := front.Value.(*entry)
-			if !found || e.seq < bestSeq {
-				found, bestShard, bestKey, bestSeq = true, s, e.key, e.seq
+			if !found || e.seq < best.seq {
+				found, best = true, victim{shard: s, key: e.key, seq: e.seq}
 			}
 		}
 		s.mu.Unlock()
 	}
-	if !found {
-		return false
-	}
-	bestShard.mu.Lock()
-	defer bestShard.mu.Unlock()
-	e, ok := bestShard.entries[bestKey]
+	return best, found
+}
+
+// evictPick re-locks the picked shard and evicts the victim. It reports
+// whether an entry was removed.
+func (c *Conn) evictPick(v victim) bool {
+	v.shard.mu.Lock()
+	defer v.shard.mu.Unlock()
+	e, ok := v.shard.entries[v.key]
 	if !ok {
 		return false // vanished since the scan; caller retries
 	}
-	c.removeLocked(bestShard, e)
+	c.removeLocked(v.shard, e)
 	c.evictions.Add(1)
 	return true
 }
@@ -513,17 +703,38 @@ func (c *Conn) flush() {
 		for s.lru.Front() != nil {
 			c.removeLocked(s, s.lru.Front().Value.(*entry))
 		}
+		for s.prot.Front() != nil {
+			c.removeLocked(s, s.prot.Front().Value.(*entry))
+		}
 		s.mu.Unlock()
 	}
+}
+
+// Bytes returns the accounted memory currently charged against MaxBytes.
+func (c *Conn) Bytes() int64 { return c.bytesUsed.Load() }
+
+// ShardBytes returns the per-shard accounted byte counters — the summed
+// cost of the entries linked into each shard (in-flight reservations are
+// carried only by the cache-wide counter, so the slice sums to at most
+// Bytes). Diagnostic: a skewed distribution means a hot template region.
+func (c *Conn) ShardBytes() []int64 {
+	out := make([]int64, len(c.shards))
+	for i := range c.shards {
+		out[i] = c.shards[i].bytes.Load()
+	}
+	return out
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Conn) Stats() Stats {
 	return Stats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Invalidations: c.invalidations.Load(),
-		Evictions:     c.evictions.Load(),
-		Entries:       int(c.count.Load()),
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Invalidations:    c.invalidations.Load(),
+		Evictions:        c.evictions.Load(),
+		AdmissionRejects: c.admissionRejects.Load(),
+		OversizeRejects:  c.oversizeRejects.Load(),
+		Entries:          int(c.count.Load()),
+		Bytes:            c.bytesUsed.Load(),
 	}
 }

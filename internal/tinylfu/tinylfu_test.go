@@ -1,0 +1,116 @@
+package tinylfu
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDoorkeeperAbsorbsFirstTouch(t *testing.T) {
+	f := New(1024)
+	h := HashString("/page?x=1")
+	if got := f.Estimate(h); got != 0 {
+		t.Fatalf("untouched estimate = %d, want 0", got)
+	}
+	f.Touch(h)
+	// First touch: doorkeeper only, estimate 1 (0 sketch + 1 door bonus).
+	if got := f.Estimate(h); got != 1 {
+		t.Fatalf("after one touch estimate = %d, want 1", got)
+	}
+	f.Touch(h)
+	if got := f.Estimate(h); got != 2 {
+		t.Fatalf("after two touches estimate = %d, want 2", got)
+	}
+}
+
+func TestCountersSaturate(t *testing.T) {
+	f := New(1024)
+	h := HashString("hot")
+	for i := 0; i < 100; i++ {
+		f.Touch(h)
+	}
+	got := f.Estimate(h)
+	if got != maxCount+1 {
+		t.Fatalf("saturated estimate = %d, want %d", got, maxCount+1)
+	}
+}
+
+func TestAdmitPrefersFrequent(t *testing.T) {
+	f := New(1024)
+	hot := HashString("hot-page")
+	cold := HashString("cold-page")
+	for i := 0; i < 10; i++ {
+		f.Touch(hot)
+	}
+	f.Touch(cold)
+	if f.Admit(cold, hot) {
+		t.Fatal("one-hit wonder admitted over a hot victim")
+	}
+	if !f.Admit(hot, cold) {
+		t.Fatal("hot candidate rejected against a cold victim")
+	}
+	// Ties keep the incumbent.
+	if f.Admit(cold, cold) {
+		t.Fatal("tie must not admit")
+	}
+}
+
+func TestResetHalvesCounts(t *testing.T) {
+	f := New(1024)
+	h := HashString("aged")
+	for i := 0; i < 8; i++ {
+		f.Touch(h)
+	}
+	before := f.Estimate(h)
+	f.samples.Store(f.limit)
+	f.reset()
+	after := f.Estimate(h)
+	// The doorkeeper bonus is gone and the counters halved.
+	if after >= before {
+		t.Fatalf("estimate did not decay: %d -> %d", before, after)
+	}
+	if after < (before-1)/2-1 {
+		t.Fatalf("estimate decayed too far: %d -> %d", before, after)
+	}
+}
+
+func TestHalvingTriggersAutomatically(t *testing.T) {
+	f := New(0) // minimum size: 1024 counters, limit 8192
+	// Distinct keys, each touched twice so they pass the doorkeeper.
+	for i := 0; i < int(f.limit); i++ {
+		h := HashString(fmt.Sprintf("k%d", i%4096))
+		f.Touch(h)
+	}
+	if f.samples.Load() >= f.limit {
+		t.Fatalf("sketch never halved: samples=%d limit=%d", f.samples.Load(), f.limit)
+	}
+}
+
+func TestConcurrentTouchRace(t *testing.T) {
+	f := New(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h := HashString(fmt.Sprintf("k%d", (g*31+i)%512))
+				f.Touch(h)
+				f.Estimate(h)
+				f.Admit(h, h+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTouchAndEstimateAllocFree(t *testing.T) {
+	f := New(4096)
+	h := HashString("/page?x=42")
+	if n := testing.AllocsPerRun(200, func() {
+		f.Touch(h)
+		f.Estimate(h)
+	}); n != 0 {
+		t.Fatalf("Touch+Estimate allocated %.1f/op, want 0", n)
+	}
+}

@@ -19,7 +19,10 @@ import (
 // has inserted a local replica (with its dependency information, so local
 // invalidation covers it) and returns the stored immutable view. Offer
 // replicates a freshly generated page to the key's owners; its deps slice
-// is shared with the cache and must be treated read-only.
+// is shared with the cache and must be treated read-only. Either side may
+// be byte-governed: a fetched replica the local budget refuses is still
+// served (just not retained), and an owner at its budget refuses offers —
+// both degrade to extra misses, never to unbounded memory.
 type Remote interface {
 	Fetch(ctx context.Context, key string) (cache.Page, bool)
 	Offer(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration)

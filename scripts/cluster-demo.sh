@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# cluster-demo boots a 3-node RUBiS cache cluster on localhost, drives it
+# with the multi-target load generator, then asserts the cluster tier's
+# core guarantees from the outside — exit code 0 means they held, so CI can
+# run the demo headlessly as an end-to-end smoke test:
+#
+#   1. the cluster served traffic with a non-zero cache hit rate;
+#   2. a page cached on node A is HIT on re-request (local caching works);
+#   3. a write on node B removes that page from node A before the write's
+#      response returns (strong cluster-wide invalidation, §3.2);
+#   4. the regenerated page is visible from node C as a hit or remote-hit
+#      (ownership fetch / replica offer works).
+#
+# Knobs: CLUSTER_DURATION (default 5s), CLUSTER_CLIENTS (default 30),
+# MAX_BYTES (optional page-cache budget + admission filter for every node).
+#
+# When setting MAX_BYTES, size it above the demo's working set (tens of
+# MiB): assertions 2-4 require inserts and replica offers to be accepted,
+# and a node at a saturated budget legitimately refuses both (admission
+# duels, rejected offers) — that regime is exercised by the unit and -race
+# stress tests, not by this smoke script.
+set -u
+
+DURATION="${CLUSTER_DURATION:-5s}"
+CLIENTS="${CLUSTER_CLIENTS:-30}"
+MAX_BYTES="${MAX_BYTES:-}"
+
+HTTP_PORTS=(8091 8092 8093)
+PEER_PORTS=(9091 9092 9093)
+
+fail() { echo "cluster-demo: FAIL: $*" >&2; exit 1; }
+
+mkdir -p bin
+go build -o bin/rubis-server ./cmd/rubis-server || fail "build rubis-server"
+go build -o bin/loadgen ./cmd/loadgen || fail "build loadgen"
+
+GOVERN_FLAGS=()
+if [ -n "$MAX_BYTES" ]; then
+  GOVERN_FLAGS=(-max-bytes "$MAX_BYTES" -admission)
+fi
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null; done
+  wait 2>/dev/null
+}
+trap cleanup EXIT
+
+for i in 0 1 2; do
+  peers=()
+  for j in 0 1 2; do
+    [ "$j" != "$i" ] && peers+=("127.0.0.1:${PEER_PORTS[$j]}")
+  done
+  bin/rubis-server -addr ":${HTTP_PORTS[$i]}" \
+    -listen-peer "127.0.0.1:${PEER_PORTS[$i]}" \
+    -peers "$(IFS=,; echo "${peers[*]}")" \
+    "${GOVERN_FLAGS[@]}" &
+  PIDS+=($!)
+done
+
+# Wait for all three nodes to serve.
+for port in "${HTTP_PORTS[@]}"; do
+  up=""
+  for _ in $(seq 1 150); do
+    if curl -sf -o /dev/null "http://localhost:$port/"; then up=1; break; fi
+    sleep 0.2
+  done
+  [ -n "$up" ] || fail "node on :$port never became healthy"
+done
+
+echo "three nodes up; driving $CLIENTS clients for $DURATION"
+LOAD_OUT=$(bin/loadgen \
+  -targets "http://localhost:${HTTP_PORTS[0]},http://localhost:${HTTP_PORTS[1]},http://localhost:${HTTP_PORTS[2]}" \
+  -app rubis -clients "$CLIENTS" -duration "$DURATION") || fail "loadgen exited non-zero"
+echo "$LOAD_OUT"
+
+# Assertion 1: the cluster actually cached something under load.
+HIT_RATE=$(echo "$LOAD_OUT" | sed -n 's/.*hit rate \([0-9.]*\)%.*/\1/p')
+[ -n "$HIT_RATE" ] || fail "could not parse hit rate from loadgen output"
+case "$HIT_RATE" in
+  0|0.0) fail "cluster served zero cache hits (hit rate $HIT_RATE%)" ;;
+esac
+echo "cluster-demo: hit rate $HIT_RATE% OK"
+
+# outcome <url> prints the X-Autowebcache header of one request.
+outcome() {
+  curl -si "$1" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-autowebcache"{print $2}'
+}
+
+N1="http://localhost:${HTTP_PORTS[0]}"
+N2="http://localhost:${HTTP_PORTS[1]}"
+N3="http://localhost:${HTTP_PORTS[2]}"
+PAGE="/viewItem?itemId=7"
+
+# Assertion 2: prime node 1, then re-request — must be a local hit. (The
+# load generator has finished; nothing else touches the cluster now.)
+outcome "$N1$PAGE" >/dev/null
+WARM=$(outcome "$N1$PAGE")
+[ "$WARM" = "hit" ] || fail "expected warm hit on node1, got '$WARM'"
+
+# Assertion 3: a write on node 2 must invalidate node 1's cached page
+# before the write's response returns — the next read on node 1 has to
+# regenerate, not serve the pre-write page.
+WRITE=$(outcome "$N2/storeBid?userId=1&itemId=7&bid=999&qty=1")
+[ "$WRITE" = "write" ] || fail "expected write outcome on node2, got '$WRITE'"
+AFTER=$(outcome "$N1$PAGE")
+if [ "$AFTER" = "hit" ] || [ "$AFTER" = "semantic-hit" ]; then
+  fail "cross-node invalidation did NOT happen: node1 served '$AFTER' after node2's write"
+fi
+echo "cluster-demo: cross-node invalidation OK (node1 outcome after write: $AFTER)"
+
+# Assertion 4: node 1's regeneration re-populated the cluster (local insert
+# plus replica offer to the key's owner); node 3 must see it without
+# executing the handler — a local hit (node 3 owns it) or a remote hit.
+VIA3=$(outcome "$N3$PAGE")
+case "$VIA3" in
+  hit|remote-hit) echo "cluster-demo: cross-node page visibility OK ($VIA3 on node3)" ;;
+  *) fail "expected hit/remote-hit on node3, got '$VIA3'" ;;
+esac
+
+echo "cluster-demo: PASS"
