@@ -2,8 +2,8 @@ GO ?= go
 
 # make bench writes this PR's benchmark record; the gate diffs a fresh run
 # against the committed baseline of the previous PR.
-BENCH_OUT ?= BENCH_4.json
-BENCH_BASELINE ?= BENCH_3.json
+BENCH_OUT ?= BENCH_5.json
+BENCH_BASELINE ?= BENCH_4.json
 
 # cluster-demo knobs.
 CLUSTER_DURATION ?= 5s
@@ -14,10 +14,13 @@ STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 # The coverage floor `make cover` (and CI) enforces on ./internal/... .
-COVER_FLOOR ?= 70
+COVER_FLOOR ?= 75
+
+# Per-target budget for `make fuzz` (the CI fuzz-smoke job).
+FUZZTIME ?= 15s
 
 .PHONY: check ci fmtcheck build vet test race bench benchsmoke bench-gate \
-	experiments cluster-demo cover staticcheck govulncheck lint
+	experiments cluster-demo cover staticcheck govulncheck lint fuzz
 
 check: build vet race
 
@@ -77,6 +80,13 @@ benchsmoke:
 bench-gate:
 	@mkdir -p bin
 	$(GO) run ./cmd/benchjson -out bin/BENCH_ci.json -baseline $(BENCH_BASELINE)
+
+# fuzz runs every native fuzz target for $(FUZZTIME) each: the SQL-template
+# parser and the cluster peer-protocol frame decoder. Seed corpora also run
+# as plain tests on every `go test`.
+fuzz:
+	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME)
 
 experiments:
 	$(GO) run ./cmd/experiments -fast

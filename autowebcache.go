@@ -39,6 +39,7 @@ package autowebcache
 import (
 	"fmt"
 	"math"
+	"net/http"
 	"strconv"
 	"strings"
 
@@ -65,7 +66,13 @@ type (
 	Column = memdb.Column
 	// HandlerInfo describes one web interaction.
 	HandlerInfo = servlet.HandlerInfo
-	// Rules are the weaving rules (uncacheable pages, semantic windows).
+	// Segment is one piece of a fragmented page: a cacheable fragment with
+	// its own vary dimensions, TTL and dependency set, or an uncacheable
+	// hole. Declare a decomposition in HandlerInfo.Fragments and enable it
+	// with Rules.Fragments.
+	Segment = servlet.Segment
+	// Rules are the weaving rules (uncacheable pages, semantic windows,
+	// fragment-granular caching).
 	Rules = weave.Rules
 	// Woven is a cache-enabled application handler.
 	Woven = weave.Woven
@@ -107,6 +114,12 @@ const (
 
 // NewDB creates an empty embedded database.
 func NewDB() *DB { return memdb.New() }
+
+// ComposeSegments renders a fragmented handler's segments in order as one
+// whole page — the monolithic form used when fragment caching is off.
+func ComposeSegments(segs []Segment) http.HandlerFunc {
+	return servlet.ComposeSegments(segs)
+}
 
 // ParseByteSize parses a human-readable byte size for cache budgets: a
 // plain integer is bytes; k/m/g suffixes (case-insensitive, optional

@@ -233,3 +233,115 @@ func TestParseByteSize(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterConfigValidation covers Runtime.Cluster's configuration error
+// paths: every rejected shape must fail loudly instead of silently running
+// unclustered (or half-clustered).
+func TestClusterConfigValidation(t *testing.T) {
+	db := newDB(t)
+	rt, err := autowebcache.New(db, autowebcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rt.Weave(buildApp(t, rt.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty config: clustering off, nil node, no error.
+	node, err := rt.Cluster(h, autowebcache.ClusterConfig{})
+	if err != nil || node != nil {
+		t.Fatalf("empty cluster config: node=%v err=%v, want nil/nil", node, err)
+	}
+
+	// Peers without ListenPeer is a misconfiguration, not silence.
+	if _, err := rt.Cluster(h, autowebcache.ClusterConfig{Peers: []string{"127.0.0.1:9"}}); err == nil {
+		t.Fatal("Peers without ListenPeer accepted")
+	}
+
+	// An unknown invalidation mode is rejected before any socket opens.
+	if _, err := rt.Cluster(h, autowebcache.ClusterConfig{
+		ListenPeer: "127.0.0.1:0", Invalidation: "eventually",
+	}); err == nil {
+		t.Fatal("bad invalidation mode accepted")
+	}
+
+	// The Disabled (baseline) configuration cannot cluster: there is no
+	// cache to keep consistent.
+	rtOff, err := autowebcache.New(newDB(t), autowebcache.Config{Disabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOff, err := rtOff.Weave(buildApp(t, rtOff.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtOff.Cluster(hOff, autowebcache.ClusterConfig{ListenPeer: "127.0.0.1:0"}); err == nil {
+		t.Fatal("clustering a Disabled runtime accepted")
+	}
+
+	// An unroutable listen with peers configured must error (ring identity
+	// would silently disagree across nodes otherwise).
+	if _, err := rt.Cluster(h, autowebcache.ClusterConfig{
+		ListenPeer: ":0", Peers: []string{"127.0.0.1:9"},
+	}); err == nil {
+		t.Fatal("unroutable ring identity accepted")
+	}
+}
+
+// TestFacadeFragments drives fragment-granular caching through the public
+// API: a fragmented handler with a personalised hole, enabled by
+// Rules.Fragments.
+func TestFacadeFragments(t *testing.T) {
+	db := newDB(t)
+	if _, err := db.Exec(t.Context(), "INSERT INTO notes (note) VALUES (?)", "shared"); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := autowebcache.New(db, autowebcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := rt.Conn()
+	frag := autowebcache.Segment{ID: "notes", Gen: func(w http.ResponseWriter, r *http.Request) {
+		rows, err := conn.Query(r.Context(), "SELECT note FROM notes ORDER BY id ASC")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for i := 0; i < rows.Len(); i++ {
+			fmt.Fprintf(w, "[%s]", rows.Str(i, 0))
+		}
+	}}
+	hole := autowebcache.Segment{Gen: func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "(user %s)", r.URL.Query().Get("u"))
+	}}
+	handlers := []autowebcache.HandlerInfo{
+		{Name: "Page", Path: "/page", Fragments: []autowebcache.Segment{frag, hole}},
+		buildApp(t, conn)[1], // the Add write
+	}
+	h, err := rt.Weave(handlers, autowebcache.Rules{Fragments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := get(t, h, "/page?u=alice"); rr.Header().Get("X-Autowebcache") != "miss" {
+		t.Fatalf("cold outcome %q", rr.Header().Get("X-Autowebcache"))
+	}
+	rr := get(t, h, "/page?u=bob")
+	if got := rr.Header().Get("X-Autowebcache"); got != "fragment-hit" {
+		t.Fatalf("warm outcome %q, want fragment-hit", got)
+	}
+	if body := rr.Body.String(); body != "[shared](user bob)" {
+		t.Fatalf("assembled body %q", body)
+	}
+	// The write invalidates the fragment; the next assembly regenerates.
+	if rr := get(t, h, "/add?note=two"); rr.Code != http.StatusOK {
+		t.Fatalf("add: %d", rr.Code)
+	}
+	rr = get(t, h, "/page?u=carol")
+	if got := rr.Header().Get("X-Autowebcache"); got != "miss" {
+		t.Fatalf("post-write outcome %q, want miss", got)
+	}
+	if body := rr.Body.String(); body != "[shared][two](user carol)" {
+		t.Fatalf("post-write body %q", body)
+	}
+}

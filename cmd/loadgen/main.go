@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -44,6 +45,12 @@ type outcomeStats struct {
 	total    time.Duration
 	outcomes map[string]int
 	errors   int
+	// bytesOut counts response-body bytes; bytesCached the subset the
+	// server reported (or implied, for whole-page hits) as served from the
+	// cache — their ratio is the cache-served byte fraction fragment
+	// caching moves.
+	bytesOut    int64
+	bytesCached int64
 }
 
 func main() {
@@ -62,8 +69,13 @@ func buildMix(app, mixName string) (mixSource, error) {
 			return rubis.BiddingMix(s), nil
 		case "browsing":
 			return rubis.BrowsingMix(s), nil
+		case "personalized":
+			// Logged-in sessions: the fragmented pages carry a session
+			// parameter, so whole-page keys split per user while fragments
+			// stay shared (drive a -fragments server to see the contrast).
+			return rubis.PersonalizedMix(s), nil
 		}
-		return nil, fmt.Errorf("unknown rubis mix %q (bidding, browsing)", mixName)
+		return nil, fmt.Errorf("unknown rubis mix %q (bidding, browsing, personalized)", mixName)
 	case "tpcw":
 		s := tpcw.DefaultScale()
 		switch mixName {
@@ -83,7 +95,7 @@ func run(args []string, out io.Writer) error {
 	targets := fs.String("targets", "",
 		"comma-separated base URLs of cluster nodes; clients round-robin across them (overrides -target)")
 	app := fs.String("app", "rubis", "application mix to use: rubis or tpcw")
-	mixName := fs.String("mix", "", "interaction mix (rubis: bidding, browsing; tpcw: shopping, browsing)")
+	mixName := fs.String("mix", "", "interaction mix (rubis: bidding, browsing, personalized; tpcw: shopping, browsing)")
 	clients := fs.Int("clients", 20, "concurrent emulated clients")
 	concurrency := fs.Int("concurrency", 0,
 		"parallel client goroutines (0 = use -clients); use with high values to stress the sharded caches")
@@ -127,7 +139,7 @@ func run(args []string, out io.Writer) error {
 	var mu sync.Mutex
 	stats := make(map[string]*outcomeStats)
 	perTarget := make([]int, len(targetList))
-	record := func(name, outcome string, d time.Duration, failed bool) {
+	record := func(name string, res fetchResult, d time.Duration, failed bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		s := stats[name]
@@ -139,9 +151,11 @@ func run(args []string, out io.Writer) error {
 		s.total += d
 		if failed {
 			s.errors++
-		} else {
-			s.outcomes[outcome]++
+			return
 		}
+		s.outcomes[res.outcome]++
+		s.bytesOut += res.bytes
+		s.bytesCached += res.cachedBytes()
 	}
 
 	var wg sync.WaitGroup
@@ -158,13 +172,13 @@ func run(args []string, out io.Writer) error {
 				ti := (client + reqNum) % len(targetList)
 				reqNum++
 				start := time.Now()
-				outcome, err := fetch(ctx, httpClient, targetList[ti]+path)
+				res, err := fetch(ctx, httpClient, targetList[ti]+path)
 				// Count every attempt, including failures: an unhealthy node
 				// must show its full share of the load, not look idle.
 				mu.Lock()
 				perTarget[ti]++
 				mu.Unlock()
-				record(name, outcome, time.Since(start), err != nil)
+				record(name, res, time.Since(start), err != nil)
 				if *think > 0 {
 					d := time.Duration(rng.ExpFloat64() * float64(*think))
 					if d > 5**think {
@@ -191,21 +205,51 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func fetch(ctx context.Context, client *http.Client, url string) (outcome string, err error) {
+// fetchResult is one response's cache attribution: the outcome header, the
+// body size, and — on fragment-assembled pages — the server-reported
+// cache-served byte count.
+type fetchResult struct {
+	outcome string
+	bytes   int64
+	// cached is the X-Autowebcache-Cached-Bytes value; -1 when the header
+	// was absent (whole-page responses don't send it).
+	cached int64
+}
+
+// cachedBytes resolves the cache-served byte count: fragment pages report
+// it explicitly; whole-page responses imply all-or-nothing from the outcome.
+func (f fetchResult) cachedBytes() int64 {
+	if f.cached >= 0 {
+		return f.cached
+	}
+	switch f.outcome {
+	case "hit", "semantic-hit", "remote-hit", "coalesced":
+		return f.bytes
+	}
+	return 0
+}
+
+func fetch(ctx context.Context, client *http.Client, url string) (fetchResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return "", err
+		return fetchResult{}, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return "", err
+		return fetchResult{}, err
 	}
 	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
+	n, _ := io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("status %d", resp.StatusCode)
+		return fetchResult{}, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	return resp.Header.Get("X-Autowebcache"), nil
+	res := fetchResult{outcome: resp.Header.Get("X-Autowebcache"), bytes: n, cached: -1}
+	if v := resp.Header.Get("X-Autowebcache-Cached-Bytes"); v != "" {
+		if c, perr := strconv.ParseInt(v, 10, 64); perr == nil {
+			res.cached = c
+		}
+	}
+	return res, nil
 }
 
 func report(out io.Writer, stats map[string]*outcomeStats) {
@@ -213,29 +257,37 @@ func report(out io.Writer, stats map[string]*outcomeStats) {
 	totalReq := 0
 	var totalDur time.Duration
 	hits := 0
+	var bytesOut, bytesCached int64
 	for name, s := range stats {
 		names = append(names, name)
 		totalReq += s.count
 		totalDur += s.total
 		hits += s.outcomes["hit"] + s.outcomes["semantic-hit"] + s.outcomes["remote-hit"]
+		bytesOut += s.bytesOut
+		bytesCached += s.bytesCached
 	}
 	sort.Strings(names)
-	fmt.Fprintf(out, "%-26s %8s %12s %6s %6s %6s %6s %6s\n",
-		"interaction", "requests", "mean", "hit", "remote", "miss", "write", "errs")
+	fmt.Fprintf(out, "%-26s %8s %12s %6s %6s %6s %6s %6s %6s %6s\n",
+		"interaction", "requests", "mean", "hit", "remote", "frag", "asm", "miss", "write", "errs")
 	for _, name := range names {
 		s := stats[name]
 		mean := time.Duration(0)
 		if s.count > 0 {
 			mean = s.total / time.Duration(s.count)
 		}
-		fmt.Fprintf(out, "%-26s %8d %12v %6d %6d %6d %6d %6d\n",
+		fmt.Fprintf(out, "%-26s %8d %12v %6d %6d %6d %6d %6d %6d %6d\n",
 			name, s.count, mean.Round(time.Microsecond),
 			s.outcomes["hit"]+s.outcomes["semantic-hit"], s.outcomes["remote-hit"],
+			s.outcomes["fragment-hit"], s.outcomes["assembled"],
 			s.outcomes["miss"], s.outcomes["write"], s.errors)
 	}
 	if totalReq > 0 {
-		fmt.Fprintf(out, "\ntotal %d requests, mean %v, hit rate %.1f%%\n",
+		fmt.Fprintf(out, "\ntotal %d requests, mean %v, hit rate %.1f%%",
 			totalReq, (totalDur / time.Duration(totalReq)).Round(time.Microsecond),
 			100*float64(hits)/float64(totalReq))
+		if bytesOut > 0 {
+			fmt.Fprintf(out, ", cache-served bytes %.1f%%", 100*float64(bytesCached)/float64(bytesOut))
+		}
+		fmt.Fprintln(out)
 	}
 }

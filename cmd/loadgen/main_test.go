@@ -1,9 +1,11 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"autowebcache"
@@ -11,7 +13,8 @@ import (
 )
 
 func TestBuildMix(t *testing.T) {
-	good := [][2]string{{"rubis", "bidding"}, {"rubis", "browsing"}, {"tpcw", "shopping"}, {"tpcw", "browsing"}}
+	good := [][2]string{{"rubis", "bidding"}, {"rubis", "browsing"}, {"rubis", "personalized"},
+		{"tpcw", "shopping"}, {"tpcw", "browsing"}}
 	for _, g := range good {
 		if _, err := buildMix(g[0], g[1]); err != nil {
 			t.Errorf("%v: %v", g, err)
@@ -110,6 +113,65 @@ func TestConcurrencyFlag(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "total ") {
 		t.Fatalf("report: %q", out.String())
+	}
+}
+
+// TestFragmentReportAttribution drives the personalized mix against a stub
+// that answers with fragment-assembly headers and checks the report's new
+// frag/asm columns and cache-served byte fraction.
+func TestFragmentReportAttribution(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 3 {
+		case 0:
+			w.Header().Set("X-Autowebcache", "fragment-hit")
+			w.Header().Set("X-Autowebcache-Fragments", "2/2")
+			w.Header().Set("X-Autowebcache-Cached-Bytes", "30")
+		case 1:
+			w.Header().Set("X-Autowebcache", "assembled")
+			w.Header().Set("X-Autowebcache-Fragments", "1/2")
+			w.Header().Set("X-Autowebcache-Cached-Bytes", "15")
+		default:
+			w.Header().Set("X-Autowebcache", "hit")
+		}
+		_, _ = w.Write([]byte("<html>thirty-six bytes of body.</html>"))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-target", srv.URL, "-app", "rubis", "-mix", "personalized",
+		"-clients", "2", "-duration", "150ms", "-think", "0s",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"frag", "asm", "hit rate", "cache-served bytes"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestFetchResultCachedBytes(t *testing.T) {
+	cases := []struct {
+		res  fetchResult
+		want int64
+	}{
+		{fetchResult{outcome: "hit", bytes: 100, cached: -1}, 100},
+		{fetchResult{outcome: "semantic-hit", bytes: 40, cached: -1}, 40},
+		{fetchResult{outcome: "remote-hit", bytes: 40, cached: -1}, 40},
+		{fetchResult{outcome: "coalesced", bytes: 40, cached: -1}, 40},
+		{fetchResult{outcome: "miss", bytes: 100, cached: -1}, 0},
+		{fetchResult{outcome: "uncacheable", bytes: 100, cached: -1}, 0},
+		{fetchResult{outcome: "assembled", bytes: 100, cached: 37}, 37},
+		{fetchResult{outcome: "fragment-hit", bytes: 100, cached: 90}, 90},
+	}
+	for _, tc := range cases {
+		if got := tc.res.cachedBytes(); got != tc.want {
+			t.Errorf("cachedBytes(%+v) = %d, want %d", tc.res, got, tc.want)
+		}
 	}
 }
 

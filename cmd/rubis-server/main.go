@@ -59,6 +59,7 @@ func run(args []string) error {
 	strategy := fs.String("strategy", "extraquery", "invalidation strategy: columnonly, wherematch, extraquery")
 	maxBytes := fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)")
 	admission := fs.Bool("admission", false, "gate inserts with a TinyLFU admission filter under byte-budget pressure (requires -max-bytes)")
+	fragments := fs.Bool("fragments", false, "fragment-granular (ESI-style) caching: assemble pages from per-fragment cache hits")
 	listenPeer := fs.String("listen-peer", "", "cluster peer-protocol listen address (enables the peer tier)")
 	peers := fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes")
 	invMode := fs.String("invalidation", "strong", "cluster invalidation mode: strong or async")
@@ -91,7 +92,7 @@ func run(args []string) error {
 		return err
 	}
 	app := rubis.New(rt.Conn(), scale, lastDate)
-	handler, err := rt.Weave(app.Handlers(), autowebcache.Rules{})
+	handler, err := rt.Weave(app.Handlers(), autowebcache.Rules{Fragments: *fragments})
 	if err != nil {
 		return err
 	}
@@ -115,7 +116,7 @@ func run(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("RUBiS serving on %s (cache=%v, strategy=%v)", *addr, !*noCache, strat)
+	log.Printf("RUBiS serving on %s (cache=%v, strategy=%v, fragments=%v)", *addr, !*noCache, strat, *fragments)
 
 	select {
 	case err := <-errCh:

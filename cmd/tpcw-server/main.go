@@ -43,6 +43,7 @@ func run(args []string) error {
 	window := fs.Duration("bestseller-window", 0, "BestSellers semantic freshness window (paper: 30s)")
 	maxBytes := fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)")
 	admission := fs.Bool("admission", false, "gate inserts with a TinyLFU admission filter under byte-budget pressure (requires -max-bytes)")
+	fragments := fs.Bool("fragments", false, "fragment-granular (ESI-style) caching: assemble pages from per-fragment cache hits")
 	listenPeer := fs.String("listen-peer", "", "cluster peer-protocol listen address (enables the peer tier)")
 	peers := fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes")
 	invMode := fs.String("invalidation", "strong", "cluster invalidation mode: strong or async")
@@ -71,7 +72,9 @@ func run(args []string) error {
 		return err
 	}
 	app := tpcw.New(rt.Conn(), scale, lastDate)
-	handler, err := rt.Weave(app.Handlers(), tpcw.WeaveRules(*window))
+	rules := tpcw.WeaveRules(*window)
+	rules.Fragments = *fragments
+	handler, err := rt.Weave(app.Handlers(), rules)
 	if err != nil {
 		return err
 	}

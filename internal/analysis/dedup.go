@@ -1,0 +1,42 @@
+package analysis
+
+import "autowebcache/internal/memdb"
+
+// DedupQueries collapses repeated (template, value-vector) query instances
+// into one, preserving first-occurrence order. Fragment-granular caching
+// scopes dependency extraction per fragment instead of per response, and a
+// fragment's generator frequently re-issues the same lookup (an item row
+// feeding both a title and a detail table); storing the instance once keeps
+// each fragment's dependency set — and its accounted byte cost — minimal
+// without changing which writes invalidate it. The result aliases the input
+// slice's elements; with no duplicates the input itself is returned.
+func DedupQueries(qs []Query) []Query {
+	if len(qs) < 2 {
+		return qs
+	}
+	seen := make(map[string]bool, len(qs))
+	keyOf := func(q Query) string { return q.SQL + "\x00" + memdb.KeyOfValues(q.Args) }
+	dup := false
+	for _, q := range qs {
+		k := keyOf(q)
+		if seen[k] {
+			dup = true
+			break
+		}
+		seen[k] = true
+	}
+	if !dup {
+		return qs
+	}
+	out := qs[:0:0]
+	clear(seen)
+	for _, q := range qs {
+		k := keyOf(q)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, q)
+	}
+	return out
+}

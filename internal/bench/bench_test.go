@@ -350,3 +350,62 @@ func TestParallelScalability(t *testing.T) {
 		}
 	}
 }
+
+// TestFragmentBenefit is the -fig F acceptance criterion: on the
+// personalised RUBiS mix, fragment-granular caching serves a strictly
+// higher cache-served byte fraction than whole-page caching.
+func TestFragmentBenefit(t *testing.T) {
+	p := tiny(t)
+	whole, frag, err := FragmentModes(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cache-served byte fraction: whole-page %.1f%%, fragments %.1f%%", 100*whole, 100*frag)
+	if frag <= whole {
+		t.Fatalf("fragment mode must beat whole-page on cache-served bytes: %.3f <= %.3f", frag, whole)
+	}
+	if frag == 0 {
+		t.Fatal("fragment mode served nothing from the cache")
+	}
+}
+
+func TestFragmentBenefitTableRenders(t *testing.T) {
+	p := tiny(t)
+	p.RubisClients = []int{8}
+	tbl, err := FragmentBenefit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"AutoWebCache+Fragments", "CachedBytes%", "FragHit%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figF table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHitPathFragmentRecord pins the new benchmark record's presence and
+// the page-hit zero-alloc guarantee the gate enforces.
+func TestHitPathFragmentRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark records take seconds")
+	}
+	recs, err := HitPathRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]HitPathRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if _, ok := byName["fragment-assembly"]; !ok {
+		t.Fatal("fragment-assembly record missing")
+	}
+	if r := byName["page-hit"]; r.AllocsPerOp != 0 {
+		t.Fatalf("page-hit regressed to %d allocs/op", r.AllocsPerOp)
+	}
+}

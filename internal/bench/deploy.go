@@ -100,6 +100,13 @@ type SystemConfig struct {
 	// QueryCache stacks the §9-extension back-end result cache under the
 	// page cache (or alone, when Cached is false).
 	QueryCache bool
+	// Fragments enables fragment-granular caching for handlers declaring a
+	// segment decomposition.
+	Fragments bool
+	// Personalized switches RUBiS to the personalised bidding mix: the
+	// fragmented pages carry a per-session parameter, splitting whole-page
+	// cache keys per user while fragments stay shared.
+	Personalized bool
 }
 
 func (cfg SystemConfig) label() string {
@@ -112,6 +119,8 @@ func (cfg SystemConfig) label() string {
 		return "NoCache"
 	case cfg.ForceMiss:
 		return "ForcedMiss"
+	case cfg.Fragments:
+		return "AutoWebCache+Fragments"
 	case cfg.BestSellerWindow > 0:
 		return "AutoWebCache+Semantics"
 	default:
@@ -149,13 +158,17 @@ func newRubis(p Params, cfg SystemConfig) (*deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &deployment{db: db, eng: eng, mix: rubis.BiddingMix(p.RubisScale)}
+	mix := rubis.BiddingMix(p.RubisScale)
+	if cfg.Personalized {
+		mix = rubis.PersonalizedMix(p.RubisScale)
+	}
+	d := &deployment{db: db, eng: eng, mix: mix}
 	conn, err := d.buildConn(cfg)
 	if err != nil {
 		return nil, err
 	}
 	app := rubis.New(conn, p.RubisScale, lastDate)
-	d.woven, err = weave.New(app.Handlers(), d.cache, weave.Rules{})
+	d.woven, err = weave.New(app.Handlers(), d.cache, weave.Rules{Fragments: cfg.Fragments})
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +195,9 @@ func newTpcw(p Params, cfg SystemConfig) (*deployment, error) {
 		return nil, err
 	}
 	app := tpcw.New(conn, p.TpcwScale, lastDate)
-	d.woven, err = weave.New(app.Handlers(), d.cache, tpcw.WeaveRules(cfg.BestSellerWindow))
+	rules := tpcw.WeaveRules(cfg.BestSellerWindow)
+	rules.Fragments = cfg.Fragments
+	d.woven, err = weave.New(app.Handlers(), d.cache, rules)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// FragmentBenefit is the -fig F experiment: RUBiS under the personalised
+// bidding mix — every fragmented page carries the session's user id, the
+// way real sites personalise shared pages — comparing whole-page caching
+// against fragment-granular caching. The session parameter splits every
+// whole-page key per user, so the whole-page configuration decays towards
+// cold misses on exactly the pages users share most; fragment mode keys the
+// personal greeting out into a hole and serves the shared fragments from
+// the cache. The headline metric is the cache-served byte fraction: the
+// share of response bytes the cache produced instead of the handlers.
+func FragmentBenefit(p Params) (*Table, error) {
+	t := &Table{
+		ID:    "figF",
+		Title: "Fragment-granular caching vs whole-page under a personalized mix (RUBiS)",
+		Columns: []string{"Clients", "Mode", "HitRate", "FragHit%", "Assembled%",
+			"FragmentRate", "CachedBytes%", "MeanResponse(ms)"},
+		Notes: []string{
+			"personalized mix: ViewItem/SearchByCategory/ViewUser/ViewBids carry a per-session parameter",
+			"whole-page mode keys every session's copy separately; fragment mode shares all fragments and regenerates only the greeting hole",
+			"CachedBytes% is the fraction of response-body bytes served from the cache — fragment caching's headline metric",
+		},
+	}
+	configs := []SystemConfig{
+		{Cached: true, Personalized: true},
+		{Cached: true, Personalized: true, Fragments: true},
+	}
+	for _, n := range p.RubisClients {
+		for _, cfg := range configs {
+			d, err := newRubis(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res := d.run(p, n)
+			tot := res.Totals
+			req := float64(tot.Requests)
+			if req == 0 {
+				return nil, fmt.Errorf("bench: figF produced no requests")
+			}
+			t.AddRow(n, cfg.label(), pct(tot.HitRate()),
+				pct(float64(tot.FragmentHits)/req), pct(float64(tot.Assembled)/req),
+				pct(tot.FragmentHitRate()), pct(tot.CachedByteFraction()),
+				ms(tot.MeanResponse()))
+		}
+	}
+	return t, nil
+}
+
+// FragmentModes runs one personalised RUBiS deployment per mode at a fixed
+// client count and returns the two byte fractions — the acceptance check
+// behind figF, exposed for tests.
+func FragmentModes(p Params, clients int) (wholePage, fragments float64, err error) {
+	for i, cfg := range []SystemConfig{
+		{Cached: true, Personalized: true},
+		{Cached: true, Personalized: true, Fragments: true},
+	} {
+		d, derr := newRubis(p, cfg)
+		if derr != nil {
+			return 0, 0, derr
+		}
+		res := d.run(p, clients)
+		frac := res.Totals.CachedByteFraction()
+		if i == 0 {
+			wholePage = frac
+		} else {
+			fragments = frac
+		}
+	}
+	return wholePage, fragments, nil
+}

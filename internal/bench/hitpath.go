@@ -137,6 +137,35 @@ func (w *discardWriter) Header() http.Header         { return w.h }
 func (w *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
 func (w *discardWriter) WriteHeader(int)             {}
 
+// fragmentWoven builds a woven app with one fragmented handler: three 1 KiB
+// fragments plus a small personalised hole — the warm fragment-assembly
+// path (all fragments hit, only the hole runs).
+func fragmentWoven() (*weave.Woven, error) {
+	eng, err := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cache.New(cache.Options{Engine: eng, Shards: 8})
+	if err != nil {
+		return nil, err
+	}
+	chunk := make([]byte, 1024)
+	for i := range chunk {
+		chunk[i] = 'x'
+	}
+	frag := func(id string) servlet.Segment {
+		return servlet.Segment{ID: id, Vary: []string{"x"}, Gen: func(rw http.ResponseWriter, r *http.Request) {
+			_, _ = rw.Write(chunk)
+		}}
+	}
+	hole := servlet.Segment{Gen: func(rw http.ResponseWriter, r *http.Request) {
+		_, _ = rw.Write([]byte("<p>hello, you</p>"))
+	}}
+	segs := []servlet.Segment{frag("a"), hole, frag("b"), frag("c")}
+	h := servlet.HandlerInfo{Name: "Frag", Path: "/frag", Fragments: segs}
+	return weave.New([]servlet.HandlerInfo{h}, c, weave.Rules{Fragments: true})
+}
+
 // HitPathRecords measures the cache hot paths the zero-copy rework targets
 // and returns them as machine-readable records:
 //
@@ -262,6 +291,31 @@ func HitPathRecords() ([]HitPathRecord, error) {
 	rec.BytesPerOp /= herd
 	rec.Note = fmt.Sprintf("%d concurrent requests per cold key; handler ran %.2fx per round (1.0 = perfect coalescing)", herd, execPerRound)
 	out = append(out, rec)
+
+	// fragment-assembly: a warm fragmented page — three 1 KiB fragment hits
+	// stitched around a regenerated hole, per-request cost through the
+	// weave.
+	fw, err := fragmentWoven()
+	if err != nil {
+		return nil, err
+	}
+	{
+		// Warm the three fragments (and the flight paths) once.
+		dw := &discardWriter{h: make(http.Header)}
+		fw.ServeHTTP(dw, httptest.NewRequest(http.MethodGet, "/frag?x=1", nil))
+	}
+	fragReq := httptest.NewRequest(http.MethodGet, "/frag?x=1", nil)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		dw := &discardWriter{h: make(http.Header)}
+		for n := 0; n < b.N; n++ {
+			for k := range dw.h {
+				delete(dw.h, k)
+			}
+			fw.ServeHTTP(dw, fragReq)
+		}
+	})
+	out = append(out, record("fragment-assembly", r, "warm page of 3x1 KiB fragment hits + 1 regenerated hole"))
 
 	// mixed-parallel.
 	c3, keys3, err := newHitPathCache(512)

@@ -352,6 +352,23 @@ type Cache struct {
 	// exceeded, even transiently.
 	bytesUsed atomic.Int64
 
+	// epoch counts invalidation events (write invalidations and flushes,
+	// local or peer-applied). It is bumped BEFORE the sweep starts, so an
+	// inserter that observes an unchanged epoch across its generate+insert
+	// window knows no sweep it could have raced has run yet — any later
+	// sweep will see the inserted entry. The weave's single-flight uses this
+	// to keep the §3.2 guarantee across the insert-after-read window: a
+	// page (or fragment) inserted while an invalidation swept is discarded
+	// instead of shared.
+	epoch atomic.Uint64
+
+	// recent retains the prepared write behind each recent epoch (nil for a
+	// flush) so StaleSince can test an inserter's dependency set against
+	// exactly the sweeps that raced its window, instead of discarding on
+	// every concurrent write.
+	recentMu sync.Mutex
+	recent   [recentWriteWindow]recentWrite
+
 	// admit is the TinyLFU admission filter (nil unless Options.Admission):
 	// touched on every lookup, consulted when a reservation needs to evict.
 	admit *tinylfu.Filter
@@ -811,6 +828,12 @@ func (c *Cache) InvalidateWriteLocal(w analysis.WriteCapture) (int, error) {
 		return 0, err
 	}
 	c.writesSeen.Add(1)
+	// The epoch bump precedes the sweep (see the epoch field): an inserter
+	// whose post-insert epoch check sees no change is guaranteed this sweep
+	// had not started when it checked, so the sweep covers its entry. The
+	// prepared write is retained so StaleSince can test raced inserts
+	// precisely.
+	c.recordEvent(c.epoch.Add(1), pw)
 	// ColumnOnly deliberately ignores bound values, so the value-based
 	// probe index must not narrow its candidate set.
 	useProbes := c.opts.Engine.Strategy() != analysis.StrategyColumnOnly
@@ -920,6 +943,7 @@ func (c *Cache) Flush() {
 // FlushLocal empties this process's cache without broadcasting — the entry
 // point for flushes arriving from a peer.
 func (c *Cache) FlushLocal() {
+	c.recordEvent(c.epoch.Add(1), nil)
 	for i := range c.pageShards {
 		s := &c.pageShards[i]
 		s.mu.Lock()
@@ -931,6 +955,73 @@ func (c *Cache) FlushLocal() {
 		}
 		s.mu.Unlock()
 	}
+}
+
+// Epoch returns the invalidation-event counter: it advances at the start of
+// every write-invalidation sweep and flush (local or peer-applied; single-key
+// InvalidateKey removals do not count — they cannot make an unrelated
+// in-flight page stale). An inserter that reads the epoch before generating
+// an entry and sees it unchanged after inserting knows no sweep overlapped
+// its window; on a change, StaleSince decides whether any raced sweep
+// actually intersects the entry's dependencies.
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
+
+// recentWriteWindow is how many recent invalidation events the cache
+// retains for StaleSince. Deeper than any plausible number of writes racing
+// one page generation; an inserter whose window outlived the ring is judged
+// stale conservatively.
+const recentWriteWindow = 256
+
+// recentWrite is one retained invalidation event: the sweep's prepared
+// write, or nil for a flush (stale for every dependency set).
+type recentWrite struct {
+	epoch uint64
+	pw    *analysis.PreparedWrite
+}
+
+// recordEvent retains one invalidation event under its (already bumped)
+// epoch. pw == nil marks a flush.
+func (c *Cache) recordEvent(epoch uint64, pw *analysis.PreparedWrite) {
+	c.recentMu.Lock()
+	c.recent[epoch%recentWriteWindow] = recentWrite{epoch: epoch, pw: pw}
+	c.recentMu.Unlock()
+}
+
+// StaleSince reports whether an entry whose generate+insert window started
+// at epoch0 (and whose insert has completed) may have escaped an
+// invalidation sweep it depended on: it tests deps against the prepared
+// write of every epoch in (epoch0, now]. Sweeps that start after the insert
+// see the entry in the tables, so only that interval matters. Unknown
+// territory — a flush, an evicted ring slot, an analysis error — reports
+// stale; over-invalidation is always sound (§3.2).
+func (c *Cache) StaleSince(epoch0 uint64, deps []analysis.Query) bool {
+	cur := c.epoch.Load()
+	if cur == epoch0 {
+		return false
+	}
+	if cur-epoch0 > recentWriteWindow {
+		return true
+	}
+	raced := make([]*analysis.PreparedWrite, 0, cur-epoch0)
+	c.recentMu.Lock()
+	for e := epoch0 + 1; e <= cur; e++ {
+		rw := c.recent[e%recentWriteWindow]
+		if rw.epoch != e || rw.pw == nil {
+			c.recentMu.Unlock()
+			return true
+		}
+		raced = append(raced, rw.pw)
+	}
+	c.recentMu.Unlock()
+	for _, pw := range raced {
+		for _, d := range deps {
+			hit, err := pw.Intersects(d)
+			if err != nil || hit {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Len returns the current number of cached pages.

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/memdb"
+)
+
+// encodeFrame renders one frame via the production writer.
+func encodeFrame(t testing.TB, typ byte, meta any, body []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, typ, meta, body); err != nil {
+		t.Fatalf("writeFrame(%d): %v", typ, err)
+	}
+	return buf.Bytes()
+}
+
+// seedFrames builds a corpus of real peer-protocol messages: get/put/inv/
+// flush requests and their responses, with deps, TTLs, bodies and an
+// extra-query row snapshot — everything the wire can carry.
+func seedFrames(t testing.TB) [][]byte {
+	t.Helper()
+	deps := toWireQueries([]analysis.Query{
+		{SQL: "SELECT a FROM t WHERE b = ?", Args: []memdb.Value{int64(7)}},
+		{SQL: "SELECT x FROM u WHERE y = ? AND z = ?", Args: []memdb.Value{"s", 1.5}},
+	})
+	capture := toWireCapture(analysis.WriteCapture{
+		Query: analysis.Query{SQL: "UPDATE t SET a = ? WHERE b = ?", Args: []memdb.Value{int64(1), int64(7)}},
+		Affected: &memdb.Rows{
+			Columns: []string{"a", "b"},
+			Data:    [][]memdb.Value{{int64(1), int64(7)}, {nil, "x"}},
+		},
+		AutoID: 42, HasAutoID: true,
+	})
+	body := bytes.Repeat([]byte("<html>frag</html>"), 8)
+	return [][]byte{
+		encodeFrame(t, msgGet, getMeta{Key: "/page?x=1"}, nil),
+		encodeFrame(t, msgGet, getMeta{Key: "/page#frag?x=1"}, nil),
+		encodeFrame(t, msgGetResp, getRespMeta{Found: false}, nil),
+		encodeFrame(t, msgGetResp, getRespMeta{Found: true, ContentType: "text/html", TTLNanos: int64(30 * time.Second), Deps: deps}, body),
+		encodeFrame(t, msgPut, putMeta{Key: "/k", ContentType: "text/html", Deps: deps}, body),
+		encodeFrame(t, msgPutResp, putRespMeta{OK: true}, nil),
+		encodeFrame(t, msgInv, invMeta{Capture: capture}, nil),
+		encodeFrame(t, msgInvResp, invRespMeta{Pages: 3, Results: 2}, nil),
+		encodeFrame(t, msgFlush, struct{}{}, nil),
+		encodeFrame(t, msgFlushResp, flushRespMeta{OK: true}, nil),
+	}
+}
+
+// decodeMetaFor routes a frame's meta JSON through the same decode the
+// server and client sides perform, so the fuzzer exercises the full parse.
+func decodeMetaFor(typ byte, meta []byte) {
+	switch typ {
+	case msgGet:
+		var m getMeta
+		_ = decodeMeta(typ, meta, &m)
+	case msgGetResp:
+		var m getRespMeta
+		if decodeMeta(typ, meta, &m) == nil {
+			fromWireQueries(m.Deps)
+			ttlFromNanos(m.TTLNanos)
+		}
+	case msgPut:
+		var m putMeta
+		if decodeMeta(typ, meta, &m) == nil {
+			fromWireQueries(m.Deps)
+		}
+	case msgPutResp:
+		var m putRespMeta
+		_ = decodeMeta(typ, meta, &m)
+	case msgInv:
+		var m invMeta
+		if decodeMeta(typ, meta, &m) == nil {
+			m.Capture.capture()
+		}
+	case msgInvResp:
+		var m invRespMeta
+		_ = decodeMeta(typ, meta, &m)
+	case msgFlush, msgFlushResp:
+		var m flushRespMeta
+		_ = decodeMeta(typ, meta, &m)
+	}
+}
+
+// FuzzDecodeFrame fuzzes the peer-protocol decoder with raw bytes and with
+// mutated-but-well-framed messages. Properties:
+//
+//   - readFrame (and the per-type meta decode behind it) never panics on
+//     any input;
+//   - no frame can make the decoder retain more than the 64 MiB cap;
+//   - framing is self-synchronising: after any frame whose length fields
+//     are consistent — whatever garbage its meta and body carry — the NEXT
+//     message on the stream still decodes intact, so one corrupt (or
+//     hostile) payload cannot mis-frame the connection.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, frame := range seedFrames(f) {
+		f.Add(frame)
+	}
+	// Adversarial length-prefix seeds: truncated, oversized, inner meta
+	// length past the frame end.
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add(binary.BigEndian.AppendUint32(nil, maxFrame+1))
+	f.Add(append(binary.BigEndian.AppendUint32(nil, 10), 1, 0xff, 0xff, 0xff, 0xff, 'x', 'y', 'z', 'w', 'v'))
+
+	sentinel := encodeFrame(f, msgFlush, struct{}{}, nil)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// 1. Raw decode: whatever the bytes, never panic, never accept a
+		// frame beyond the cap, always consume forward.
+		r := bytes.NewReader(data)
+		for i := 0; i < 64; i++ {
+			typ, meta, body, err := readFrame(r)
+			if err != nil {
+				break
+			}
+			if len(meta)+len(body)+5 > maxFrame {
+				t.Fatalf("decoder retained %d bytes, beyond the %d cap", len(meta)+len(body), maxFrame)
+			}
+			decodeMetaFor(typ, meta)
+		}
+
+		// 2. Framing integrity: wrap the fuzz bytes as a well-framed
+		// message (split into meta and body), append a pristine sentinel
+		// frame, and require both to decode exactly.
+		metaPart := data
+		var bodyPart []byte
+		if len(data) > 1 {
+			cut := int(data[0]) % len(data)
+			metaPart, bodyPart = data[:cut], data[cut:]
+		}
+		total := 1 + 4 + len(metaPart) + len(bodyPart)
+		if total > maxFrame {
+			return
+		}
+		var stream bytes.Buffer
+		stream.Write(binary.BigEndian.AppendUint32(nil, uint32(total)))
+		stream.WriteByte(msgInv) // arbitrary valid type with garbage meta
+		stream.Write(binary.BigEndian.AppendUint32(nil, uint32(len(metaPart))))
+		stream.Write(metaPart)
+		stream.Write(bodyPart)
+		stream.Write(sentinel)
+
+		sr := bytes.NewReader(stream.Bytes())
+		typ, meta, body, err := readFrame(sr)
+		if err != nil {
+			t.Fatalf("well-framed garbage rejected: %v", err)
+		}
+		if typ != msgInv || !bytes.Equal(meta, metaPart) || !bytes.Equal(body, bodyPart) {
+			t.Fatalf("frame payload mangled: typ=%d meta=%d body=%d bytes", typ, len(meta), len(body))
+		}
+		decodeMetaFor(typ, meta) // must not panic on garbage JSON either
+		styp, smeta, sbody, err := readFrame(sr)
+		if err != nil {
+			t.Fatalf("stream desynchronised after garbage frame: %v", err)
+		}
+		if styp != msgFlush || len(sbody) != 0 {
+			t.Fatalf("sentinel mis-framed: typ=%d meta=%q body=%d bytes", styp, smeta, len(sbody))
+		}
+	})
+}
+
+// TestReadFrameRejectsOversized pins the allocation cap: a hostile length
+// prefix beyond maxFrame is refused before any payload is read.
+func TestReadFrameRejectsOversized(t *testing.T) {
+	hdr := binary.BigEndian.AppendUint32(nil, maxFrame+1)
+	if _, _, _, err := readFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// And writeFrame refuses to produce one.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgPut, putMeta{Key: "k"}, make([]byte, maxFrame)); err == nil {
+		t.Fatal("writeFrame produced an over-cap frame")
+	}
+}
+
+// TestReadFrameRejectsBadMetaLength pins the inner bound: a meta length
+// pointing past the frame end errors instead of slicing out of range.
+func TestReadFrameRejectsBadMetaLength(t *testing.T) {
+	frame := append(binary.BigEndian.AppendUint32(nil, 10), msgGet)
+	frame = binary.BigEndian.AppendUint32(frame, 9999)
+	frame = append(frame, make([]byte, 5)...)
+	if _, _, _, err := readFrame(bytes.NewReader(frame)); err == nil {
+		t.Fatal("meta length past frame end accepted")
+	}
+}

@@ -41,17 +41,22 @@ func (a *App) Handlers() []servlet.HandlerInfo {
 		{Name: "PutCommentAuth", Path: "/putCommentAuth", Fn: a.putCommentAuth},
 		{Name: "BuyNowAuth", Path: "/buyNowAuth", Fn: a.buyNowAuth},
 
-		// Browsing and searching (reads).
+		// Browsing and searching (reads). SearchItemsByCategory declares a
+		// fragment decomposition: the result table is shared across
+		// sessions while the greeting hole stays personal.
 		{Name: "BrowseCategories", Path: "/browseCategories", Fn: a.browseCategories},
 		{Name: "BrowseRegions", Path: "/browseRegions", Fn: a.browseRegions},
 		{Name: "BrowseCategoriesByRegion", Path: "/browseCategoriesByRegion", Fn: a.browseCategoriesByRegion},
-		{Name: "SearchItemsByCategory", Path: "/searchByCategory", Fn: a.searchItemsByCategory},
+		servlet.Fragmented("SearchItemsByCategory", "/searchByCategory", a.searchByCategorySegments()),
 		{Name: "SearchItemsByRegion", Path: "/searchByRegion", Fn: a.searchItemsByRegion},
 
-		// Item and user views (reads).
-		{Name: "ViewItem", Path: "/viewItem", Fn: a.viewItem},
-		{Name: "ViewUserInfo", Path: "/viewUser", Fn: a.viewUserInfo},
-		{Name: "ViewBidHistory", Path: "/viewBids", Fn: a.viewBidHistory},
+		// Item and user views (reads): the mixed shared/personalised pages,
+		// decomposed into fragments + holes (see fragments.go). Their Fn is
+		// the monolithic composition, so whole-page and baseline modes
+		// serve the same bytes fragment assembly produces.
+		servlet.Fragmented("ViewItem", "/viewItem", a.viewItemSegments()),
+		servlet.Fragmented("ViewUserInfo", "/viewUser", a.viewUserSegments()),
+		servlet.Fragmented("ViewBidHistory", "/viewBids", a.viewBidsSegments()),
 		{Name: "AboutMe", Path: "/aboutMe", Fn: a.aboutMe},
 
 		// Bid/buy/comment/sell forms backed by queries (reads).

@@ -93,20 +93,9 @@ func (a *App) browseCategoriesByRegion(w http.ResponseWriter, r *http.Request) {
 	servlet.WriteHTML(w, p.String())
 }
 
-func (a *App) searchItemsByCategory(w http.ResponseWriter, r *http.Request) {
-	category := servlet.ParamInt(r, "category", 1)
-	page := servlet.ParamInt(r, "page", 0)
-	rows, err := a.conn.Query(r.Context(),
-		"SELECT id, name, initial_price, max_bid, nb_of_bids, end_date FROM items WHERE category = ? ORDER BY end_date ASC, id ASC LIMIT ? OFFSET ?",
-		category, pageSize, page*pageSize)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	p := servlet.NewPage(fmt.Sprintf("RUBiS — Items in category %d (page %d)", category, page))
-	p.Table([]string{"Id", "Name", "Initial", "Max bid", "Bids", "Ends"}, rows)
-	servlet.WriteHTML(w, p.String())
-}
+// searchItemsByCategory, viewItem, viewUserInfo and viewBidHistory live in
+// fragments.go as segment decompositions (fragment-granular caching); their
+// monolithic forms are the in-order composition of their segments.
 
 func (a *App) searchItemsByRegion(w http.ResponseWriter, r *http.Request) {
 	region := servlet.ParamInt(r, "region", 1)
@@ -125,91 +114,6 @@ func (a *App) searchItemsByRegion(w http.ResponseWriter, r *http.Request) {
 }
 
 // --- item and user views ----------------------------------------------------
-
-func (a *App) viewItem(w http.ResponseWriter, r *http.Request) {
-	itemID := servlet.ParamInt(r, "itemId", 0)
-	item, err := a.conn.Query(r.Context(), "SELECT * FROM items WHERE id = ?", itemID)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	if item.Len() == 0 {
-		servlet.ClientError(w, "no such item")
-		return
-	}
-	nBids, err := a.conn.Query(r.Context(), "SELECT COUNT(*) FROM bids WHERE item_id = ?", itemID)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	maxBid, err := a.conn.Query(r.Context(), "SELECT MAX(bid) FROM bids WHERE item_id = ?", itemID)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	sellerID := item.Int(0, 11)
-	seller, err := a.conn.Query(r.Context(), "SELECT nickname FROM users WHERE id = ?", sellerID)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	p := servlet.NewPage(fmt.Sprintf("RUBiS — Item %d", itemID))
-	p.Table([]string{"Id", "Name", "Description", "Qty", "Initial", "Reserve", "BuyNow", "Bids", "MaxBid", "Start", "End", "Seller", "Category"}, item)
-	p.Text("Bids: %d, best bid: %s", nBids.Int(0, 0), maxBid.Str(0, 0))
-	if seller.Len() > 0 {
-		p.Text("Sold by %s", seller.Str(0, 0))
-	}
-	servlet.WriteHTML(w, p.String())
-}
-
-func (a *App) viewUserInfo(w http.ResponseWriter, r *http.Request) {
-	userID := servlet.ParamInt(r, "userId", 0)
-	user, err := a.conn.Query(r.Context(),
-		"SELECT nickname, rating, creation_date, region FROM users WHERE id = ?", userID)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	if user.Len() == 0 {
-		servlet.ClientError(w, "no such user")
-		return
-	}
-	comments, err := a.conn.Query(r.Context(),
-		"SELECT comments.rating, comments.date, comments.comment, users.nickname FROM comments JOIN users ON comments.from_user_id = users.id WHERE comments.to_user_id = ? ORDER BY comments.date DESC, comments.id DESC LIMIT ?",
-		userID, pageSize)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	p := servlet.NewPage(fmt.Sprintf("RUBiS — User %s", user.Str(0, 0)))
-	p.Text("Rating %d, member since %d, region %d", user.Int(0, 1), user.Int(0, 2), user.Int(0, 3))
-	p.H2("Comments")
-	p.Table([]string{"Rating", "Date", "Comment", "From"}, comments)
-	servlet.WriteHTML(w, p.String())
-}
-
-func (a *App) viewBidHistory(w http.ResponseWriter, r *http.Request) {
-	itemID := servlet.ParamInt(r, "itemId", 0)
-	item, err := a.conn.Query(r.Context(), "SELECT name FROM items WHERE id = ?", itemID)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	bids, err := a.conn.Query(r.Context(),
-		"SELECT bids.qty, bids.bid, bids.date, users.nickname FROM bids JOIN users ON bids.user_id = users.id WHERE bids.item_id = ? ORDER BY bids.date DESC, bids.id DESC LIMIT ?",
-		itemID, pageSize)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	name := "unknown item"
-	if item.Len() > 0 {
-		name = item.Str(0, 0)
-	}
-	p := servlet.NewPage(fmt.Sprintf("RUBiS — Bid history for %s", name))
-	p.Table([]string{"Qty", "Bid", "Date", "Bidder"}, bids)
-	servlet.WriteHTML(w, p.String())
-}
 
 func (a *App) aboutMe(w http.ResponseWriter, r *http.Request) {
 	userID := servlet.ParamInt(r, "userId", 0)

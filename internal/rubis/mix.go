@@ -153,6 +153,34 @@ func BiddingMix(s Scale) Mix {
 	}
 }
 
+// PersonalizedMix is the bidding mix with logged-in sessions: the
+// fragmented pages (ViewItem, SearchItemsByCategory, ViewUserInfo,
+// ViewBidHistory) carry the session's user id in a `session` parameter,
+// the way real sites personalise shared pages. Under whole-page caching
+// the parameter is part of the page key, so every session's copy of an
+// otherwise identical page is cached (and invalidated) separately; under
+// fragment-granular caching only the greeting hole is personal and the
+// fragments stay shared — the -fig F comparison.
+func PersonalizedMix(s Scale) Mix {
+	personalized := map[string]bool{
+		"ViewItem": true, "SearchItemsByCategory": true,
+		"ViewUserInfo": true, "ViewBidHistory": true,
+	}
+	base := BiddingMix(s)
+	out := make(Mix, len(base))
+	for i, e := range base {
+		out[i] = e
+		if !personalized[e.Name] {
+			continue
+		}
+		mk := e.Make
+		out[i].Make = func(rng *rand.Rand, client int) string {
+			return fmt.Sprintf("%s&session=%d", mk(rng, client), 1+client%s.Users)
+		}
+	}
+	return out
+}
+
 // BrowsingMix is RUBiS's read-only browsing mix (no writes).
 func BrowsingMix(s Scale) Mix {
 	var out Mix

@@ -17,6 +17,23 @@ type Page struct {
 	b strings.Builder
 }
 
+// NewPartial starts an empty builder for a page fragment: no document
+// wrapper is emitted, so partials concatenate into a page whose shell is
+// provided by the surrounding segments (see NewPage / ClosePage).
+func NewPartial() *Page {
+	return &Page{}
+}
+
+// Partial finalises a fragment: the builder's contents as-is, with no
+// closing tags.
+func (p *Page) Partial() string {
+	return p.b.String()
+}
+
+// ClosePage is the document trailer a fragmented page's final segment emits
+// to balance the shell NewPage opened.
+const ClosePage = "</body></html>"
+
 // NewPage starts a page with the given title.
 func NewPage(title string) *Page {
 	p := &Page{}

@@ -39,6 +39,13 @@ type HandlerInfo struct {
 	TTL time.Duration
 	// Fn is the handler implementation.
 	Fn http.HandlerFunc
+	// Fragments, when non-empty, declares the interaction's ESI-style
+	// decomposition into cacheable fragments and uncacheable holes (see
+	// Segment). When fragment-granular caching is enabled the weaving layer
+	// assembles the page from fragment cache hits and runs only the missing
+	// segments; otherwise the segments compose into a whole page (Fn, when
+	// nil, defaults to ComposeSegments(Fragments)).
+	Fragments []Segment
 }
 
 // PageKey returns the canonical cache identity of a request: path plus the

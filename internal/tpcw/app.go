@@ -46,10 +46,14 @@ func (a *App) adBanner() int64 {
 // paper's Figure 17/19 labels.
 func (a *App) Handlers() []servlet.HandlerInfo {
 	return []servlet.HandlerInfo{
-		{Name: "HomeInteraction", Path: "/home", Fn: a.home},
-		{Name: "NewProducts", Path: "/newProducts", Fn: a.newProducts},
-		{Name: "BestSellers", Path: "/bestSellers", Fn: a.bestSellers},
-		{Name: "ProductDetail", Path: "/productDetail", Fn: a.productDetail},
+		// The fragmented pages (fragments.go): Home's ad banner becomes a
+		// hole, so under fragment-granular caching the page's shareable
+		// majority caches despite the hidden state that forces the
+		// whole-page Uncacheable rule. Fn is the monolithic composition.
+		servlet.Fragmented("HomeInteraction", "/home", a.homeSegments()),
+		servlet.Fragmented("NewProducts", "/newProducts", a.newProductsSegments()),
+		servlet.Fragmented("BestSellers", "/bestSellers", a.bestSellersSegments()),
+		servlet.Fragmented("ProductDetail", "/productDetail", a.productDetailSegments()),
 		{Name: "SearchRequest", Path: "/searchRequest", Fn: a.searchRequest},
 		{Name: "ExecuteSearch", Path: "/executeSearch", Fn: a.executeSearch},
 		{Name: "OrderInquiry", Path: "/orderInquiry", Fn: a.orderInquiry},

@@ -7,99 +7,11 @@ import (
 	"autowebcache/internal/servlet"
 )
 
-// home is the TPC-W Home interaction. It greets the customer and shows
-// promotional items — and embeds a random advertisement banner, which makes
-// it uncacheable (the §4.3 hidden-state problem; Fig. 17 marks it so).
-func (a *App) home(w http.ResponseWriter, r *http.Request) {
-	custID := servlet.ParamInt(r, "c_id", 0)
-	p := servlet.NewPage("TPC-W — Home")
-	p.Text("Advertisement banner #%d", a.adBanner())
-	if custID > 0 {
-		cust, err := a.conn.Query(r.Context(),
-			"SELECT c_fname, c_lname FROM customer WHERE c_id = ?", custID)
-		if err != nil {
-			servlet.ServerError(w, err)
-			return
-		}
-		if cust.Len() > 0 {
-			p.Text("Welcome back, %s %s.", cust.Str(0, 0), cust.Str(0, 1))
-		}
-	}
-	promos, err := a.conn.Query(r.Context(),
-		"SELECT i_id, i_title, i_cost FROM item WHERE i_subject = ? ORDER BY i_pub_date DESC, i_id ASC LIMIT ?",
-		Subjects[int(custID)%len(Subjects)], 5)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	p.H2("Promotions")
-	p.Table([]string{"Id", "Title", "Cost"}, promos)
-	servlet.WriteHTML(w, p.String())
-}
-
-// newProducts lists the newest books of a subject — an expensive join the
-// cache pays off on (Fig. 19 shows its large miss penalty).
-func (a *App) newProducts(w http.ResponseWriter, r *http.Request) {
-	subject := servlet.Param(r, "subject")
-	if subject == "" {
-		subject = Subjects[0]
-	}
-	rows, err := a.conn.Query(r.Context(),
-		"SELECT item.i_id, item.i_title, author.a_fname, author.a_lname, item.i_pub_date, item.i_cost FROM item JOIN author ON item.i_a_id = author.a_id WHERE item.i_subject = ? ORDER BY item.i_pub_date DESC, item.i_id ASC LIMIT ?",
-		subject, 50)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	p := servlet.NewPage("TPC-W — New products in " + subject)
-	p.Table([]string{"Id", "Title", "Author first", "Author last", "Published", "Cost"}, rows)
-	servlet.WriteHTML(w, p.String())
-}
-
-// bestSellers aggregates sales per item — the expensive interaction the
-// paper's semantic 30 s window targets (Figs. 15, 17).
-func (a *App) bestSellers(w http.ResponseWriter, r *http.Request) {
-	subject := servlet.Param(r, "subject")
-	if subject == "" {
-		subject = Subjects[0]
-	}
-	rows, err := a.conn.Query(r.Context(),
-		"SELECT item.i_id, item.i_title, author.a_fname, author.a_lname, SUM(order_line.ol_qty) AS total_sold FROM order_line JOIN item ON order_line.ol_i_id = item.i_id JOIN author ON item.i_a_id = author.a_id WHERE item.i_subject = ? GROUP BY item.i_id, item.i_title, author.a_fname, author.a_lname ORDER BY total_sold DESC, item.i_id ASC LIMIT ?",
-		subject, 50)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	p := servlet.NewPage("TPC-W — Best sellers in " + subject)
-	p.Table([]string{"Id", "Title", "Author first", "Author last", "Sold"}, rows)
-	servlet.WriteHTML(w, p.String())
-}
-
-func (a *App) productDetail(w http.ResponseWriter, r *http.Request) {
-	itemID := servlet.ParamInt(r, "i_id", 0)
-	item, err := a.conn.Query(r.Context(),
-		"SELECT i_id, i_title, i_a_id, i_pub_date, i_subject, i_desc, i_cost, i_stock FROM item WHERE i_id = ?", itemID)
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	if item.Len() == 0 {
-		servlet.ClientError(w, "no such item")
-		return
-	}
-	author, err := a.conn.Query(r.Context(),
-		"SELECT a_fname, a_lname FROM author WHERE a_id = ?", item.Int(0, 2))
-	if err != nil {
-		servlet.ServerError(w, err)
-		return
-	}
-	p := servlet.NewPage("TPC-W — " + item.Str(0, 1))
-	p.Table([]string{"Id", "Title", "Author id", "Published", "Subject", "Description", "Cost", "Stock"}, item)
-	if author.Len() > 0 {
-		p.Text("By %s %s", author.Str(0, 0), author.Str(0, 1))
-	}
-	servlet.WriteHTML(w, p.String())
-}
+// home, newProducts, bestSellers and productDetail live in fragments.go as
+// segment decompositions (fragment-granular caching); their monolithic
+// forms are the in-order composition of their segments. Home's random ad
+// banner — the §4.3 hidden state that forces the whole-page Uncacheable
+// rule — is a hole there.
 
 // searchRequest renders the search form. Like Home it carries a random ad
 // banner and is therefore uncacheable.

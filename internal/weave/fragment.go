@@ -1,0 +1,272 @@
+package weave
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/servlet"
+)
+
+// Fragment-granular (ESI-style) caching: a handler that declares a segment
+// decomposition is served by assembling its page from per-fragment cache
+// hits, running only the missing fragments' generators and the uncacheable
+// holes. Each fragment is an ordinary cache entry — keyed by page path +
+// fragment id + the fragment's vary dimensions, carrying its OWN dependency
+// set (extracted by a per-fragment recorder) and TTL — so it shares the
+// byte budget, the admission filter and the dependency table with whole
+// pages, rides the cluster's get/put/inv messages by key unchanged, and
+// InvalidateWrite removes exactly the fragments whose read templates
+// intersect the write, never the rest of the page.
+
+// segResult is one segment's rendered output within an assembly.
+type segResult struct {
+	body []byte
+	// fromCache marks bytes served from the cache (local fragment hit,
+	// coalesced flight share, or a cluster peer's copy).
+	fromCache bool
+	// status is the segment's reported HTTP status; 0 means the client went
+	// away mid-flight and nothing should be written.
+	status int
+}
+
+// fragmentAdvice assembles a page from its segments: cacheable fragments
+// are looked up (and, missing, generated under the single-flight and
+// inserted with their own dependency sets); holes always run. The response
+// reports the page-level outcome (fragment-hit when every cacheable
+// fragment came from the cache, assembled for a mix, miss when none hit)
+// plus the fragment counts and cached-byte split.
+func (w *Woven) fragmentAdvice(h servlet.HandlerInfo) http.Handler {
+	// Rules.KeyCookies are part of EVERY page's identity (§4.3); under
+	// fragment caching that means every fragment's identity, or a cookie-
+	// keyed user's fragment would be served verbatim to another user. Merge
+	// them into each cacheable segment's VaryCookies (on a private copy —
+	// the declared slice is the application's).
+	segs := append([]servlet.Segment(nil), h.Fragments...)
+	cacheable := 0
+	for i := range segs {
+		if !segs[i].Cacheable() {
+			continue
+		}
+		cacheable++
+		for _, name := range w.keyCookies {
+			dup := false
+			for _, have := range segs[i].VaryCookies {
+				if have == name {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				segs[i].VaryCookies = append(append([]string(nil), segs[i].VaryCookies...), name)
+			}
+		}
+	}
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		page := newResponseBuffer()
+		defer page.release()
+		hits, cachedBytes, invalidated := 0, 0, 0
+		status := http.StatusOK
+		for i := range segs {
+			seg := &segs[i]
+			if !seg.Cacheable() {
+				// Holes render straight into the assembly buffer: no
+				// intermediate buffer, no copy, on the warm path.
+				invalidated += w.runHole(page, r, seg)
+				if page.status != http.StatusOK {
+					status = page.status
+					break
+				}
+				continue
+			}
+			key := servlet.FragmentKey(r.URL.Path, seg.ID, r, seg.Vary, seg.VaryCookies)
+			if pg, ok := w.cache.Lookup(key); ok {
+				_, _ = page.body.Write(pg.Body)
+				hits++
+				cachedBytes += len(pg.Body)
+				continue
+			}
+			res := w.fragmentMiss(r, h, seg, key)
+			if res.status == 0 {
+				return // client gone mid-flight; nothing to write
+			}
+			_, _ = page.body.Write(res.body)
+			if res.status != http.StatusOK {
+				status = res.status
+				break
+			}
+			if res.fromCache {
+				hits++
+				cachedBytes += len(res.body)
+			}
+		}
+		if status != http.StatusOK {
+			// Abort the assembly with the failing segment's status, serving
+			// everything written so far — prefix plus error text, the same
+			// body the monolithic composition replays when a segment errors
+			// mid-page. (Error helpers overwrite Content-Type to text/plain,
+			// exactly as they do on the buffered monolithic path.)
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rw.Header().Set(HeaderOutcome, string(OutcomeError))
+			rw.WriteHeader(status)
+			_, _ = rw.Write(page.body.Bytes())
+			w.stats.Record(h.Name, OutcomeError, time.Since(start), invalidated)
+			return
+		}
+		outcome := OutcomeMiss
+		switch {
+		case cacheable == 0:
+			// All holes: nothing cacheable — an uncacheable page in
+			// fragment clothing.
+			outcome = OutcomeUncacheable
+		case hits == cacheable:
+			outcome = OutcomeFragmentHit
+		case hits > 0:
+			outcome = OutcomeAssembled
+		}
+		hdr := rw.Header()
+		hdr.Set("Content-Type", "text/html; charset=utf-8")
+		hdr.Set(HeaderOutcome, string(outcome))
+		hdr.Set(HeaderFragments, strconv.Itoa(hits)+"/"+strconv.Itoa(cacheable))
+		hdr.Set(HeaderCachedBytes, strconv.Itoa(cachedBytes))
+		rw.WriteHeader(http.StatusOK)
+		_, _ = rw.Write(page.body.Bytes())
+		w.stats.RecordFragments(h.Name, outcome, time.Since(start), hits, cacheable, page.body.Len(), cachedBytes)
+	})
+}
+
+// runHole executes an uncacheable hole directly into the assembly buffer
+// (the caller reads page.status for the outcome). Its reads are per-request
+// state and are NOT recorded as dependencies; a hole that (against its
+// contract) writes still invalidates defensively, like a misclassified read
+// handler. Returns the defensive invalidation count.
+func (w *Woven) runHole(page *responseBuffer, r *http.Request, seg *servlet.Segment) int {
+	ctx, rec := WithRecorder(r.Context())
+	seg.Gen(page, r.WithContext(ctx))
+	if len(rec.Writes()) > 0 {
+		return w.applyInvalidations(rec)
+	}
+	return 0
+}
+
+// fragmentMiss produces a missing fragment's body, coalescing concurrent
+// generations of the same fragment key onto one leader — the page-level
+// single-flight machinery reused at fragment granularity. Followers that
+// wake to a changed invalidation epoch re-check the cache instead of
+// serving the flight's view, so they always observe post-invalidation
+// state.
+func (w *Woven) fragmentMiss(r *http.Request, h servlet.HandlerInfo, seg *servlet.Segment, key string) segResult {
+	if w.cache.ForceMiss() {
+		// Forced-miss measurement mode: every generator must execute.
+		return w.generateFragment(r, h, seg, key, nil)
+	}
+	for {
+		epoch0 := w.cache.Epoch()
+		w.flightMu.Lock()
+		f, inflight := w.flights[key]
+		if !inflight {
+			f = &flight{done: make(chan struct{}), epoch: epoch0}
+			w.flights[key] = f
+			w.flightMu.Unlock()
+			// A rival flight may have just inserted the fragment.
+			if w.cache.Contains(key) {
+				if pg, ok := w.cache.Lookup(key); ok {
+					w.publishFlight(f, key, pg)
+					return segResult{body: pg.Body, fromCache: true, status: http.StatusOK}
+				}
+			}
+			// Fragments ride the cluster tier by key, protocol unchanged:
+			// the leader pays the owner fetch once for the whole herd.
+			if w.remote != nil {
+				if pg, ok := w.remote.Fetch(r.Context(), key); ok {
+					w.publishFlight(f, key, pg)
+					return segResult{body: pg.Body, fromCache: true, status: http.StatusOK}
+				}
+			}
+			return w.generateFragment(r, h, seg, key, f)
+		}
+		w.flightMu.Unlock()
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			return segResult{} // client gone; the leader cleans up on its own
+		}
+		if f.shared && w.cache.Epoch() == f.epoch {
+			return segResult{body: f.page.Body, fromCache: true, status: http.StatusOK}
+		}
+		// Not shareable, or an invalidation swept since the leader inserted:
+		// re-check the cache, then compete to lead a fresh flight.
+		if pg, ok := w.cache.Lookup(key); ok {
+			return segResult{body: pg.Body, fromCache: true, status: http.StatusOK}
+		}
+	}
+}
+
+// generateFragment runs one fragment's generator as the flight leader (or
+// uncoalesced when f is nil), inserting the result with the fragment's OWN
+// dependency set — scoped by a per-fragment recorder, so a write
+// invalidates exactly the fragments whose reads it intersects.
+func (w *Woven) generateFragment(r *http.Request, h servlet.HandlerInfo, seg *servlet.Segment, key string, f *flight) segResult {
+	if f != nil {
+		defer func() {
+			w.flightMu.Lock()
+			delete(w.flights, key)
+			w.flightMu.Unlock()
+			close(f.done)
+		}()
+	}
+	epoch0 := w.cache.Epoch()
+	if f != nil {
+		epoch0 = f.epoch
+	}
+	ctx, rec := WithRecorder(r.Context())
+	rb := newResponseBuffer()
+	defer rb.release()
+	seg.Gen(rb, r.WithContext(ctx))
+	if rb.status != http.StatusOK {
+		return segResult{body: append([]byte(nil), rb.body.Bytes()...), status: rb.status}
+	}
+	if rec.ReadFailed() || len(rec.Writes()) > 0 {
+		// Aborted read (§4.2) or an interleaved write: serve, don't cache.
+		if len(rec.Writes()) > 0 {
+			w.applyInvalidations(rec)
+		}
+		return segResult{body: append([]byte(nil), rb.body.Bytes()...), status: http.StatusOK}
+	}
+	ttl := seg.TTL
+	if ttl == 0 {
+		ttl = h.TTL
+	}
+	deps := analysis.DedupQueries(rec.Reads())
+	if ttl > 0 {
+		// Per-fragment semantic window: valid for the window regardless of
+		// writes, so no dependency information (§4.3, fragment-scoped).
+		deps = nil
+	}
+	// The epoch guard, as in leadMiss: a sweep intersecting this fragment's
+	// dependencies that completed during generation means the fragment is
+	// known-stale — serve it to this requester but never insert it; a sweep
+	// racing the insert itself is caught by the post-insert check and the
+	// entry discarded. Either way the flight is not shared, so followers
+	// re-check the cache and observe post-invalidation state.
+	if ttl == 0 && w.cache.StaleSince(epoch0, deps) {
+		w.flightAborts.Add(1)
+		return segResult{body: append([]byte(nil), rb.body.Bytes()...), status: http.StatusOK}
+	}
+	stored := w.cache.Insert(key, rb.body.Bytes(), rb.contentType(), deps, ttl)
+	if ttl == 0 && w.cache.StaleSince(epoch0, deps) {
+		w.cache.InvalidateKey(key)
+		w.flightAborts.Add(1)
+		return segResult{body: stored.Body, status: http.StatusOK}
+	}
+	if f != nil {
+		f.page = stored
+		f.shared = true
+	}
+	if w.remote != nil {
+		w.remote.Offer(key, stored.Body, stored.ContentType, deps, ttl)
+	}
+	return segResult{body: stored.Body, status: http.StatusOK}
+}

@@ -16,6 +16,8 @@ const (
 	OutcomeSemanticHit Outcome = "semantic-hit" // served from the cache under a semantic TTL window
 	OutcomeCoalesced   Outcome = "coalesced"    // miss coalesced onto a concurrent flight's result
 	OutcomeRemoteHit   Outcome = "remote-hit"   // local miss served by a cluster peer (owner fetch)
+	OutcomeFragmentHit Outcome = "fragment-hit" // every cacheable fragment served from cache; only holes ran
+	OutcomeAssembled   Outcome = "assembled"    // page assembled from a mix of fragment hits and generations
 	OutcomeMiss        Outcome = "miss"         // generated, then inserted
 	OutcomeWrite       Outcome = "write"        // write interaction (invalidates)
 	OutcomeUncacheable Outcome = "uncacheable"  // bypassed the cache by rule
@@ -28,6 +30,15 @@ const (
 // (Figs. 16–19).
 const HeaderOutcome = "X-Autowebcache"
 
+// HeaderFragments reports "hits/total" cacheable-fragment counts on pages
+// served by fragment assembly, and HeaderCachedBytes the number of response
+// body bytes that came from the cache — the load generator aggregates both
+// into its cache-served byte fraction.
+const (
+	HeaderFragments   = "X-Autowebcache-Fragments"
+	HeaderCachedBytes = "X-Autowebcache-Cached-Bytes"
+)
+
 // InteractionStats aggregates the outcomes of one interaction type.
 type InteractionStats struct {
 	Name string
@@ -37,10 +48,24 @@ type InteractionStats struct {
 	SemanticHits uint64 // hits under a semantic TTL window
 	Coalesced    uint64 // misses served by a concurrent flight (subset of Hits/SemanticHits)
 	RemoteHits   uint64 // local misses served by a cluster peer
+	FragmentHits uint64 // pages whose every cacheable fragment came from the cache
+	Assembled    uint64 // pages assembled from a mix of fragment hits and generations
 	Misses       uint64
 	Writes       uint64
 	Uncacheable  uint64
 	Errors       uint64
+
+	// FragmentsServed / FragmentsTotal count cacheable fragments served from
+	// the cache vs considered, across all fragment-assembled responses.
+	FragmentsServed uint64
+	FragmentsTotal  uint64
+	// BytesOut is the response-body bytes of cache-governed responses (hits
+	// and fragment assemblies); BytesCached is the subset that came from the
+	// cache. Their ratio is the cache-served byte fraction — the metric
+	// fragment caching moves when whole-page keys are poisoned by
+	// personalisation.
+	BytesOut    uint64
+	BytesCached uint64
 
 	TotalTime time.Duration // across all requests
 	HitTime   time.Duration
@@ -77,12 +102,32 @@ func (s *InteractionStats) MissPenalty() time.Duration {
 
 // HitRate returns hits (strong, semantic and remote) as a fraction of
 // requests: every request the cache tier — local or peer — spared a handler
-// execution.
+// execution. Fragment-assembled pages are not counted here (their holes
+// still ran); see FragmentHitRate and CachedByteFraction for the
+// fragment-granular view.
 func (s *InteractionStats) HitRate() float64 {
 	if s.Requests == 0 {
 		return 0
 	}
 	return float64(s.Hits+s.SemanticHits+s.RemoteHits) / float64(s.Requests)
+}
+
+// FragmentHitRate returns the fraction of cacheable fragments served from
+// the cache across this interaction's fragment-assembled responses.
+func (s *InteractionStats) FragmentHitRate() float64 {
+	if s.FragmentsTotal == 0 {
+		return 0
+	}
+	return float64(s.FragmentsServed) / float64(s.FragmentsTotal)
+}
+
+// CachedByteFraction returns the fraction of cache-governed response bytes
+// that were served from the cache rather than generated.
+func (s *InteractionStats) CachedByteFraction() float64 {
+	if s.BytesOut == 0 {
+		return 0
+	}
+	return float64(s.BytesCached) / float64(s.BytesOut)
 }
 
 // add merges o into s (for totals).
@@ -92,6 +137,12 @@ func (s *InteractionStats) add(o *InteractionStats) {
 	s.SemanticHits += o.SemanticHits
 	s.Coalesced += o.Coalesced
 	s.RemoteHits += o.RemoteHits
+	s.FragmentHits += o.FragmentHits
+	s.Assembled += o.Assembled
+	s.FragmentsServed += o.FragmentsServed
+	s.FragmentsTotal += o.FragmentsTotal
+	s.BytesOut += o.BytesOut
+	s.BytesCached += o.BytesCached
 	s.Misses += o.Misses
 	s.Writes += o.Writes
 	s.Uncacheable += o.Uncacheable
@@ -110,10 +161,17 @@ type counters struct {
 	semanticHits atomic.Uint64
 	coalesced    atomic.Uint64
 	remoteHits   atomic.Uint64
+	fragmentHits atomic.Uint64
+	assembled    atomic.Uint64
 	misses       atomic.Uint64
 	writes       atomic.Uint64
 	uncacheable  atomic.Uint64
 	errors       atomic.Uint64
+
+	fragsServed atomic.Uint64
+	fragsTotal  atomic.Uint64
+	bytesOut    atomic.Uint64
+	bytesCached atomic.Uint64
 
 	totalNs atomic.Int64
 	hitNs   atomic.Int64
@@ -134,6 +192,12 @@ func (c *counters) snapshot(name string) InteractionStats {
 		SemanticHits:     c.semanticHits.Load(),
 		Coalesced:        c.coalesced.Load(),
 		RemoteHits:       c.remoteHits.Load(),
+		FragmentHits:     c.fragmentHits.Load(),
+		Assembled:        c.assembled.Load(),
+		FragmentsServed:  c.fragsServed.Load(),
+		FragmentsTotal:   c.fragsTotal.Load(),
+		BytesOut:         c.bytesOut.Load(),
+		BytesCached:      c.bytesCached.Load(),
 		Misses:           c.misses.Load(),
 		Writes:           c.writes.Load(),
 		Uncacheable:      c.uncacheable.Load(),
@@ -167,9 +231,22 @@ func (s *Stats) get(name string) *counters {
 
 // Record accounts one request.
 func (s *Stats) Record(name string, outcome Outcome, d time.Duration, invalidated int) {
+	s.RecordServed(name, outcome, d, invalidated, 0, 0)
+}
+
+// RecordServed is Record with response-byte accounting: bytesOut is the
+// response body size and bytesCached the subset served from the cache (for
+// a whole-page hit the two are equal; for a miss bytesCached is 0).
+func (s *Stats) RecordServed(name string, outcome Outcome, d time.Duration, invalidated, bytesOut, bytesCached int) {
 	c := s.get(name)
 	c.requests.Add(1)
 	c.totalNs.Add(int64(d))
+	if bytesOut > 0 {
+		c.bytesOut.Add(uint64(bytesOut))
+	}
+	if bytesCached > 0 {
+		c.bytesCached.Add(uint64(bytesCached))
+	}
 	switch outcome {
 	case OutcomeHit:
 		c.hits.Add(1)
@@ -190,6 +267,16 @@ func (s *Stats) Record(name string, outcome Outcome, d time.Duration, invalidate
 		// cache. It counts towards HitRate via its own bucket.
 		c.remoteHits.Add(1)
 		c.hitNs.Add(int64(d))
+	case OutcomeFragmentHit:
+		// Every cacheable fragment came from the cache; only holes ran.
+		c.fragmentHits.Add(1)
+		c.hitNs.Add(int64(d))
+	case OutcomeAssembled:
+		// A partial assembly paid some generators but not all: its time
+		// belongs to neither the hit nor the miss bucket (adding it to
+		// MissTime would inflate MeanMiss, whose denominator counts only
+		// true misses). It contributes to TotalTime/MeanResponse only.
+		c.assembled.Add(1)
 	case OutcomeMiss:
 		c.misses.Add(1)
 		c.missNs.Add(int64(d))
@@ -206,18 +293,33 @@ func (s *Stats) Record(name string, outcome Outcome, d time.Duration, invalidate
 // RecordCoalesced accounts a miss that was served by a concurrent flight's
 // result: it lands in the interaction's usual hit bucket (strong or
 // semantic, matching what a plain cache hit would have recorded) and in the
-// Coalesced counter.
-func (s *Stats) RecordCoalesced(name string, semantic bool, d time.Duration) {
+// Coalesced counter. bytes is the served body size — the page came from the
+// cache layer, so it counts fully towards the cached-byte fraction.
+func (s *Stats) RecordCoalesced(name string, semantic bool, d time.Duration, bytes int) {
 	c := s.get(name)
 	c.requests.Add(1)
 	c.totalNs.Add(int64(d))
 	c.hitNs.Add(int64(d))
 	c.coalesced.Add(1)
+	if bytes > 0 {
+		c.bytesOut.Add(uint64(bytes))
+		c.bytesCached.Add(uint64(bytes))
+	}
 	if semantic {
 		c.semanticHits.Add(1)
 	} else {
 		c.hits.Add(1)
 	}
+}
+
+// RecordFragments accounts one fragment-assembled response: the page-level
+// outcome (fragment-hit, assembled, miss or error), the cacheable-fragment
+// counts (served from cache / total considered) and the byte split.
+func (s *Stats) RecordFragments(name string, outcome Outcome, d time.Duration, served, total, bytesOut, bytesCached int) {
+	s.RecordServed(name, outcome, d, 0, bytesOut, bytesCached)
+	c := s.get(name)
+	c.fragsServed.Add(uint64(served))
+	c.fragsTotal.Add(uint64(total))
 }
 
 // Snapshot returns a copy of the per-interaction statistics, sorted by name.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autowebcache/internal/analysis"
@@ -46,6 +47,15 @@ type Rules struct {
 	// identity — the escape hatch for applications that carry request
 	// parameters in cookies (§4.3) instead of the URL.
 	KeyCookies []string
+	// Fragments enables fragment-granular (ESI-style) caching for handlers
+	// that declare a segment decomposition (servlet.HandlerInfo.Fragments):
+	// pages are assembled from per-fragment cache hits and only the missing
+	// fragments' generators (plus the uncacheable holes) execute. Handlers
+	// without segments keep whole-page advice. Fragment advice takes
+	// precedence over an Uncacheable rule — a fragmented handler is expected
+	// to have moved its hidden state (ad banners, per-user greetings) into
+	// holes, which regenerate on every request.
+	Fragments bool
 }
 
 // apply merges the rules into a handler description.
@@ -75,23 +85,34 @@ type Woven struct {
 	// generated page to the key's owners.
 	remote Remote
 
-	// flights coalesces concurrent misses on one page key: the first
-	// request (the leader) runs the handler; followers wait and share the
-	// leader's inserted page instead of re-executing the handler.
+	// flights coalesces concurrent misses on one page or fragment key: the
+	// first request (the leader) runs the generator; followers wait and
+	// share the leader's inserted result instead of re-executing it.
 	flightMu sync.Mutex
 	flights  map[string]*flight
+
+	// flightAborts counts flights whose freshly inserted page was discarded
+	// because an invalidation sweep raced the generation (the epoch guard).
+	flightAborts atomic.Uint64
 }
 
 // flight is one in-progress miss computation. done is closed when the
-// leader finishes; page/shared are valid only after that.
+// leader finishes; page/shared/epoch are valid only after that.
 type flight struct {
 	done chan struct{}
 	// page is the immutable stored view the leader inserted; shared is
 	// false when the leader's response was not cacheable (error status,
-	// failed read, or an interleaved write), in which case followers fall
-	// back to executing the handler themselves.
+	// failed read, an interleaved write, or an invalidation sweep that
+	// raced the generation), in which case followers fall back to executing
+	// the handler themselves.
 	page   cache.Page
 	shared bool
+	// epoch is the cache's invalidation epoch the shared page is valid
+	// under. A follower that wakes to a later epoch must not serve the
+	// flight's page blindly — an invalidation may have removed it between
+	// the leader's insert and now — and re-checks the cache instead, so
+	// followers always observe post-invalidation state (§3.2).
+	epoch uint64
 }
 
 // pageKey computes a request's cache identity, including rule-named cookies.
@@ -121,6 +142,17 @@ func New(handlers []servlet.HandlerInfo, c *cache.Cache, rules Rules) (*Woven, e
 	seen := make(map[string]bool, len(handlers))
 	for _, h := range handlers {
 		h := rules.apply(h)
+		if len(h.Fragments) > 0 {
+			if err := validateFragments(h); err != nil {
+				return nil, err
+			}
+			if h.Fn == nil {
+				// The monolithic form: segments composed in order, so the
+				// whole-page and baseline configurations serve the same bytes
+				// the fragment assembly produces.
+				h.Fn = servlet.ComposeSegments(h.Fragments)
+			}
+		}
 		if h.Name == "" || h.Path == "" || h.Fn == nil {
 			return nil, fmt.Errorf("weave: handler %+v missing name, path or function", h.Name)
 		}
@@ -134,6 +166,8 @@ func New(handlers []servlet.HandlerInfo, c *cache.Cache, rules Rules) (*Woven, e
 			w.mux.Handle(h.Path, w.passthrough(h))
 		case h.Write:
 			w.mux.Handle(h.Path, w.afterAdvice(h))
+		case rules.Fragments && len(h.Fragments) > 0:
+			w.mux.Handle(h.Path, w.fragmentAdvice(h))
 		case h.Uncacheable:
 			w.mux.Handle(h.Path, w.uncacheable(h))
 		default:
@@ -141,6 +175,29 @@ func New(handlers []servlet.HandlerInfo, c *cache.Cache, rules Rules) (*Woven, e
 		}
 	}
 	return w, nil
+}
+
+// validateFragments checks a handler's segment declaration: write
+// interactions cannot be fragmented, every segment needs a generator, and
+// fragment ids must be unique within the page (they key the cache).
+func validateFragments(h servlet.HandlerInfo) error {
+	if h.Write {
+		return fmt.Errorf("weave: handler %s: write interactions cannot declare fragments", h.Name)
+	}
+	ids := make(map[string]bool, len(h.Fragments))
+	for i, seg := range h.Fragments {
+		if seg.Gen == nil {
+			return fmt.Errorf("weave: handler %s: segment %d has no generator", h.Name, i)
+		}
+		if !seg.Cacheable() {
+			continue
+		}
+		if ids[seg.ID] {
+			return fmt.Errorf("weave: handler %s: duplicate fragment id %q", h.Name, seg.ID)
+		}
+		ids[seg.ID] = true
+	}
+	return nil
 }
 
 // ServeHTTP dispatches to the woven handlers.
@@ -157,6 +214,12 @@ func (w *Woven) SetRemote(r Remote) { w.remote = r }
 
 // Stats returns the per-interaction statistics collector.
 func (w *Woven) Stats() *Stats { return w.stats }
+
+// FlightAborts reports how many flights discarded their freshly inserted
+// page (or fragment) because an invalidation sweep raced the generation —
+// the epoch guard that keeps single-flight followers on post-invalidation
+// state.
+func (w *Woven) FlightAborts() uint64 { return w.flightAborts.Load() }
 
 // Cache returns the page cache (nil for the baseline configuration).
 func (w *Woven) Cache() *cache.Cache { return w.cache }
@@ -255,7 +318,7 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 		key := w.pageKey(r)
 		if pg, ok := w.cache.Lookup(key); ok {
 			servePage(rw, pg, hitOutcome)
-			w.stats.Record(h.Name, hitOutcome, time.Since(start), 0)
+			w.stats.RecordServed(h.Name, hitOutcome, time.Since(start), 0, len(pg.Body), len(pg.Body))
 			return
 		}
 		if w.cache.ForceMiss() {
@@ -266,10 +329,14 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 			return
 		}
 		for {
+			// Captured before flight creation: any invalidation sweep that
+			// starts after this point is visible as an epoch change to both
+			// the leader's post-insert check and the followers' serve check.
+			epoch0 := w.cache.Epoch()
 			w.flightMu.Lock()
 			f, inflight := w.flights[key]
 			if !inflight {
-				f = &flight{done: make(chan struct{})}
+				f = &flight{done: make(chan struct{}), epoch: epoch0}
 				w.flights[key] = f
 				w.flightMu.Unlock()
 				// A flight that completed between our miss and taking
@@ -279,13 +346,9 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 				// genuinely-cold path.)
 				if w.cache.Contains(key) {
 					if pg, ok := w.cache.Lookup(key); ok {
-						f.page, f.shared = pg, true
-						w.flightMu.Lock()
-						delete(w.flights, key)
-						w.flightMu.Unlock()
-						close(f.done)
+						w.publishFlight(f, key, pg)
 						servePage(rw, pg, hitOutcome)
-						w.stats.Record(h.Name, hitOutcome, time.Since(start), 0)
+						w.stats.RecordServed(h.Name, hitOutcome, time.Since(start), 0, len(pg.Body), len(pg.Body))
 						return
 					}
 				}
@@ -295,13 +358,9 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 				// peer call, not N.
 				if w.remote != nil {
 					if pg, ok := w.remote.Fetch(r.Context(), key); ok {
-						f.page, f.shared = pg, true
-						w.flightMu.Lock()
-						delete(w.flights, key)
-						w.flightMu.Unlock()
-						close(f.done)
+						w.publishFlight(f, key, pg)
 						servePage(rw, pg, OutcomeRemoteHit)
-						w.stats.Record(h.Name, OutcomeRemoteHit, time.Since(start), 0)
+						w.stats.RecordServed(h.Name, OutcomeRemoteHit, time.Since(start), 0, len(pg.Body), len(pg.Body))
 						return
 					}
 				}
@@ -316,21 +375,36 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 				// flight: the leader finishes and cleans up on its own.
 				return
 			}
-			if f.shared {
+			if f.shared && w.cache.Epoch() == f.epoch {
 				servePage(rw, f.page, OutcomeCoalesced)
-				w.stats.RecordCoalesced(h.Name, h.TTL > 0, time.Since(start))
+				w.stats.RecordCoalesced(h.Name, h.TTL > 0, time.Since(start), len(f.page.Body))
 				return
 			}
 			// The leader's response was not shareable (error, failed read,
-			// interleaved write). Re-check the cache, then compete to lead a
-			// fresh flight.
+			// interleaved write), or an invalidation sweep ran since it was
+			// inserted — the flight's view may predate pages the sweep
+			// removed, and a follower must observe post-invalidation state.
+			// Re-check the cache, then compete to lead a fresh flight.
 			if pg, ok := w.cache.Lookup(key); ok {
 				servePage(rw, pg, hitOutcome)
-				w.stats.Record(h.Name, hitOutcome, time.Since(start), 0)
+				w.stats.RecordServed(h.Name, hitOutcome, time.Since(start), 0, len(pg.Body), len(pg.Body))
 				return
 			}
 		}
 	})
+}
+
+// publishFlight resolves a flight with a page obtained without running the
+// handler (a just-completed rival flight's insert, or a remote fetch) and
+// unblocks its followers. The flight's creation-time epoch stands: if an
+// invalidation swept since, followers re-check the cache instead of serving
+// the flight's view.
+func (w *Woven) publishFlight(f *flight, key string, pg cache.Page) {
+	f.page, f.shared = pg, true
+	w.flightMu.Lock()
+	delete(w.flights, key)
+	w.flightMu.Unlock()
+	close(f.done)
 }
 
 // leadMiss runs the handler as the flight leader for key and publishes the
@@ -347,6 +421,13 @@ func (w *Woven) leadMiss(rw http.ResponseWriter, r *http.Request, h servlet.Hand
 			close(f.done)
 		}()
 	}
+	// The invalidation epoch the generation starts under: a flight carries
+	// its creation-time epoch; the uncoalesced (forced-miss) path captures
+	// its own before the handler's first read.
+	epoch0 := w.cache.Epoch()
+	if f != nil {
+		epoch0 = f.epoch
+	}
 	ctx, rec := WithRecorder(r.Context())
 	rb := newResponseBuffer()
 	defer rb.release()
@@ -355,7 +436,7 @@ func (w *Woven) leadMiss(rw http.ResponseWriter, r *http.Request, h servlet.Hand
 	if rb.status != http.StatusOK {
 		outcome = OutcomeError
 	} else if !rec.ReadFailed() && len(rec.Writes()) == 0 {
-		deps := rec.Reads()
+		deps := analysis.DedupQueries(rec.Reads())
 		if h.TTL > 0 {
 			// Semantic windows replace invalidation-based consistency:
 			// the page is valid for the full window regardless of
@@ -364,24 +445,51 @@ func (w *Woven) leadMiss(rw http.ResponseWriter, r *http.Request, h servlet.Hand
 			// dependency information.
 			deps = nil
 		}
-		// The stored immutable view doubles as the flight's shared result,
-		// so followers serve the same bytes the cache now holds.
-		stored := w.cache.Insert(key, rb.body.Bytes(), rb.contentType(), deps, h.TTL)
-		if f != nil {
-			f.page = stored
-			f.shared = true
-		}
-		// Replicate to the key's owner nodes (no-op when this node owns the
-		// key). The stored immutable body goes out, never the pooled buffer.
-		if w.remote != nil {
-			w.remote.Offer(key, stored.Body, stored.ContentType, deps, h.TTL)
+		// The epoch guard, in two halves. Pre-insert: a sweep intersecting
+		// this page's dependencies already ran during generation, so the
+		// page is known-stale — never insert it (the leader still serves its
+		// own bytes, like any read that raced a write). Post-insert: a sweep
+		// that raced the insert itself may have scanned before the entry
+		// linked; discard the entry (over-invalidation is sound). The serve
+		// window is only the insert-to-discard instants of that second,
+		// truly concurrent case — the pre-check keeps a completed sweep from
+		// ever seeing a knowingly stale insert. (Semantic-window pages are
+		// exempt: they carry no dependencies and tolerate staleness by
+		// contract.)
+		if h.TTL == 0 && w.cache.StaleSince(epoch0, deps) {
+			w.flightAborts.Add(1)
+		} else {
+			// The stored immutable view doubles as the flight's shared
+			// result, so followers serve the same bytes the cache now holds.
+			stored := w.cache.Insert(key, rb.body.Bytes(), rb.contentType(), deps, h.TTL)
+			if h.TTL == 0 && w.cache.StaleSince(epoch0, deps) {
+				w.cache.InvalidateKey(key)
+				w.flightAborts.Add(1)
+			} else {
+				if f != nil {
+					f.page = stored
+					f.shared = true
+				}
+				// Replicate to the key's owner nodes (no-op when this node
+				// owns the key). The stored immutable body goes out, never
+				// the pooled buffer.
+				if w.remote != nil {
+					w.remote.Offer(key, stored.Body, stored.ContentType, deps, h.TTL)
+				}
+			}
 		}
 	}
 	// A "read" handler that wrote must still invalidate (defensive: the
 	// weaving rules misclassified it).
 	invalidated := w.applyInvalidations(rec)
 	rb.replay(rw, outcome)
-	w.stats.Record(h.Name, outcome, time.Since(start), invalidated)
+	// Byte accounting covers cache-governed 200s only (as in the fragment
+	// path): error responses would skew the cached-byte fraction.
+	bytesOut := rb.body.Len()
+	if outcome == OutcomeError {
+		bytesOut = 0
+	}
+	w.stats.RecordServed(h.Name, outcome, time.Since(start), invalidated, bytesOut, 0)
 }
 
 // afterAdvice implements Fig. 11: run the write interaction, then use its
