@@ -2,8 +2,8 @@ GO ?= go
 
 # make bench writes this PR's benchmark record; the gate diffs a fresh run
 # against the committed baseline of the previous PR.
-BENCH_OUT ?= BENCH_5.json
-BENCH_BASELINE ?= BENCH_4.json
+BENCH_OUT ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_5.json
 
 # cluster-demo knobs.
 CLUSTER_DURATION ?= 5s
@@ -82,10 +82,12 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -out bin/BENCH_ci.json -baseline $(BENCH_BASELINE)
 
 # fuzz runs every native fuzz target for $(FUZZTIME) each: the SQL-template
-# parser and the cluster peer-protocol frame decoder. Seed corpora also run
-# as plain tests on every `go test`.
+# parser, the query analyzer's never-too-narrow soundness contract, and the
+# cluster peer-protocol frame decoder. Seed corpora also run as plain tests
+# on every `go test`.
 fuzz:
 	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/analysis -run '^$$' -fuzz FuzzAnalyze -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME)
 
 experiments:

@@ -46,10 +46,16 @@ import (
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/cache"
 	"autowebcache/internal/cluster"
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/memdb"
 	"autowebcache/internal/qrcache"
 	"autowebcache/internal/servlet"
 	"autowebcache/internal/weave"
+
+	// The shipped datasource drivers, so Open resolves "memdb" and
+	// "sqlite:<path>" DSNs out of the box (memdb registers through the memdb
+	// import above).
+	_ "autowebcache/internal/datasource/sqlite"
 )
 
 // Re-exported types: the public names a downstream user needs.
@@ -197,35 +203,69 @@ type Config struct {
 	QueryCacheBytes   int64
 }
 
-// Runtime wires a database to an analysis engine, a page cache and a
-// query-capturing connection.
+// Runtime wires a database backend to an analysis engine, a page cache and
+// a query-capturing connection.
 type Runtime struct {
+	// db is set only when the backend is the embedded memdb engine; other
+	// drivers leave it nil and are reachable through raw.
 	db     *memdb.DB
+	raw    Conn
 	engine *analysis.Engine
 	cache  *cache.Cache
 	qcache *qrcache.Conn
-	conn   memdb.Conn
+	conn   Conn
 }
 
-// New creates a Runtime over db.
+// New creates a Runtime over the embedded database.
 func New(db *DB, cfg Config) (*Runtime, error) {
 	if db == nil {
 		return nil, fmt.Errorf("autowebcache: nil database")
 	}
+	return NewFromConn(db, cfg)
+}
+
+// Open connects to the database named by a driver DSN — "memdb" for a fresh
+// in-memory engine, "memdb:<name>" for a process-shared instance,
+// "sqlite:<path>" for the shared-file backend — and builds a Runtime over
+// it. Seed the returned Runtime's RawConn before weaving handlers.
+func Open(dsn string, cfg Config) (*Runtime, error) {
+	conn, err := datasource.Open(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromConn(conn, cfg)
+}
+
+// NewFromConn builds a Runtime over any datasource connection. Backends
+// implementing datasource.SchemaReporter give the analysis engine its
+// precise paths (column attribution in multi-table reads, auto-increment
+// exoneration); others get the conservative analysis, which invalidates
+// more but never serves stale pages.
+func NewFromConn(conn Conn, cfg Config) (*Runtime, error) {
+	if conn == nil {
+		return nil, fmt.Errorf("autowebcache: nil connection")
+	}
 	if cfg.Strategy == 0 {
 		cfg.Strategy = ExtraQuery
 	}
-	engine, err := analysis.NewEngine(cfg.Strategy, db)
+	var schema analysis.Schema
+	if sr, ok := conn.(analysis.Schema); ok {
+		schema = sr
+	}
+	engine, err := analysis.NewEngine(cfg.Strategy, schema)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Admission && cfg.MaxBytes <= 0 && cfg.QueryCacheBytes <= 0 {
 		return nil, fmt.Errorf("autowebcache: Admission requires a byte budget (MaxBytes or QueryCacheBytes)")
 	}
-	rt := &Runtime{db: db, engine: engine}
-	var base memdb.Conn = db
+	rt := &Runtime{raw: conn, engine: engine}
+	if db, ok := conn.(*memdb.DB); ok {
+		rt.db = db
+	}
+	base := conn
 	if cfg.QueryCache {
-		rt.qcache, err = qrcache.NewWithOptions(db, engine, qrcache.Options{
+		rt.qcache, err = qrcache.NewWithOptions(conn, engine, qrcache.Options{
 			MaxEntries: cfg.QueryCacheEntries,
 			MaxBytes:   cfg.QueryCacheBytes,
 			Admission:  cfg.Admission && cfg.QueryCacheBytes > 0,
@@ -260,8 +300,22 @@ func New(db *DB, cfg Config) (*Runtime, error) {
 // raw database.
 func (rt *Runtime) Conn() Conn { return rt.conn }
 
-// DB returns the underlying database.
+// DB returns the underlying embedded database, or nil when the Runtime was
+// opened over a different backend (use RawConn then).
 func (rt *Runtime) DB() *DB { return rt.db }
+
+// RawConn returns the unrecorded backend connection — the one to seed data
+// through, so bootstrap queries don't pollute the analysis.
+func (rt *Runtime) RawConn() Conn { return rt.raw }
+
+// Close releases backend resources for drivers that hold any (file handles,
+// connection pools). The memdb backend holds none; Close is then a no-op.
+func (rt *Runtime) Close() error {
+	if c, ok := rt.raw.(datasource.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 // Cache returns the page cache (nil when Disabled).
 func (rt *Runtime) Cache() *PageCache { return rt.cache }

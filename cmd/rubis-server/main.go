@@ -55,6 +55,7 @@ func parseStrategy(s string) (autowebcache.Strategy, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rubis-server", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	dbDSN := fs.String("db", "memdb", "database backend DSN: memdb, memdb:<name>, or sqlite:<path> (file shared across processes)")
 	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
 	strategy := fs.String("strategy", "extraquery", "invalidation strategy: columnonly, wherematch, extraquery")
 	maxBytes := fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)")
@@ -76,18 +77,18 @@ func run(args []string) error {
 		return err
 	}
 
-	db := autowebcache.NewDB()
-	scale := rubis.DefaultScale()
-	lastDate, err := rubis.Load(db, scale)
-	if err != nil {
-		return err
-	}
-	rt, err := autowebcache.New(db, autowebcache.Config{
+	rt, err := autowebcache.Open(*dbDSN, autowebcache.Config{
 		Strategy:  strat,
 		Disabled:  *noCache,
 		MaxBytes:  budget,
 		Admission: *admission,
 	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	scale := rubis.DefaultScale()
+	lastDate, err := rubis.Seed(context.Background(), rt.RawConn(), scale)
 	if err != nil {
 		return err
 	}

@@ -39,6 +39,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tpcw-server", flag.ContinueOnError)
 	addr := fs.String("addr", ":8081", "listen address")
+	dbDSN := fs.String("db", "memdb", "database backend DSN: memdb, memdb:<name>, or sqlite:<path> (file shared across processes)")
 	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
 	window := fs.Duration("bestseller-window", 0, "BestSellers semantic freshness window (paper: 30s)")
 	maxBytes := fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)")
@@ -57,17 +58,17 @@ func run(args []string) error {
 		return err
 	}
 
-	db := autowebcache.NewDB()
-	scale := tpcw.DefaultScale()
-	lastDate, err := tpcw.Load(db, scale)
-	if err != nil {
-		return err
-	}
-	rt, err := autowebcache.New(db, autowebcache.Config{
+	rt, err := autowebcache.Open(*dbDSN, autowebcache.Config{
 		Disabled:  *noCache,
 		MaxBytes:  budget,
 		Admission: *admission,
 	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	scale := tpcw.DefaultScale()
+	lastDate, err := tpcw.Seed(context.Background(), rt.RawConn(), scale)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,6 @@
 package analysis
 
-import "autowebcache/internal/memdb"
+import "autowebcache/internal/datasource"
 
 // DedupQueries collapses repeated (template, value-vector) query instances
 // into one, preserving first-occurrence order. Fragment-granular caching
@@ -15,7 +15,7 @@ func DedupQueries(qs []Query) []Query {
 		return qs
 	}
 	seen := make(map[string]bool, len(qs))
-	keyOf := func(q Query) string { return q.SQL + "\x00" + memdb.KeyOfValues(q.Args) }
+	keyOf := func(q Query) string { return q.SQL + "\x00" + datasource.KeyOfValues(q.Args) }
 	dup := false
 	for _, q := range qs {
 		k := keyOf(q)

@@ -8,7 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"autowebcache/internal/memdb"
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/sqlparser"
 )
 
@@ -47,7 +47,7 @@ func (s Strategy) String() string {
 // placeholders) plus its dynamic value vector.
 type Query struct {
 	SQL  string
-	Args []memdb.Value
+	Args []datasource.Value
 }
 
 // WriteCapture is a write query enriched with the consistency information
@@ -59,7 +59,7 @@ type WriteCapture struct {
 	Query
 	// Affected holds the pre-write values of the rows the write touches
 	// (full rows, column names in Cols). nil when not captured.
-	Affected *memdb.Rows
+	Affected *datasource.Rows
 	// AutoID is the auto-increment key assigned to a single-row INSERT,
 	// learned after execution. It lets the analysis bind the otherwise
 	// unknowable key column — and, because the value is fresh, exonerate
@@ -171,7 +171,7 @@ func (e *Engine) PossiblyDependent(readSQL, writeSQL string) (bool, error) {
 // it BEFORE the write executes: under StrategyExtraQuery it snapshots the
 // affected rows of UPDATE/DELETE statements with an extra SELECT (the
 // paper's §3.2 case 3).
-func (e *Engine) CaptureWrite(ctx context.Context, conn memdb.Conn, q Query) (WriteCapture, error) {
+func (e *Engine) CaptureWrite(ctx context.Context, conn datasource.Conn, q Query) (WriteCapture, error) {
 	wc := WriteCapture{Query: q}
 	if e.strategy != StrategyExtraQuery || conn == nil {
 		return wc, nil
@@ -225,9 +225,9 @@ type PreparedWrite struct {
 	wi    *TemplateInfo
 	table string
 
-	colIdx    map[string]int         // Affected row column index
-	whereVals map[string]memdb.Value // write WHERE equality bindings
-	autoCol   string                 // fresh auto-increment column ("" if none)
+	colIdx    map[string]int              // Affected row column index
+	whereVals map[string]datasource.Value // write WHERE equality bindings
+	autoCol   string                      // fresh auto-increment column ("" if none)
 	fresh     map[string]bool
 }
 
@@ -294,7 +294,7 @@ func (pw *PreparedWrite) Intersects(read Query) (bool, error) {
 // INSERT get auto-increment or NULL values the analysis cannot know; they
 // bind as unknown — except the auto-increment key when the capture learned
 // it post-insert.
-func (pw *PreparedWrite) insertBinding(col string) (memdb.Value, bool) {
+func (pw *PreparedWrite) insertBinding(col string) (datasource.Value, bool) {
 	if pw.autoCol != "" && col == pw.autoCol {
 		return pw.w.AutoID, true
 	}
@@ -308,7 +308,7 @@ func (pw *PreparedWrite) insertBinding(col string) (memdb.Value, bool) {
 // whereBinding binds columns guaranteed by the write's top-level WHERE
 // equality predicates: rows touched by the write carry these values
 // (pre-write).
-func (pw *PreparedWrite) whereBinding(col string) (memdb.Value, bool) {
+func (pw *PreparedWrite) whereBinding(col string) (datasource.Value, bool) {
 	v, ok := pw.whereVals[col]
 	return v, ok
 }
@@ -316,7 +316,7 @@ func (pw *PreparedWrite) whereBinding(col string) (memdb.Value, bool) {
 // overlaySet wraps a binding so SET columns reflect their post-update
 // values; SET expressions the analysis cannot resolve become unknown.
 func (pw *PreparedWrite) overlaySet(base Binding) Binding {
-	return func(col string) (memdb.Value, bool) {
+	return func(col string) (datasource.Value, bool) {
 		if ref, isSet := pw.wi.SetVals[col]; isSet {
 			return ref.Resolve(pw.w.Args)
 		}
@@ -326,7 +326,7 @@ func (pw *PreparedWrite) overlaySet(base Binding) Binding {
 
 // intersectTri performs the value-level intersection test. False means
 // provably disjoint.
-func (pw *PreparedWrite) intersectTri(ri *TemplateInfo, readArgs []memdb.Value) Tri {
+func (pw *PreparedWrite) intersectTri(ri *TemplateInfo, readArgs []datasource.Value) Tri {
 	e := pw.e
 	switch pw.wi.Kind {
 	case KindInsert:
@@ -343,7 +343,7 @@ func (pw *PreparedWrite) intersectTri(ri *TemplateInfo, readArgs []memdb.Value) 
 			}
 			for _, row := range pw.w.Affected.Data {
 				row := row
-				oldBinding := func(col string) (memdb.Value, bool) {
+				oldBinding := func(col string) (datasource.Value, bool) {
 					ci, ok := pw.colIdx[col]
 					if !ok {
 						return nil, false
@@ -419,21 +419,21 @@ func (pw *PreparedWrite) ProbeKeys(col string) (keys []string, ok bool) {
 }
 
 // ProbeKey renders a value for probe-index matching. Numeric strings
-// collapse to their numeric key so that memdb.Compare-equal values share a
+// collapse to their numeric key so that datasource.Compare-equal values share a
 // key.
-func ProbeKey(v memdb.Value) string {
+func ProbeKey(v datasource.Value) string {
 	if s, isStr := v.(string); isStr {
 		if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
-			return memdb.KeyString(f)
+			return datasource.KeyString(f)
 		}
 	}
-	return memdb.KeyString(v)
+	return datasource.KeyString(v)
 }
 
 // eqValues extracts the values guaranteed by a write statement's top-level
 // WHERE equality predicates.
-func eqValues(wi *TemplateInfo, args []memdb.Value, table string) map[string]memdb.Value {
-	vals := make(map[string]memdb.Value)
+func eqValues(wi *TemplateInfo, args []datasource.Value, table string) map[string]datasource.Value {
+	vals := make(map[string]datasource.Value)
 	for _, c := range conjunctsOf(wi.Where) {
 		b, ok := c.(*sqlparser.BinaryExpr)
 		if !ok || b.Op != sqlparser.OpEq {
@@ -460,7 +460,7 @@ func eqValues(wi *TemplateInfo, args []memdb.Value, table string) map[string]mem
 }
 
 // autoIncrementer is the optional schema capability exposing auto-increment
-// key columns; *memdb.DB implements it.
+// key columns; *memdb.DB and the sql driver adapter implement it.
 type autoIncrementer interface {
 	AutoIncrementColumn(table string) (string, bool)
 }
@@ -477,7 +477,7 @@ func (e *Engine) autoIncrementColumn(table string) (string, bool) {
 
 // substArgs returns a copy of e with every placeholder replaced by the
 // literal rendering of its bound argument value.
-func substArgs(e sqlparser.Expr, args []memdb.Value) (sqlparser.Expr, error) {
+func substArgs(e sqlparser.Expr, args []datasource.Value) (sqlparser.Expr, error) {
 	switch v := e.(type) {
 	case nil:
 		return nil, nil
@@ -522,6 +522,12 @@ func substArgs(e sqlparser.Expr, args []memdb.Value) (sqlparser.Expr, error) {
 		}
 		return &sqlparser.NegExpr{Expr: inner}, nil
 	case *sqlparser.InExpr:
+		if v.Select != nil {
+			// The subquery's membership list is not reconstructible from the
+			// argument vector; the caller falls back to an uncaptured write
+			// (flush-everything, sound).
+			return nil, fmt.Errorf("cannot substitute into IN-subquery")
+		}
 		left, err := substArgs(v.Left, args)
 		if err != nil {
 			return nil, err

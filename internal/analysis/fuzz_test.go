@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"testing"
+
+	"autowebcache/internal/memdb"
+	"autowebcache/internal/sqlparser"
+)
+
+// fuzzSchema builds the schema the analyzer fuzz target resolves columns
+// against; its tables match the identifiers in the seed corpus.
+func fuzzSchema() *memdb.DB {
+	db := memdb.New()
+	db.MustCreateTable(memdb.TableSpec{Name: "t", Columns: []memdb.Column{
+		{Name: "id", Type: memdb.TypeInt, AutoIncrement: true},
+		{Name: "a", Type: memdb.TypeInt},
+		{Name: "b", Type: memdb.TypeInt},
+		{Name: "c", Type: memdb.TypeString},
+	}})
+	db.MustCreateTable(memdb.TableSpec{Name: "s", Columns: []memdb.Column{
+		{Name: "id", Type: memdb.TypeInt, AutoIncrement: true},
+		{Name: "tid", Type: memdb.TypeInt},
+		{Name: "d", Type: memdb.TypeFloat},
+	}})
+	db.MustCreateTable(memdb.TableSpec{Name: "u", Columns: []memdb.Column{
+		{Name: "id", Type: memdb.TypeInt, AutoIncrement: true},
+		{Name: "e", Type: memdb.TypeString},
+	}})
+	return db
+}
+
+// syntacticTables collects every table name the statement references,
+// descending into IN-subqueries.
+func syntacticTables(stmt sqlparser.Statement, out map[string]bool) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		for i := range s.From {
+			out[s.From[i].Name] = true
+		}
+		for i := range s.Joins {
+			out[s.Joins[i].Table.Name] = true
+		}
+	case *sqlparser.InsertStmt:
+		out[s.Table] = true
+	case *sqlparser.UpdateStmt:
+		out[s.Table] = true
+	case *sqlparser.DeleteStmt:
+		out[s.Table] = true
+	default:
+		return
+	}
+	sqlparser.StatementExprs(stmt, func(e sqlparser.Expr) {
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			if in, ok := x.(*sqlparser.InExpr); ok && in.Select != nil {
+				syntacticTables(in.Select, out)
+			}
+			return true
+		})
+	})
+}
+
+// FuzzAnalyze pins the analyzer's soundness contract on arbitrary SQL: it
+// never panics, and whenever it accepts a statement, the template is never
+// too narrow. For SELECTs the dependency set must cover every table the
+// statement syntactically references — including tables reachable only
+// through nested IN-subqueries — because an under-reported read dependency
+// would let a write slip past invalidation (a stale hit). For writes the
+// modified table must carry write columns; subquery tables a write merely
+// reads are deliberately NOT dependencies (reading s does not make pages
+// that depend on s stale). A statement the analyzer rejects degrades to the
+// uncacheable fallback, which is always safe.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t WHERE b = ?",
+		"SELECT a, b FROM t WHERE id IN (SELECT tid FROM s WHERE d = ?) ORDER BY a ASC",
+		"SELECT a FROM t WHERE b IN (SELECT tid FROM s WHERE d IN (SELECT id FROM u))",
+		"SELECT t.a, s.d FROM t JOIN s ON t.id = s.tid WHERE s.d > ?",
+		"SELECT a, COUNT(id) AS n, SUM(b) AS total FROM t GROUP BY a HAVING COUNT(id) > ? ORDER BY n DESC",
+		"SELECT a, AVG(b) FROM t WHERE id IN (SELECT tid FROM s) GROUP BY a",
+		"INSERT INTO t (a, b, c) VALUES (?, ?, ?)",
+		"UPDATE t SET a = ? WHERE id IN (SELECT tid FROM s)",
+		"DELETE FROM t WHERE a IN (SELECT id FROM u WHERE e = ?)",
+		"SELECT x FROM nosuch WHERE y = ?",
+		"CREATE TABLE IF NOT EXISTS awc_meta (k TEXT, v TEXT)",
+		"SELECT a FROM t WHERE b IN (SELECT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := fuzzSchema()
+	f.Fuzz(func(t *testing.T, sql string) {
+		info, err := AnalyzeTemplate(sql, schema) // must not panic
+		if err != nil {
+			return // rejected -> uncacheable fallback, safe by construction
+		}
+		stmt, perr := sqlparser.Parse(info.SQL)
+		if perr != nil {
+			t.Fatalf("accepted template %q does not reparse: %v", info.SQL, perr)
+		}
+		have := map[string]bool{}
+		for _, tbl := range info.Tables {
+			have[tbl] = true
+		}
+		switch info.Kind {
+		case KindSelect:
+			want := map[string]bool{}
+			syntacticTables(stmt, want)
+			for tbl := range want {
+				if !have[tbl] {
+					t.Fatalf("template %q depends on table %s but Tables=%v — a write to it would not invalidate",
+						info.SQL, tbl, info.Tables)
+				}
+			}
+		case KindInsert, KindUpdate, KindDelete:
+			target := map[string]bool{}
+			switch s := stmt.(type) {
+			case *sqlparser.InsertStmt:
+				target[s.Table] = true
+			case *sqlparser.UpdateStmt:
+				target[s.Table] = true
+			case *sqlparser.DeleteStmt:
+				target[s.Table] = true
+			}
+			for tbl := range target {
+				if !have[tbl] || len(info.WriteCols[tbl]) == 0 {
+					t.Fatalf("write template %q: table %s missing from Tables=%v / WriteCols=%v",
+						info.SQL, tbl, info.Tables, info.WriteCols)
+				}
+			}
+		}
+	})
+}

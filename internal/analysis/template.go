@@ -21,7 +21,7 @@ import (
 	"fmt"
 	"strings"
 
-	"autowebcache/internal/memdb"
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/sqlparser"
 )
 
@@ -57,13 +57,13 @@ func (k StmtKind) String() string {
 type ValueRef struct {
 	Known         bool
 	IsPlaceholder bool
-	Index         int         // placeholder index when IsPlaceholder
-	Lit           memdb.Value // literal value otherwise
+	Index         int              // placeholder index when IsPlaceholder
+	Lit           datasource.Value // literal value otherwise
 }
 
 // Resolve returns the concrete value for an instance's argument vector.
 // ok is false when the reference is not statically known.
-func (r ValueRef) Resolve(args []memdb.Value) (memdb.Value, bool) {
+func (r ValueRef) Resolve(args []datasource.Value) (datasource.Value, bool) {
 	if !r.Known {
 		return nil, false
 	}
@@ -148,7 +148,8 @@ type Probe struct {
 	ArgIndex int
 }
 
-// Schema exposes table column names to the analysis. *memdb.DB satisfies it.
+// Schema exposes table column names to the analysis. *memdb.DB and the sql
+// driver adapter satisfy it.
 type Schema interface {
 	ColumnNames(table string) ([]string, error)
 }
@@ -197,6 +198,9 @@ func AnalyzeTemplate(sql string, schema Schema) (*TemplateInfo, error) {
 			}
 		}
 		info.collectProbes(schema)
+		if err := info.mergeSubqueryDeps(s, schema); err != nil {
+			return nil, err
+		}
 	case *sqlparser.InsertStmt:
 		info.Kind = KindInsert
 		info.Tables = []string{s.Table}
@@ -331,6 +335,56 @@ func (info *TemplateInfo) collectReadCols(s *sqlparser.SelectStmt, schema Schema
 		addExpr(s.OrderBy[i].Expr)
 	}
 	return nil
+}
+
+// mergeSubqueryDeps folds the dependency footprint of every uncorrelated
+// IN-subquery into the outer template. A write to a table the subquery reads
+// can change the membership list and thereby the outer result, so each
+// contributing table (and its read columns) joins the outer dependency set —
+// the precise alternative to flushing such reads as unanalysable. Each inner
+// select is analysed with its own alias scope; nested subqueries recurse
+// through AnalyzeTemplate. Probes are not merged: a probe is an equality on
+// the outer result's rows, which a subquery table does not constrain.
+//
+// Run this after collectReadCols/collectProbes: appending subquery tables to
+// info.Tables would otherwise divert the outer pass's single-table and
+// all-tables column attribution.
+func (info *TemplateInfo) mergeSubqueryDeps(s *sqlparser.SelectStmt, schema Schema) error {
+	var firstErr error
+	sqlparser.StatementExprs(s, func(e sqlparser.Expr) {
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			in, ok := x.(*sqlparser.InExpr)
+			if !ok || in.Select == nil {
+				return true
+			}
+			inner, err := AnalyzeTemplate(in.Select.String(), schema)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return false
+			}
+			for _, t := range inner.Tables {
+				seen := false
+				for _, have := range info.Tables {
+					if have == t {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					info.Tables = append(info.Tables, t)
+				}
+			}
+			for table, cols := range inner.ReadCols {
+				for col := range cols {
+					info.addReadCol(table, col)
+				}
+			}
+			return true
+		})
+	})
+	return firstErr
 }
 
 // collectProbes extracts one `table.col = ?` top-level conjunct per table

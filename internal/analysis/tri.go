@@ -1,7 +1,7 @@
 package analysis
 
 import (
-	"autowebcache/internal/memdb"
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/sqlparser"
 )
 
@@ -71,14 +71,14 @@ func (t Tri) Or(o Tri) Tri {
 
 // Binding supplies the (partially) known column values of the target table's
 // candidate row. ok is false for columns whose value is not known.
-type Binding func(col string) (memdb.Value, bool)
+type Binding func(col string) (datasource.Value, bool)
 
 // predEvaluator evaluates a read template's predicate against a binding for
 // one target table. Columns belonging to other tables are Unknown.
 type predEvaluator struct {
 	read    *TemplateInfo
 	target  string
-	args    []memdb.Value
+	args    []datasource.Value
 	binding Binding
 	schema  Schema
 	// fresh marks target columns holding freshly generated values (an
@@ -90,14 +90,14 @@ type predEvaluator struct {
 // EvalReadPred evaluates the read template's effective row predicate (WHERE
 // plus JOIN ON conditions) under the binding. A nil predicate is True: the
 // read selects all rows, so any written row intersects.
-func EvalReadPred(read *TemplateInfo, target string, args []memdb.Value, binding Binding, schema Schema) Tri {
+func EvalReadPred(read *TemplateInfo, target string, args []datasource.Value, binding Binding, schema Schema) Tri {
 	return EvalReadPredFresh(read, target, args, binding, nil, schema)
 }
 
 // EvalReadPredFresh is EvalReadPred with a set of fresh target columns (see
 // predEvaluator.fresh). Marking a column fresh is sound only for values that
 // did not exist before the write, such as auto-increment keys.
-func EvalReadPredFresh(read *TemplateInfo, target string, args []memdb.Value, binding Binding, fresh map[string]bool, schema Schema) Tri {
+func EvalReadPredFresh(read *TemplateInfo, target string, args []datasource.Value, binding Binding, fresh map[string]bool, schema Schema) Tri {
 	if read.ReadPred == nil {
 		return True
 	}
@@ -142,7 +142,7 @@ func (pe *predEvaluator) freshComparison(v *sqlparser.BinaryExpr) (res Tri, hand
 
 // value evaluates an expression to a concrete value. ok is false when the
 // value cannot be determined statically.
-func (pe *predEvaluator) value(e sqlparser.Expr) (memdb.Value, bool) {
+func (pe *predEvaluator) value(e sqlparser.Expr) (datasource.Value, bool) {
 	switch v := e.(type) {
 	case *sqlparser.Literal:
 		return v.Value(), true
@@ -198,7 +198,7 @@ func (pe *predEvaluator) tri(e sqlparser.Expr) Tri {
 			if l == nil || r == nil {
 				return False // SQL: comparisons with NULL are false
 			}
-			c := memdb.Compare(l, r)
+			c := datasource.Compare(l, r)
 			switch v.Op {
 			case sqlparser.OpEq:
 				return triOf(c == 0)
@@ -218,6 +218,12 @@ func (pe *predEvaluator) tri(e sqlparser.Expr) Tri {
 	case *sqlparser.NotExpr:
 		return pe.tri(v.Expr).Not()
 	case *sqlparser.InExpr:
+		if v.Select != nil {
+			// Membership depends on another table's current rows, which the
+			// static evaluation does not model. Unknown pushes towards
+			// invalidation, never towards a stale hit.
+			return Unknown
+		}
 		l, lok := pe.value(v.Left)
 		if !lok {
 			return Unknown
@@ -229,7 +235,7 @@ func (pe *predEvaluator) tri(e sqlparser.Expr) Tri {
 				anyUnknown = true
 				continue
 			}
-			if memdb.Equal(l, iv) {
+			if datasource.Equal(l, iv) {
 				return triOf(!v.Not)
 			}
 		}
@@ -247,7 +253,7 @@ func (pe *predEvaluator) tri(e sqlparser.Expr) Tri {
 		if l == nil || lo == nil || hi == nil {
 			return triOf(v.Not)
 		}
-		in := memdb.Compare(l, lo) >= 0 && memdb.Compare(l, hi) <= 0
+		in := datasource.Compare(l, lo) >= 0 && datasource.Compare(l, hi) <= 0
 		return triOf(in != v.Not)
 	case *sqlparser.LikeExpr:
 		l, ok1 := pe.value(v.Left)
@@ -260,7 +266,7 @@ func (pe *predEvaluator) tri(e sqlparser.Expr) Tri {
 		if !isS1 || !isS2 {
 			return Unknown
 		}
-		return triOf(memdb.Like(ps, ls) != v.Not)
+		return triOf(datasource.Like(ps, ls) != v.Not)
 	case *sqlparser.IsNullExpr:
 		l, ok := pe.value(v.Left)
 		if !ok {
@@ -270,13 +276,13 @@ func (pe *predEvaluator) tri(e sqlparser.Expr) Tri {
 		}
 		return triOf((l == nil) != v.Not)
 	case *sqlparser.Literal:
-		return triOf(memdb.IsTruthy(v.Value()))
+		return triOf(datasource.IsTruthy(v.Value()))
 	case *sqlparser.Placeholder:
 		val, ok := pe.value(v)
 		if !ok {
 			return Unknown
 		}
-		return triOf(memdb.IsTruthy(val))
+		return triOf(datasource.IsTruthy(val))
 	default:
 		return Unknown
 	}

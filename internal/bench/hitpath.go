@@ -13,6 +13,8 @@ import (
 
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/cache"
+	"autowebcache/internal/datasource"
+	_ "autowebcache/internal/datasource/sqlite" // registers the sqlite DSN
 	"autowebcache/internal/memdb"
 	"autowebcache/internal/qrcache"
 	"autowebcache/internal/servlet"
@@ -109,6 +111,62 @@ func newQrHitFixture() (*qrcache.Conn, string, error) {
 	return qr, sql, nil
 }
 
+// newQrSqliteFixture builds a query-result cache over the file-backed
+// sqlite driver: 100 rows in each of two groups, so alternating queries at
+// maxEntries=1 force a backend round trip (file lock + log replay check)
+// per miss, while a warm entry hits without touching the file at all.
+func newQrSqliteFixture(maxEntries int) (*qrcache.Conn, string, func(), error) {
+	dir, err := os.MkdirTemp("", "awc-bench-sqlite")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	conn, err := datasource.Open("sqlite:" + dir + "/bench.db")
+	if err != nil {
+		cleanup()
+		return nil, "", nil, err
+	}
+	if cl, ok := conn.(datasource.Closer); ok {
+		prev := cleanup
+		cleanup = func() { cl.Close(); prev() }
+	}
+	ctx := context.Background()
+	boot := []string{
+		"CREATE TABLE t (id INTEGER PRIMARY KEY AUTO_INCREMENT, grp INTEGER, val TEXT)",
+		"CREATE INDEX idx_t_grp ON t (grp)",
+	}
+	for _, ddl := range boot {
+		if _, err := conn.Exec(ctx, ddl); err != nil {
+			cleanup()
+			return nil, "", nil, err
+		}
+	}
+	for grp := 0; grp < 2; grp++ {
+		for i := 0; i < 100; i++ {
+			if _, err := conn.Exec(ctx, "INSERT INTO t (grp, val) VALUES (?, ?)", grp, "payload"); err != nil {
+				cleanup()
+				return nil, "", nil, err
+			}
+		}
+	}
+	eng, err := analysis.NewEngine(analysis.StrategyWhereMatch, conn.(analysis.Schema))
+	if err != nil {
+		cleanup()
+		return nil, "", nil, err
+	}
+	qr, err := qrcache.New(conn, eng, maxEntries)
+	if err != nil {
+		cleanup()
+		return nil, "", nil, err
+	}
+	const sql = "SELECT id, val FROM t WHERE grp = ?"
+	if _, err := qr.Query(ctx, sql, 0); err != nil {
+		cleanup()
+		return nil, "", nil, err
+	}
+	return qr, sql, cleanup, nil
+}
+
 // coalescingWoven builds a one-handler woven app whose handler counts its
 // executions, for the coalesced-miss experiment.
 func coalescingWoven(executions *atomic.Int64) (*weave.Woven, error) {
@@ -177,7 +235,11 @@ func fragmentWoven() (*weave.Woven, error) {
 //   - coalesced-miss: 8 concurrent requests on one cold page key through
 //     the weave, per-request cost; the handler runs once per round;
 //   - mixed-parallel: the read-dominated page-cache mix (lookups with
-//     periodic re-inserts and write invalidations).
+//     periodic re-inserts and write invalidations);
+//   - qr-hit-sqlite / qr-miss-sqlite: the query-result cache over the
+//     file-backed sqlite driver — warm hit (backend untouched) and forced
+//     miss (flock + replay check + scan per op). These run last so their
+//     allocation churn cannot skew the memdb records above.
 func HitPathRecords() ([]HitPathRecord, error) {
 	var out []HitPathRecord
 
@@ -350,6 +412,50 @@ func HitPathRecords() ([]HitPathRecord, error) {
 		})
 	})
 	out = append(out, record("mixed-parallel", r, "read-dominated mix: 62/64 lookups, 1/32 re-inserts, 1/64 invalidating writes"))
+
+	// The sqlite records run LAST on purpose: qr-miss-sqlite churns ~58 KiB
+	// per op, and on small machines the GC pressure it leaves behind would
+	// inflate any memdb record measured after it in the same process.
+
+	// qr-hit-sqlite: the same warm hit as qr-hit with the file-backed sqlite
+	// driver underneath — a hit is served from the result cache's snapshot,
+	// so the cost must not depend on the backend.
+	qs, qsSQL, qsClean, err := newQrSqliteFixture(0)
+	if err != nil {
+		return nil, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		ctx := context.Background()
+		for n := 0; n < b.N; n++ {
+			rows, err := qs.Query(ctx, qsSQL, 0)
+			if err != nil || rows.Len() != 100 {
+				b.Fatalf("qr sqlite hit failed: %v", err)
+			}
+		}
+	})
+	out = append(out, record("qr-hit-sqlite", r, "warm result-cache hit over the file-backed sqlite driver (backend not touched)"))
+	qsClean()
+
+	// qr-miss-sqlite: alternating groups through a 1-entry cache evict each
+	// other, so every query is a miss that executes against the sqlite file
+	// (shared flock + replay-offset check) and re-inserts the result.
+	qm, qmSQL, qmClean, err := newQrSqliteFixture(1)
+	if err != nil {
+		return nil, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		ctx := context.Background()
+		for n := 0; n < b.N; n++ {
+			rows, err := qm.Query(ctx, qmSQL, n&1)
+			if err != nil || rows.Len() != 100 {
+				b.Fatalf("qr sqlite miss failed: %v", err)
+			}
+		}
+	})
+	out = append(out, record("qr-miss-sqlite", r, "result-cache miss against the sqlite file: flock, replay check, 100-row scan, insert"))
+	qmClean()
 
 	return out, nil
 }

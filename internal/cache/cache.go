@@ -35,7 +35,7 @@ import (
 	"time"
 
 	"autowebcache/internal/analysis"
-	"autowebcache/internal/memdb"
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/stripe"
 	"autowebcache/internal/tinylfu"
 )
@@ -258,7 +258,7 @@ func newDepTemplate(info *analysis.TemplateInfo) *depTemplate {
 
 // probeKeyFor returns the probe key of an instance for one table's probe,
 // or ok=false when the instance has no value at the probed argument.
-func probeKeyFor(p analysis.Probe, args []memdb.Value) (string, bool) {
+func probeKeyFor(p analysis.Probe, args []datasource.Value) (string, bool) {
 	if p.ArgIndex < 0 || p.ArgIndex >= len(args) {
 		return "", false
 	}
@@ -1234,4 +1234,4 @@ func (c *Cache) evictPick(best *pick) bool {
 }
 
 // argsKey renders a value vector as a map key.
-func argsKey(args []memdb.Value) string { return memdb.KeyOfValues(args) }
+func argsKey(args []datasource.Value) string { return datasource.KeyOfValues(args) }

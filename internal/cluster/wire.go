@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"autowebcache/internal/analysis"
-	"autowebcache/internal/memdb"
+	"autowebcache/internal/datasource"
 )
 
 // The peer protocol: each message is one length-prefixed frame,
@@ -79,7 +79,7 @@ type flushRespMeta struct {
 	OK bool `json:"ok"`
 }
 
-// wireValue is a memdb.Value with its dynamic type made explicit, so int64
+// wireValue is a datasource.Value with its dynamic type made explicit, so int64
 // survives the JSON round trip instead of decaying to float64.
 type wireValue struct {
 	K string  `json:"k"` // "n" null, "i" int, "f" float, "s" string
@@ -88,7 +88,7 @@ type wireValue struct {
 	S string  `json:"s,omitempty"`
 }
 
-func toWireValue(v memdb.Value) wireValue {
+func toWireValue(v datasource.Value) wireValue {
 	switch x := v.(type) {
 	case nil:
 		return wireValue{K: "n"}
@@ -104,7 +104,7 @@ func toWireValue(v memdb.Value) wireValue {
 	}
 }
 
-func (w wireValue) value() memdb.Value {
+func (w wireValue) value() datasource.Value {
 	switch w.K {
 	case "i":
 		return w.I
@@ -116,7 +116,7 @@ func (w wireValue) value() memdb.Value {
 	return nil
 }
 
-func toWireValues(vs []memdb.Value) []wireValue {
+func toWireValues(vs []datasource.Value) []wireValue {
 	if vs == nil {
 		return nil
 	}
@@ -127,11 +127,11 @@ func toWireValues(vs []memdb.Value) []wireValue {
 	return out
 }
 
-func fromWireValues(ws []wireValue) []memdb.Value {
+func fromWireValues(ws []wireValue) []datasource.Value {
 	if ws == nil {
 		return nil
 	}
-	out := make([]memdb.Value, len(ws))
+	out := make([]datasource.Value, len(ws))
 	for i, w := range ws {
 		out[i] = w.value()
 	}
@@ -207,9 +207,9 @@ func (wc wireCapture) capture() analysis.WriteCapture {
 		HasAutoID: wc.HasAutoID,
 	}
 	if wc.Affected != nil {
-		rows := &memdb.Rows{
+		rows := &datasource.Rows{
 			Columns: append([]string(nil), wc.Affected.Columns...),
-			Data:    make([][]memdb.Value, len(wc.Affected.Data)),
+			Data:    make([][]datasource.Value, len(wc.Affected.Data)),
 		}
 		for i, row := range wc.Affected.Data {
 			rows.Data[i] = fromWireValues(row)

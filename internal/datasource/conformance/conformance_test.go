@@ -1,0 +1,37 @@
+package conformance_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"autowebcache/internal/datasource"
+	"autowebcache/internal/datasource/conformance"
+
+	_ "autowebcache/internal/datasource/sqlite" // register "sqlite"
+	_ "autowebcache/internal/memdb"             // register "memdb"
+)
+
+func TestMemdbDriver(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) datasource.Conn {
+		conn, err := datasource.Open("memdb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	})
+}
+
+func TestSqliteDriver(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) datasource.Conn {
+		conn, err := datasource.Open("sqlite:" + filepath.Join(t.TempDir(), "conf.db"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			if c, ok := conn.(datasource.Closer); ok {
+				c.Close()
+			}
+		})
+		return conn
+	})
+}

@@ -1,0 +1,63 @@
+package datasource
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OpenFunc opens a connection for one driver scheme. The rest argument is
+// the DSN with the "scheme:" prefix stripped ("" when the DSN is the bare
+// scheme, as with "memdb").
+type OpenFunc func(rest string) (Conn, error)
+
+var (
+	regMu   sync.RWMutex
+	drivers = map[string]OpenFunc{}
+)
+
+// Register makes a driver available under the given scheme. It panics on a
+// duplicate scheme, mirroring database/sql's Register contract; drivers
+// register from init so a collision is a programming error.
+func Register(scheme string, open OpenFunc) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if open == nil {
+		panic("datasource: Register with nil OpenFunc")
+	}
+	if _, dup := drivers[scheme]; dup {
+		panic("datasource: Register called twice for scheme " + scheme)
+	}
+	drivers[scheme] = open
+}
+
+// Drivers returns the registered schemes, sorted.
+func Drivers() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(drivers))
+	for s := range drivers {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open connects to the database named by a DSN of the form "scheme" or
+// "scheme:rest" — e.g. "memdb" for a fresh in-memory database, or
+// "sqlite:/var/data/app.db" for the shared-file sqlite driver.
+func Open(dsn string) (Conn, error) {
+	scheme, rest := dsn, ""
+	if i := strings.IndexByte(dsn, ':'); i >= 0 {
+		scheme, rest = dsn[:i], dsn[i+1:]
+	}
+	regMu.RLock()
+	open, ok := drivers[scheme]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("datasource: unknown driver scheme %q in DSN %q (registered: %s)",
+			scheme, dsn, strings.Join(Drivers(), ", "))
+	}
+	return open(rest)
+}

@@ -1,0 +1,182 @@
+// Package sqldriver adapts any database/sql driver to the datasource
+// contract: rows are scanned into the canonical value representation,
+// affected-row counts and insert ids are folded into datasource.Result, and
+// the optional datasource capabilities (schema reporting, bootstrap locking)
+// are tunnelled to the underlying driver connection via sql.Conn.Raw. A
+// backend whose driver lacks a capability degrades gracefully: the analysis
+// engine falls back to its conservative paths and Bootstrap runs without a
+// cross-process lock.
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+
+	"autowebcache/internal/datasource"
+)
+
+// Conn is a datasource.Conn backed by a *sql.DB connection pool.
+type Conn struct {
+	db *sql.DB
+}
+
+var (
+	_ datasource.Conn           = (*Conn)(nil)
+	_ datasource.SchemaReporter = (*Conn)(nil)
+	_ datasource.Bootstrapper   = (*Conn)(nil)
+	_ datasource.Closer         = (*Conn)(nil)
+)
+
+// schemaCapability is the driver-connection interface ColumnNames and
+// AutoIncrementColumn tunnel to.
+type schemaCapability interface {
+	ColumnNames(table string) ([]string, error)
+	AutoIncrementColumn(table string) (string, bool)
+}
+
+// lockCapability is the driver-connection interface Bootstrap tunnels to for
+// cross-process exclusion. The returned unlock must be callable after the
+// pooled connection is released: implementations lock a resource owned by
+// the database, not by the connection.
+type lockCapability interface {
+	BootstrapLock(ctx context.Context) (unlock func(), err error)
+}
+
+// Open connects via database/sql and verifies the connection with a ping.
+func Open(driverName, dsn string) (*Conn, error) {
+	db, err := sql.Open(driverName, dsn)
+	if err != nil {
+		return nil, fmt.Errorf("sqldriver: open %s %q: %w", driverName, dsn, err)
+	}
+	if err := db.Ping(); err != nil {
+		db.Close()
+		return nil, fmt.Errorf("sqldriver: ping %s %q: %w", driverName, dsn, err)
+	}
+	return &Conn{db: db}, nil
+}
+
+// NewFromDB wraps an existing pool the caller configured.
+func NewFromDB(db *sql.DB) *Conn { return &Conn{db: db} }
+
+// DB exposes the underlying pool, for callers needing database/sql features
+// the datasource contract does not model.
+func (c *Conn) DB() *sql.DB { return c.db }
+
+// Query executes a SELECT and materialises the full result set in canonical
+// values.
+func (c *Conn) Query(ctx context.Context, query string, args ...any) (*datasource.Rows, error) {
+	rows, err := c.db.QueryContext(ctx, query, args...)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		return nil, err
+	}
+	out := &datasource.Rows{Columns: cols}
+	for rows.Next() {
+		raw := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range raw {
+			ptrs[i] = &raw[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			return nil, err
+		}
+		vals, err := datasource.NormalizeAll(raw)
+		if err != nil {
+			return nil, fmt.Errorf("sqldriver: %w", err)
+		}
+		out.Data = append(out.Data, vals)
+	}
+	return out, rows.Err()
+}
+
+// Exec executes a write statement. Drivers that cannot report affected rows
+// or insert ids yield zero for the missing figure (never an error), matching
+// database/sql conventions.
+func (c *Conn) Exec(ctx context.Context, query string, args ...any) (datasource.Result, error) {
+	res, err := c.db.ExecContext(ctx, query, args...)
+	if err != nil {
+		return datasource.Result{}, err
+	}
+	var out datasource.Result
+	if n, err := res.RowsAffected(); err == nil {
+		out.RowsAffected = n
+	}
+	if id, err := res.LastInsertId(); err == nil {
+		out.LastInsertID = id
+	}
+	return out, nil
+}
+
+// raw runs fn against the underlying driver connection of one pooled
+// connection.
+func (c *Conn) raw(ctx context.Context, fn func(driverConn any) error) error {
+	conn, err := c.db.Conn(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return conn.Raw(fn)
+}
+
+// ColumnNames reports a table's columns when the driver can.
+func (c *Conn) ColumnNames(table string) ([]string, error) {
+	var out []string
+	err := c.raw(context.Background(), func(dc any) error {
+		sc, ok := dc.(schemaCapability)
+		if !ok {
+			return fmt.Errorf("sqldriver: driver does not report schema")
+		}
+		cols, err := sc.ColumnNames(table)
+		out = cols
+		return err
+	})
+	return out, err
+}
+
+// AutoIncrementColumn reports a table's auto-increment column when the
+// driver can; ok=false otherwise (the analysis then simply cannot exonerate
+// reads joining on fresh keys — conservative, not wrong).
+func (c *Conn) AutoIncrementColumn(table string) (string, bool) {
+	var (
+		name string
+		ok   bool
+	)
+	_ = c.raw(context.Background(), func(dc any) error {
+		if sc, capable := dc.(schemaCapability); capable {
+			name, ok = sc.AutoIncrementColumn(table)
+		}
+		return nil
+	})
+	return name, ok
+}
+
+// Bootstrap runs fn under the driver's cross-process bootstrap lock when the
+// driver provides one, else directly.
+func (c *Conn) Bootstrap(ctx context.Context, fn func(datasource.Conn) error) error {
+	var unlock func()
+	err := c.raw(ctx, func(dc any) error {
+		if lc, ok := dc.(lockCapability); ok {
+			u, err := lc.BootstrapLock(ctx)
+			if err != nil {
+				return err
+			}
+			unlock = u
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if unlock != nil {
+		defer unlock()
+	}
+	return fn(c)
+}
+
+// Close releases the pool.
+func (c *Conn) Close() error { return c.db.Close() }

@@ -1,0 +1,157 @@
+package sqlite
+
+import (
+	"context"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+
+	"autowebcache/internal/datasource"
+)
+
+// driverImpl is the database/sql driver. Every connection to the same path
+// shares one fileDB, so the pool's fan-out costs nothing.
+type driverImpl struct{}
+
+func (driverImpl) Open(name string) (driver.Conn, error) {
+	d, err := openFileDB(name)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{db: d}, nil
+}
+
+// conn is one pooled driver connection.
+type conn struct {
+	db *fileDB
+}
+
+var (
+	_ driver.Conn           = (*conn)(nil)
+	_ driver.QueryerContext = (*conn)(nil)
+	_ driver.ExecerContext  = (*conn)(nil)
+	_ driver.Pinger         = (*conn)(nil)
+)
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{c: c, query: query}, nil
+}
+
+func (c *conn) Close() error { return nil }
+
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("sqlite: transactions not supported")
+}
+
+func (c *conn) Ping(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, err := c.db.f.Stat()
+	return err
+}
+
+func namedToAny(nvs []driver.NamedValue) ([]any, error) {
+	args := make([]any, len(nvs))
+	for i, nv := range nvs {
+		if nv.Name != "" {
+			return nil, fmt.Errorf("sqlite: named parameters not supported")
+		}
+		args[i] = nv.Value
+	}
+	return args, nil
+}
+
+func (c *conn) QueryContext(ctx context.Context, query string, nvs []driver.NamedValue) (driver.Rows, error) {
+	args, err := namedToAny(nvs)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := c.db.query(ctx, query, args)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{rs: rs}, nil
+}
+
+func (c *conn) ExecContext(ctx context.Context, query string, nvs []driver.NamedValue) (driver.Result, error) {
+	args, err := namedToAny(nvs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.db.exec(ctx, query, args)
+	if err != nil {
+		return nil, err
+	}
+	return result{res: res}, nil
+}
+
+// ColumnNames, AutoIncrementColumn and BootstrapLock are the capabilities
+// sqldriver tunnels to via sql.Conn.Raw.
+
+func (c *conn) ColumnNames(table string) ([]string, error) {
+	return c.db.columnNames(table)
+}
+
+func (c *conn) AutoIncrementColumn(table string) (string, bool) {
+	return c.db.autoIncrementColumn(table)
+}
+
+func (c *conn) BootstrapLock(ctx context.Context) (unlock func(), err error) {
+	return c.db.bootstrapLock(ctx)
+}
+
+// stmt is the prepared-statement shim for callers not using the Context
+// fast paths.
+type stmt struct {
+	c     *conn
+	query string
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return -1 }
+
+func valuesToNamed(vs []driver.Value) []driver.NamedValue {
+	nvs := make([]driver.NamedValue, len(vs))
+	for i, v := range vs {
+		nvs[i] = driver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return nvs
+}
+
+func (s *stmt) Exec(vs []driver.Value) (driver.Result, error) {
+	return s.c.ExecContext(context.Background(), s.query, valuesToNamed(vs))
+}
+
+func (s *stmt) Query(vs []driver.Value) (driver.Rows, error) {
+	return s.c.QueryContext(context.Background(), s.query, valuesToNamed(vs))
+}
+
+// rows iterates a fully materialised result set.
+type rows struct {
+	rs *datasource.Rows
+	i  int
+}
+
+func (r *rows) Columns() []string { return r.rs.Columns }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.i >= r.rs.Len() {
+		return io.EOF
+	}
+	for j, v := range r.rs.Data[r.i] {
+		dest[j] = v
+	}
+	r.i++
+	return nil
+}
+
+// result adapts datasource.Result to driver.Result.
+type result struct {
+	res datasource.Result
+}
+
+func (r result) LastInsertId() (int64, error) { return r.res.LastInsertID, nil }
+func (r result) RowsAffected() (int64, error) { return r.res.RowsAffected, nil }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package sqlite
+
+import "os"
+
+// Non-unix builds get process-local exclusion only (fileDB.mu); sharing one
+// database file across processes requires the flock build.
+
+func flockShared(f *os.File) error    { return nil }
+func flockExclusive(f *os.File) error { return nil }
+func funlock(f *os.File) error        { return nil }

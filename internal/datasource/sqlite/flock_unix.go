@@ -1,0 +1,17 @@
+//go:build unix
+
+package sqlite
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockShared blocks until a shared (read) lock on f is held.
+func flockShared(f *os.File) error { return syscall.Flock(int(f.Fd()), syscall.LOCK_SH) }
+
+// flockExclusive blocks until an exclusive (write) lock on f is held.
+func flockExclusive(f *os.File) error { return syscall.Flock(int(f.Fd()), syscall.LOCK_EX) }
+
+// funlock releases the lock on f.
+func funlock(f *os.File) error { return syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }

@@ -1,0 +1,290 @@
+// Package sqlite provides a file-backed SQL driver registered with
+// database/sql under the name "sqlite", plus the "sqlite:<path>" datasource
+// scheme built on it.
+//
+// It is a self-contained stand-in for a cgo-free SQLite module such as
+// modernc.org/sqlite: this repository vendors no external dependencies, so
+// the driver persists to an append-only statement log replayed into the
+// embedded memdb engine. The database/sql surface (driver.Conn with
+// QueryerContext/ExecerContext, Rows, Result) and the datasource semantics
+// are the ones a real SQLite driver would provide; swapping one in is a
+// registration change in this package, not in any consumer.
+//
+// Storage model: every committed write statement is appended to the database
+// file as one JSON line {"sql": ..., "args": [...]}, integers encoded as
+// strings so 64-bit keys survive JSON. Each process keeps a memdb replica
+// and, before every statement, replays the log suffix it has not applied
+// yet — under a shared (reads) or exclusive (writes) flock on the database
+// file. The exclusive lock covers replay + execute + append, which is what
+// gives N cluster processes sharing one database file sequentially
+// consistent writes and read-your-write visibility through the database, as
+// the paper assumes of its shared MySQL server.
+package sqlite
+
+import (
+	"bytes"
+	"context"
+	"database/sql"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"autowebcache/internal/datasource"
+	"autowebcache/internal/datasource/sqldriver"
+	"autowebcache/internal/memdb"
+)
+
+func init() {
+	sql.Register("sqlite", driverImpl{})
+	datasource.Register("sqlite", func(rest string) (datasource.Conn, error) {
+		if rest == "" {
+			return nil, fmt.Errorf("sqlite: DSN needs a file path (sqlite:<path>)")
+		}
+		return sqldriver.Open("sqlite", rest)
+	})
+}
+
+// fileDB is the per-path shared state: one per database file per process,
+// shared by every driver connection the pool opens.
+type fileDB struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	mem  *memdb.DB
+	// applied is the byte offset into the log already replayed into mem.
+	applied int64
+}
+
+var (
+	filesMu sync.Mutex
+	files   = map[string]*fileDB{}
+)
+
+// openFileDB returns the process-wide instance for a database file, creating
+// the file on first open.
+func openFileDB(path string) (*fileDB, error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, fmt.Errorf("sqlite: %w", err)
+	}
+	filesMu.Lock()
+	defer filesMu.Unlock()
+	if d, ok := files[abs]; ok {
+		return d, nil
+	}
+	f, err := os.OpenFile(abs, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sqlite: %w", err)
+	}
+	d := &fileDB{path: abs, f: f, mem: memdb.New()}
+	files[abs] = d
+	return d, nil
+}
+
+// logRecord is one committed write statement.
+type logRecord struct {
+	SQL  string     `json:"sql"`
+	Args []logValue `json:"args"`
+}
+
+// logValue serialises one canonical value. Integers are encoded as strings
+// because JSON numbers round-trip through float64 and would corrupt 64-bit
+// keys.
+type logValue struct{ v datasource.Value }
+
+func (lv logValue) MarshalJSON() ([]byte, error) {
+	switch x := lv.v.(type) {
+	case nil:
+		return []byte("null"), nil
+	case int64:
+		return json.Marshal(map[string]string{"i": strconv.FormatInt(x, 10)})
+	case float64:
+		return json.Marshal(map[string]float64{"f": x})
+	case string:
+		return json.Marshal(map[string]string{"s": x})
+	}
+	return nil, fmt.Errorf("sqlite: cannot log value of type %T", lv.v)
+}
+
+func (lv *logValue) UnmarshalJSON(b []byte) error {
+	if bytes.Equal(bytes.TrimSpace(b), []byte("null")) {
+		lv.v = nil
+		return nil
+	}
+	var aux struct {
+		I *string  `json:"i"`
+		F *float64 `json:"f"`
+		S *string  `json:"s"`
+	}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	switch {
+	case aux.I != nil:
+		n, err := strconv.ParseInt(*aux.I, 10, 64)
+		if err != nil {
+			return fmt.Errorf("sqlite: bad int in log: %w", err)
+		}
+		lv.v = n
+	case aux.F != nil:
+		lv.v = *aux.F
+	case aux.S != nil:
+		lv.v = *aux.S
+	default:
+		return fmt.Errorf("sqlite: empty value in log")
+	}
+	return nil
+}
+
+// replayLocked applies the log suffix past d.applied to the memdb replica.
+// The caller holds d.mu and at least a shared flock on d.f.
+func (d *fileDB) replayLocked(ctx context.Context) error {
+	st, err := d.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size < d.applied {
+		// The file shrank: someone recreated the database. Rebuild from
+		// scratch.
+		d.mem = memdb.New()
+		d.applied = 0
+	}
+	if size == d.applied {
+		return nil
+	}
+	buf := make([]byte, size-d.applied)
+	if _, err := d.f.ReadAt(buf, d.applied); err != nil {
+		return err
+	}
+	for len(buf) > 0 {
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			// Torn trailing line from a crashed writer; leave it for the
+			// next exclusive-lock holder to overwrite.
+			break
+		}
+		line := buf[:nl]
+		buf = buf[nl+1:]
+		d.applied += int64(nl) + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("sqlite: corrupt log %s: %w", d.path, err)
+		}
+		args := make([]any, len(rec.Args))
+		for i := range rec.Args {
+			args[i] = rec.Args[i].v
+		}
+		if _, err := d.mem.Exec(ctx, rec.SQL, args...); err != nil {
+			return fmt.Errorf("sqlite: replaying %s: %w", d.path, err)
+		}
+	}
+	return nil
+}
+
+// query runs a SELECT against the replica after catching up on the log.
+func (d *fileDB) query(ctx context.Context, sqlText string, args []any) (*datasource.Rows, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := flockShared(d.f); err != nil {
+		return nil, fmt.Errorf("sqlite: lock %s: %w", d.path, err)
+	}
+	defer funlock(d.f)
+	if err := d.replayLocked(ctx); err != nil {
+		return nil, err
+	}
+	return d.mem.Query(ctx, sqlText, args...)
+}
+
+// exec runs a write under the exclusive lock: catch up, execute, append.
+func (d *fileDB) exec(ctx context.Context, sqlText string, args []any) (datasource.Result, error) {
+	vals, err := datasource.NormalizeAll(args)
+	if err != nil {
+		return datasource.Result{}, fmt.Errorf("sqlite: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := flockExclusive(d.f); err != nil {
+		return datasource.Result{}, fmt.Errorf("sqlite: lock %s: %w", d.path, err)
+	}
+	defer funlock(d.f)
+	if err := d.replayLocked(ctx); err != nil {
+		return datasource.Result{}, err
+	}
+	res, err := d.mem.Exec(ctx, sqlText, vals...)
+	if err != nil {
+		// Failed statements are not logged: replicas replay only committed
+		// writes.
+		return res, err
+	}
+	wrapped := make([]logValue, len(vals))
+	for i, v := range vals {
+		wrapped[i] = logValue{v}
+	}
+	line, err := json.Marshal(logRecord{SQL: sqlText, Args: wrapped})
+	if err != nil {
+		return res, fmt.Errorf("sqlite: logging %s: %w", d.path, err)
+	}
+	line = append(line, '\n')
+	if _, err := d.f.WriteAt(line, d.applied); err != nil {
+		return res, fmt.Errorf("sqlite: appending to %s: %w", d.path, err)
+	}
+	d.applied += int64(len(line))
+	return res, nil
+}
+
+// columnNames reports the replica's schema after catching up, so DDL applied
+// by another process is visible.
+func (d *fileDB) columnNames(table string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := flockShared(d.f); err != nil {
+		return nil, fmt.Errorf("sqlite: lock %s: %w", d.path, err)
+	}
+	defer funlock(d.f)
+	if err := d.replayLocked(context.Background()); err != nil {
+		return nil, err
+	}
+	return d.mem.ColumnNames(table)
+}
+
+func (d *fileDB) autoIncrementColumn(table string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := flockShared(d.f); err != nil {
+		return "", false
+	}
+	defer funlock(d.f)
+	if err := d.replayLocked(context.Background()); err != nil {
+		return "", false
+	}
+	return d.mem.AutoIncrementColumn(table)
+}
+
+// bootstrapLock takes the cross-process bootstrap lock: an exclusive flock
+// on a sibling ".lock" file. A separate file is essential — holding the
+// database-file lock across the callback would deadlock the callback's own
+// statements, which take it per-statement.
+func (d *fileDB) bootstrapLock(ctx context.Context) (unlock func(), err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lf, err := os.OpenFile(d.path+".lock", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sqlite: %w", err)
+	}
+	if err := flockExclusive(lf); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("sqlite: bootstrap lock %s: %w", d.path, err)
+	}
+	return func() {
+		funlock(lf)
+		lf.Close()
+	}, nil
+}

@@ -9,100 +9,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/sqlparser"
 )
 
-// Rows is the result of a SELECT: column names and row data. The data is
-// owned by the caller; it never aliases table storage.
-type Rows struct {
-	Columns []string
-	Data    [][]Value
-}
-
-// Len returns the number of rows.
-func (r *Rows) Len() int { return len(r.Data) }
-
-// Snapshot deep-copies the result set: fresh column and row slices sharing
-// nothing with r. Caching layers use it to take one immutable copy at
-// insert time, after which the snapshot can be shared by reference.
-func (r *Rows) Snapshot() *Rows {
-	out := &Rows{
-		Columns: append([]string(nil), r.Columns...),
-		Data:    make([][]Value, len(r.Data)),
-	}
-	for i, row := range r.Data {
-		out.Data[i] = append([]Value(nil), row...)
-	}
-	return out
-}
-
-// ByteSize is the accounted memory of the result set: column names, row
-// slice headers and the values themselves (strings by length, numbers by
-// word size). Byte-governed caches charge it against their budget.
-func (r *Rows) ByteSize() int64 {
-	const sliceHeader = 24
-	size := int64(sliceHeader)
-	for _, c := range r.Columns {
-		size += sliceHeader + int64(len(c))
-	}
-	for _, row := range r.Data {
-		size += sliceHeader
-		for _, v := range row {
-			// A Value is an interface word pair plus string payload, if any.
-			size += 16
-			if s, ok := v.(string); ok {
-				size += int64(len(s))
-			}
-		}
-	}
-	return size
-}
-
-// Int returns the value at (row, col) as int64 (0 when NULL or non-numeric).
-func (r *Rows) Int(row, col int) int64 {
-	f, ok := ToFloat(r.Data[row][col])
-	if !ok {
-		return 0
-	}
-	return int64(f)
-}
-
-// Float returns the value at (row, col) as float64.
-func (r *Rows) Float(row, col int) float64 {
-	f, _ := ToFloat(r.Data[row][col])
-	return f
-}
-
-// Str returns the value at (row, col) rendered as a string ("" when NULL).
-func (r *Rows) Str(row, col int) string {
-	switch v := r.Data[row][col].(type) {
-	case nil:
-		return ""
-	case string:
-		return v
-	default:
-		return fmt.Sprint(v)
-	}
-}
-
-// Result reports the effect of an INSERT, UPDATE or DELETE.
-type Result struct {
-	RowsAffected int64
-	// LastInsertID is the auto-increment value assigned by the most recent
-	// INSERT, or 0 when the table has no auto-increment column.
-	LastInsertID int64
-}
-
-// Conn is the query interface the application uses — the reproduction's
-// analogue of the JDBC connection. The weave package interposes on this
-// interface to collect consistency information, exactly as the paper's
-// aspects capture executeQuery/executeUpdate calls (Fig. 12).
-type Conn interface {
-	// Query executes a read-only (SELECT) statement.
-	Query(ctx context.Context, sql string, args ...any) (*Rows, error)
-	// Exec executes a write (INSERT/UPDATE/DELETE) statement.
-	Exec(ctx context.Context, sql string, args ...any) (Result, error)
-}
+// Rows, Result and Conn are the backend-neutral datasource shapes; memdb
+// aliases them so the engine is one driver behind the shared contract and
+// existing memdb callers keep compiling.
+type (
+	// Rows is the result of a SELECT: column names and row data.
+	Rows = datasource.Rows
+	// Result reports the effect of an INSERT, UPDATE or DELETE.
+	Result = datasource.Result
+	// Conn is the query interface the application uses.
+	Conn = datasource.Conn
+)
 
 // Stats are cumulative engine counters.
 type Stats struct {
@@ -117,6 +38,8 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	parse  sqlparser.Cache
+	// bootMu serialises Bootstrap callbacks on a shared instance.
+	bootMu sync.Mutex
 
 	queries     atomic.Uint64
 	execs       atomic.Uint64
@@ -296,7 +219,8 @@ func (db *DB) Query(ctx context.Context, sql string, args ...any) (*Rows, error)
 	return rows, execErr
 }
 
-// Exec executes an INSERT, UPDATE or DELETE statement.
+// Exec executes an INSERT, UPDATE or DELETE statement, or a CREATE TABLE /
+// CREATE INDEX bootstrap statement.
 func (db *DB) Exec(ctx context.Context, sql string, args ...any) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -319,6 +243,10 @@ func (db *DB) Exec(ctx context.Context, sql string, args ...any) (Result, error)
 		res, execErr = db.execUpdate(s, vals)
 	case *sqlparser.DeleteStmt:
 		res, execErr = db.execDelete(s, vals)
+	case *sqlparser.CreateTableStmt:
+		return db.execCreateTable(s)
+	case *sqlparser.CreateIndexStmt:
+		return db.execCreateIndex(s)
 	default:
 		return Result{}, fmt.Errorf("memdb: Exec requires INSERT/UPDATE/DELETE, got %T", stmt)
 	}

@@ -151,6 +151,11 @@ func (db *DB) execUpdate(up *sqlparser.UpdateStmt, args []Value) (Result, error)
 		setIdx[i] = ci
 	}
 	ev := &env{args: args}
+	// IN-subqueries in the WHERE clause run before the write lock is taken
+	// (they acquire their own read locks; see resolveSubqueries).
+	if _, err := db.resolveSubqueries([]sqlparser.Expr{up.Where}, args, ev); err != nil {
+		return Result{}, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ids, err := db.matchRowsLocked(t, up.Table, up.Where, ev)
@@ -186,6 +191,9 @@ func (db *DB) execDelete(del *sqlparser.DeleteStmt, args []Value) (Result, error
 		return Result{}, err
 	}
 	ev := &env{args: args}
+	if _, err := db.resolveSubqueries([]sqlparser.Expr{del.Where}, args, ev); err != nil {
+		return Result{}, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ids, err := db.matchRowsLocked(t, del.Table, del.Where, ev)

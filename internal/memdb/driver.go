@@ -1,0 +1,48 @@
+package memdb
+
+import (
+	"context"
+	"sync"
+
+	"autowebcache/internal/datasource"
+)
+
+// Named instances shared within the process, for "memdb:<name>" DSNs. An
+// in-process cluster of cache nodes points every node at the same name to
+// model the paper's shared database server without a file on disk.
+var (
+	sharedMu sync.Mutex
+	shared   map[string]*DB
+)
+
+func init() {
+	datasource.Register("memdb", func(rest string) (datasource.Conn, error) {
+		if rest == "" {
+			return New(), nil
+		}
+		sharedMu.Lock()
+		defer sharedMu.Unlock()
+		if shared == nil {
+			shared = make(map[string]*DB)
+		}
+		db := shared[rest]
+		if db == nil {
+			db = New()
+			shared[rest] = db
+		}
+		return db, nil
+	})
+}
+
+// Bootstrap runs fn under the instance's bootstrap lock, satisfying
+// datasource.Bootstrapper. For a process-local engine the exclusion only
+// needs to cover goroutines racing on a shared named instance; fn must still
+// be idempotent, as it may observe an already-seeded store.
+func (db *DB) Bootstrap(ctx context.Context, fn func(datasource.Conn) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	db.bootMu.Lock()
+	defer db.bootMu.Unlock()
+	return fn(db)
+}

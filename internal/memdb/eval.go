@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/sqlparser"
 )
 
@@ -21,6 +22,10 @@ type env struct {
 	// aggValues supplies computed aggregate results during projection of
 	// grouped queries, keyed by the aggregate expression's String().
 	aggValues map[string]Value
+	// subq holds the pre-computed first-column value lists of uncorrelated
+	// IN-subqueries. Subqueries run before any outer table lock is taken
+	// (see resolveSubqueries), so evaluation here is a pure membership test.
+	subq map[*sqlparser.InExpr][]Value
 }
 
 // resolve finds the (table index, column index) for a column reference.
@@ -120,6 +125,19 @@ func (e *env) eval(x sqlparser.Expr) (Value, error) {
 			return nil, err
 		}
 		match := false
+		if v.Select != nil {
+			vals, ok := e.subq[v]
+			if !ok {
+				return nil, fmt.Errorf("memdb: IN-subquery was not pre-resolved")
+			}
+			for _, iv := range vals {
+				if Equal(left, iv) {
+					match = true
+					break
+				}
+			}
+			return boolVal(match != v.Not), nil
+		}
 		for _, item := range v.List {
 			iv, err := e.eval(item)
 			if err != nil {
@@ -357,52 +375,6 @@ func valueToString(v Value) string {
 
 // Like implements SQL LIKE: % matches any run, _ matches one byte.
 // Matching is case-insensitive, as in MySQL's default collation.
-func Like(pattern, s string) bool {
-	return likeRec(strings.ToLower(pattern), strings.ToLower(s))
-}
+func Like(pattern, s string) bool { return datasource.Like(pattern, s) }
 
-func likeMatch(pattern, s string) bool { return Like(pattern, s) }
-
-func likeRec(p, s string) bool {
-	for len(p) > 0 {
-		switch p[0] {
-		case '%':
-			// Collapse consecutive %.
-			for len(p) > 0 && p[0] == '%' {
-				p = p[1:]
-			}
-			if len(p) == 0 {
-				return true
-			}
-			for i := 0; i <= len(s); i++ {
-				if likeRec(p, s[i:]) {
-					return true
-				}
-			}
-			return false
-		case '_':
-			if len(s) == 0 {
-				return false
-			}
-			p, s = p[1:], s[1:]
-		case '\\':
-			if len(p) >= 2 {
-				if len(s) == 0 || s[0] != p[1] {
-					return false
-				}
-				p, s = p[2:], s[1:]
-				continue
-			}
-			if len(s) == 0 || s[0] != '\\' {
-				return false
-			}
-			p, s = p[1:], s[1:]
-		default:
-			if len(s) == 0 || s[0] != p[0] {
-				return false
-			}
-			p, s = p[1:], s[1:]
-		}
-	}
-	return len(s) == 0
-}
+func likeMatch(pattern, s string) bool { return datasource.Like(pattern, s) }

@@ -63,6 +63,47 @@ type selectPlan struct {
 	scanned  int    // rows visited during execution
 }
 
+// resolveSubqueries pre-executes every uncorrelated IN-subquery reachable
+// from the given clauses and stores the first-column value lists on ev.
+// It must run before any outer table lock is taken: each subquery is an
+// independent SELECT acquiring (and releasing) its own read locks in
+// canonical order, so nesting the evaluation inside an outer lock would
+// reintroduce the lock-ordering deadlock that canonical ordering prevents.
+// Correlated subqueries fail naturally inside the inner execSelect (their
+// outer column references are unknown there).
+func (db *DB) resolveSubqueries(clauses []sqlparser.Expr, args []Value, ev *env) (scanned int, err error) {
+	var subs []*sqlparser.InExpr
+	for _, e := range clauses {
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			if in, ok := x.(*sqlparser.InExpr); ok && in.Select != nil {
+				subs = append(subs, in)
+			}
+			return true
+		})
+	}
+	if len(subs) == 0 {
+		return 0, nil
+	}
+	ev.subq = make(map[*sqlparser.InExpr][]Value, len(subs))
+	for _, in := range subs {
+		// Placeholder indices are global across the whole statement, so the
+		// inner select indexes the same args vector.
+		rows, n, err := db.execSelect(in.Select, args)
+		scanned += n
+		if err != nil {
+			return scanned, err
+		}
+		vals := make([]Value, 0, rows.Len())
+		for _, r := range rows.Data {
+			if len(r) > 0 {
+				vals = append(vals, r[0])
+			}
+		}
+		ev.subq[in] = vals
+	}
+	return scanned, nil
+}
+
 // execSelect runs a select and also reports the number of rows visited,
 // which drives the simulated per-row service time.
 func (db *DB) execSelect(sel *sqlparser.SelectStmt, args []Value) (*Rows, int, error) {
@@ -88,6 +129,13 @@ func (db *DB) execSelect(sel *sqlparser.SelectStmt, args []Value) (*Rows, int, e
 	}
 	n := len(ev.tables)
 	ev.rows = make([][]Value, n)
+
+	// IN-subqueries run first, before any outer lock is taken.
+	subClauses := append([]sqlparser.Expr{sel.Where, sel.Having}, onConds...)
+	subScanned, err := db.resolveSubqueries(subClauses, args, ev)
+	if err != nil {
+		return nil, subScanned, err
+	}
 
 	plan := &selectPlan{
 		ev:       ev,
@@ -136,7 +184,7 @@ func (db *DB) execSelect(sel *sqlparser.SelectStmt, args []Value) (*Rows, int, e
 		}
 		if !IsTruthy(v) {
 			rows, err := db.project(sel, ev, nil)
-			return rows, 0, err
+			return rows, subScanned, err
 		}
 	}
 
@@ -152,7 +200,7 @@ func (db *DB) execSelect(sel *sqlparser.SelectStmt, args []Value) (*Rows, int, e
 		return nil, 0, err
 	}
 	rows, err := db.project(sel, ev, joined)
-	return rows, plan.scanned, err
+	return rows, plan.scanned + subScanned, err
 }
 
 // addLookup registers c as an index-probe candidate at the given level when

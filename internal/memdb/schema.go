@@ -5,48 +5,27 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"autowebcache/internal/datasource"
 )
 
-// ColType enumerates column types.
-type ColType int
+// ColType, Column and TableSpec are the datasource schema shapes; memdb
+// aliases them so specs written against either package interoperate.
+type (
+	// ColType enumerates column types.
+	ColType = datasource.ColType
+	// Column describes one table column.
+	Column = datasource.Column
+	// TableSpec describes a table and its secondary hash indexes.
+	TableSpec = datasource.TableSpec
+)
 
-// Column types. Start at 1 so the zero value is invalid.
+// Column types, re-exported from datasource.
 const (
-	TypeInt ColType = iota + 1
-	TypeFloat
-	TypeString
+	TypeInt    = datasource.TypeInt
+	TypeFloat  = datasource.TypeFloat
+	TypeString = datasource.TypeString
 )
-
-func (t ColType) String() string {
-	switch t {
-	case TypeInt:
-		return "INT"
-	case TypeFloat:
-		return "FLOAT"
-	case TypeString:
-		return "TEXT"
-	}
-	return "INVALID"
-}
-
-// Column describes one table column.
-type Column struct {
-	Name string
-	Type ColType
-	// AutoIncrement marks an integer column whose value is assigned by the
-	// engine when an INSERT omits it. At most one per table.
-	AutoIncrement bool
-}
-
-// TableSpec describes a table: its columns and which columns carry a
-// secondary hash index. Auto-increment columns are always indexed.
-type TableSpec struct {
-	Name    string
-	Columns []Column
-	// Indexed lists column names to build hash indexes on. Equality lookups
-	// on these columns avoid full scans.
-	Indexed []string
-}
 
 // table is the runtime representation of one table.
 type table struct {

@@ -1,6 +1,6 @@
 // Package qrcache implements the paper's §9 extension: a database
 // query-result cache complementary to the web-page cache. It wraps a
-// memdb.Conn and caches SELECT result sets keyed by (template, value
+// datasource.Conn and caches SELECT result sets keyed by (template, value
 // vector), kept strongly consistent by the same query-analysis engine the
 // page cache uses — the design of the Middleware 2000 result-set caching
 // system the paper compares against ([8]), but driven by AutoWebCache's
@@ -26,7 +26,7 @@ import (
 	"sync/atomic"
 
 	"autowebcache/internal/analysis"
-	"autowebcache/internal/memdb"
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/sqlparser"
 	"autowebcache/internal/stripe"
 	"autowebcache/internal/tinylfu"
@@ -50,7 +50,7 @@ type Stats struct {
 type entry struct {
 	key   string // full cache key: template + "\x00" + argsKey
 	query analysis.Query
-	rows  *memdb.Rows
+	rows  *datasource.Rows
 	el    *list.Element // position in the owning shard's segment list
 	// seq is the entry's position in the global LRU order (refreshed on
 	// every hit); the globally-minimal seq is the eviction victim.
@@ -70,7 +70,7 @@ const entryOverhead = 256
 
 // resultCost is the accounted byte size of one cached result set: the full
 // cache key, the snapshotted rows and the fixed overhead.
-func resultCost(key string, rows *memdb.Rows) int64 {
+func resultCost(key string, rows *datasource.Rows) int64 {
 	return entryOverhead + int64(len(key)) + rows.ByteSize()
 }
 
@@ -177,7 +177,7 @@ type Options struct {
 
 // Conn is a caching connection. It is safe for concurrent use.
 type Conn struct {
-	base   memdb.Conn
+	base   datasource.Conn
 	engine *analysis.Engine
 	opts   Options
 	mask   uint32
@@ -207,25 +207,25 @@ type Conn struct {
 	oversizeRejects  atomic.Uint64
 }
 
-var _ memdb.Conn = (*Conn)(nil)
+var _ datasource.Conn = (*Conn)(nil)
 
 // New wraps base with a result cache of at most maxEntries result sets
 // (0 = unbounded). The engine decides write/read intersections. The stripe
 // count defaults to GOMAXPROCS rounded to a power of two; use
 // NewWithOptions to pin it or to set a byte budget.
-func New(base memdb.Conn, engine *analysis.Engine, maxEntries int) (*Conn, error) {
+func New(base datasource.Conn, engine *analysis.Engine, maxEntries int) (*Conn, error) {
 	return NewWithOptions(base, engine, Options{MaxEntries: maxEntries})
 }
 
 // NewWithShards is New with an explicit lock-stripe count (rounded up to a
 // power of two; 0 picks GOMAXPROCS rounded likewise).
-func NewWithShards(base memdb.Conn, engine *analysis.Engine, maxEntries, shards int) (*Conn, error) {
+func NewWithShards(base datasource.Conn, engine *analysis.Engine, maxEntries, shards int) (*Conn, error) {
 	return NewWithOptions(base, engine, Options{MaxEntries: maxEntries, Shards: shards})
 }
 
 // NewWithOptions is the full constructor: entry and byte bounds, admission
 // filtering and the stripe count.
-func NewWithOptions(base memdb.Conn, engine *analysis.Engine, opts Options) (*Conn, error) {
+func NewWithOptions(base datasource.Conn, engine *analysis.Engine, opts Options) (*Conn, error) {
 	if base == nil || engine == nil {
 		return nil, fmt.Errorf("qrcache: base connection and engine are required")
 	}
@@ -309,16 +309,16 @@ type noStoreKey struct{}
 // corrupts the cache for every later reader. Invalidation removes whole
 // entries and never rewrites rows in place, so a view obtained before an
 // invalidation stays valid and self-consistent for as long as it is held.
-func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows, error) {
+func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*datasource.Rows, error) {
 	tmpl, err := c.canonicalize(sql)
 	if err != nil {
 		return c.base.Query(ctx, sql, args...) // let the base report the error
 	}
-	vals, err := memdb.NormalizeAll(args)
+	vals, err := datasource.NormalizeAll(args)
 	if err != nil {
 		return nil, err
 	}
-	ak := memdb.KeyOfValues(vals)
+	ak := datasource.KeyOfValues(vals)
 	key := tmpl + "\x00" + ak
 
 	// Every lookup — hit or miss — feeds the admission filter's frequency
@@ -476,12 +476,12 @@ func (c *Conn) addToGroupLocked(tmpl, ak string, e *entry) {
 // Exec forwards a write and invalidates every cached result set the write
 // intersects. The capture runs before the write, as the extra-query
 // strategy requires.
-func (c *Conn) Exec(ctx context.Context, sql string, args ...any) (memdb.Result, error) {
+func (c *Conn) Exec(ctx context.Context, sql string, args ...any) (datasource.Result, error) {
 	tmpl, cerr := c.canonicalize(sql)
 	var capture analysis.WriteCapture
 	captured := false
 	if cerr == nil {
-		if vals, nerr := memdb.NormalizeAll(args); nerr == nil {
+		if vals, nerr := datasource.NormalizeAll(args); nerr == nil {
 			var err error
 			// The extra query runs through the result cache itself (lookup
 			// only): when a page-cache layer above has just captured the
@@ -620,7 +620,7 @@ func (c *Conn) removeLocked(s *qrShard, e *entry) {
 	ts := c.tmplShard(tmpl)
 	ts.mu.Lock()
 	if g := ts.groups[tmpl]; g != nil {
-		g.remove(memdb.KeyOfValues(e.query.Args), e)
+		g.remove(datasource.KeyOfValues(e.query.Args), e)
 		if len(g.instances) == 0 {
 			delete(ts.groups, tmpl)
 		}

@@ -7,8 +7,8 @@ import (
 	"autowebcache/internal/servlet"
 )
 
-// App is the RUBiS application: 26 interactions served over the supplied
-// connection. Give it the weave.RecordingConn to produce the cache-enabled
+// App is the RUBiS application: the benchmark's 26 interactions plus a
+// RegionStats summary page, served over the supplied connection. Give it the weave.RecordingConn to produce the cache-enabled
 // version; give it the raw *memdb.DB for an uninstrumented baseline.
 type App struct {
 	conn  memdb.Conn
@@ -28,7 +28,7 @@ func New(conn memdb.Conn, scale Scale, lastDate int64) *App {
 // nextDate advances the virtual clock.
 func (a *App) nextDate() int64 { return a.date.Add(1) }
 
-// Handlers returns the 26 RUBiS interactions. Read/write classification
+// Handlers returns the RUBiS interactions. Read/write classification
 // follows the benchmark; cacheability attributes are left to weaving rules.
 func (a *App) Handlers() []servlet.HandlerInfo {
 	return []servlet.HandlerInfo{
@@ -47,6 +47,7 @@ func (a *App) Handlers() []servlet.HandlerInfo {
 		{Name: "BrowseCategories", Path: "/browseCategories", Fn: a.browseCategories},
 		{Name: "BrowseRegions", Path: "/browseRegions", Fn: a.browseRegions},
 		{Name: "BrowseCategoriesByRegion", Path: "/browseCategoriesByRegion", Fn: a.browseCategoriesByRegion},
+		{Name: "RegionStats", Path: "/regionStats", Fn: a.regionStats},
 		servlet.Fragmented("SearchItemsByCategory", "/searchByCategory", a.searchByCategorySegments()),
 		{Name: "SearchItemsByRegion", Path: "/searchByRegion", Fn: a.searchItemsByRegion},
 

@@ -87,6 +87,9 @@ func BiddingMix(s Scale) Mix {
 		{"BrowseCategoriesByRegion", 2, func(rng *rand.Rand, c int) string {
 			return fmt.Sprintf("/browseCategoriesByRegion?region=%d", region(rng))
 		}},
+		{"RegionStats", 2, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/regionStats?region=%d", region(rng))
+		}},
 		{"SearchItemsByCategory", 13, func(rng *rand.Rand, c int) string {
 			return fmt.Sprintf("/searchByCategory?category=%d&page=%d", category(rng), page(rng))
 		}},

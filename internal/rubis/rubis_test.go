@@ -79,8 +79,8 @@ func TestBidSummaryConsistentWithBidsTable(t *testing.T) {
 func TestHandlersCount(t *testing.T) {
 	_, app := loadApp(t)
 	hs := app.Handlers()
-	if len(hs) != 26 {
-		t.Fatalf("RUBiS defines 26 interactions, got %d", len(hs))
+	if len(hs) != 27 {
+		t.Fatalf("RUBiS defines 26 interactions plus RegionStats, got %d", len(hs))
 	}
 	writes := 0
 	for _, h := range hs {
@@ -111,6 +111,7 @@ func TestEveryHandlerServes(t *testing.T) {
 		"BrowseCategories":         "/browseCategories",
 		"BrowseRegions":            "/browseRegions",
 		"BrowseCategoriesByRegion": "/browseCategoriesByRegion?region=1",
+		"RegionStats":              "/regionStats?region=1",
 		"SearchItemsByCategory":    "/searchByCategory?category=1&page=0",
 		"SearchItemsByRegion":      "/searchByRegion?region=1&category=1&page=0",
 		"ViewItem":                 "/viewItem?itemId=1",
@@ -128,7 +129,7 @@ func TestEveryHandlerServes(t *testing.T) {
 		"StoreRegisterUser":        "/storeRegisterUser?nickname=newbie&region=1",
 		"StoreRegisterItem":        "/storeRegisterItem?name=Widget&userId=1&category=1&initialPrice=9&qty=1",
 	}
-	if len(targets) != 26 {
+	if len(targets) != 27 {
 		t.Fatalf("test covers %d interactions", len(targets))
 	}
 	for name, target := range targets {
@@ -205,7 +206,7 @@ func TestStoreBidUpdatesItem(t *testing.T) {
 func TestMixProperties(t *testing.T) {
 	s := smallScale()
 	mix := BiddingMix(s)
-	if len(mix) != 26 {
+	if len(mix) != 27 {
 		t.Fatalf("bidding mix entries: %d", len(mix))
 	}
 	wf := mix.WriteFraction()
@@ -294,6 +295,110 @@ func TestOverRealHTTP(t *testing.T) {
 	}
 	if !strings.Contains(b3, "777") {
 		t.Fatal("regenerated page missing new bid")
+	}
+}
+
+// TestSubqueryTemplatesSpanInnerTables pins the analyzability of the two
+// previously-uncacheable RUBiS query shapes (nested IN-subquery, GROUP-BY
+// aggregate over an IN-subquery): each subquery's tables and read columns
+// must join the template's dependency set, so writes to the inner tables
+// invalidate the page exactly.
+func TestSubqueryTemplatesSpanInnerTables(t *testing.T) {
+	db, _ := loadApp(t)
+	cases := []struct {
+		sql    string
+		tables []string
+	}{
+		{
+			"SELECT id, name FROM categories WHERE id IN (SELECT category FROM items WHERE seller IN (SELECT id FROM users WHERE region = ?)) ORDER BY id ASC",
+			[]string{"categories", "items", "users"},
+		},
+		{
+			"SELECT category, COUNT(id) AS items, SUM(nb_of_bids) AS bids, AVG(initial_price) AS avg_price FROM items WHERE seller IN (SELECT id FROM users WHERE region = ?) GROUP BY category ORDER BY category ASC",
+			[]string{"items", "users"},
+		},
+	}
+	for _, tc := range cases {
+		info, err := analysis.AnalyzeTemplate(tc.sql, db)
+		if err != nil {
+			t.Fatalf("analyze %q: %v", tc.sql, err)
+		}
+		got := map[string]bool{}
+		for _, tbl := range info.Tables {
+			got[tbl] = true
+		}
+		for _, want := range tc.tables {
+			if !got[want] {
+				t.Errorf("template %q: missing dependency table %s (have %v)", tc.sql, want, info.Tables)
+			}
+		}
+		if !info.ReadCols["users"]["region"] {
+			t.Errorf("template %q: users.region not a read dependency: %v", tc.sql, info.ReadCols)
+		}
+	}
+}
+
+// TestRegionPagesInvalidateOnInnerTableWrites drives the two subquery-backed
+// pages through the woven cache: each must cache, and a write to a table
+// reachable only through its IN-subquery must invalidate it.
+func TestRegionPagesInvalidateOnInnerTableWrites(t *testing.T) {
+	db := memdb.New()
+	s := smallScale()
+	last, err := Load(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := analysis.NewEngine(analysis.StrategyExtraQuery, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(cache.Options{Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := New(weave.NewConn(db, engine), s, last)
+	woven, err := weave.New(app.Handlers(), c, weave.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(target string) string {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		rr := httptest.NewRecorder()
+		woven.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", target, rr.Code, rr.Body.String())
+		}
+		return rr.Header().Get("X-Autowebcache")
+	}
+
+	// Nested IN-subquery: a new user in the region is visible only through
+	// the innermost subquery (users), yet must invalidate the page.
+	if out := get("/browseCategoriesByRegion?region=1"); out != "miss" {
+		t.Fatalf("first fetch: %s", out)
+	}
+	if out := get("/browseCategoriesByRegion?region=1"); out != "hit" {
+		t.Fatalf("second fetch: %s", out)
+	}
+	if out := get("/storeRegisterUser?nickname=sub-test&region=1"); out != "write" {
+		t.Fatalf("register user: %s", out)
+	}
+	if out := get("/browseCategoriesByRegion?region=1"); out != "miss" {
+		t.Fatalf("post-user-write fetch: %s (page not invalidated)", out)
+	}
+
+	// GROUP-BY aggregate over an IN-subquery: a new item shifts the
+	// aggregates and must invalidate the page.
+	if out := get("/regionStats?region=1"); out != "miss" {
+		t.Fatalf("first stats fetch: %s", out)
+	}
+	if out := get("/regionStats?region=1"); out != "hit" {
+		t.Fatalf("second stats fetch: %s", out)
+	}
+	if out := get("/storeRegisterItem?name=SubWidget&userId=1&category=1&initialPrice=9&qty=1"); out != "write" {
+		t.Fatalf("register item: %s", out)
+	}
+	if out := get("/regionStats?region=1"); out != "miss" {
+		t.Fatalf("post-item-write stats fetch: %s (page not invalidated)", out)
 	}
 }
 

@@ -13,7 +13,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/memdb"
 )
 
@@ -144,15 +146,61 @@ const baseDate = 1_000_000
 // dataset of the given scale. It returns the highest date assigned, which
 // the application uses to continue the virtual clock.
 func Load(db *memdb.DB, s Scale) (lastDate int64, err error) {
+	return Seed(context.Background(), db, s)
+}
+
+// metaKey marks a seeded RUBiS dataset in the shared awc_meta table; its
+// value records the last generated date.
+const metaKey = "rubis_last_date"
+
+// Seed creates the RUBiS schema on any datasource backend and populates it
+// with the deterministic dataset of the given scale, returning the highest
+// date assigned. It is idempotent — a marker row in the awc_meta table
+// records a completed seeding, and re-seeding returns the recorded date
+// without touching data — and when conn implements
+// datasource.Bootstrapper the whole operation runs under the driver's
+// bootstrap lock, so N cluster nodes racing to seed one shared database
+// seed it exactly once.
+func Seed(ctx context.Context, conn datasource.Conn, s Scale) (lastDate int64, err error) {
 	if s.Regions <= 0 || s.Categories <= 0 || s.Users <= 0 || s.Items <= 0 {
 		return 0, fmt.Errorf("rubis: scale must be positive: %+v", s)
 	}
+	run := func(c datasource.Conn) error {
+		var err error
+		lastDate, err = seedLocked(ctx, c, s)
+		return err
+	}
+	if b, ok := conn.(datasource.Bootstrapper); ok {
+		err = b.Bootstrap(ctx, run)
+	} else {
+		err = run(conn)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return lastDate, nil
+}
+
+// seedLocked bootstraps the schema and, unless a previous seeding left its
+// marker, generates the dataset. The caller holds the bootstrap lock.
+func seedLocked(ctx context.Context, db datasource.Conn, s Scale) (int64, error) {
 	for _, spec := range Tables() {
-		if err := db.CreateTable(spec); err != nil {
-			return 0, err
+		for _, ddl := range spec.DDL() {
+			if _, err := db.Exec(ctx, ddl); err != nil {
+				return 0, err
+			}
 		}
 	}
-	ctx := context.Background()
+	if _, err := db.Exec(ctx, "CREATE TABLE IF NOT EXISTS awc_meta (k TEXT, v TEXT)"); err != nil {
+		return 0, err
+	}
+	seeded, err := db.Query(ctx, "SELECT v FROM awc_meta WHERE k = ?", metaKey)
+	if err != nil {
+		return 0, err
+	}
+	if seeded.Len() > 0 {
+		return strconv.ParseInt(seeded.Str(0, 0), 10, 64)
+	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	date := int64(baseDate)
 	next := func() int64 { date++; return date }
@@ -225,6 +273,10 @@ func Load(db *memdb.DB, s Scale) (lastDate int64, err error) {
 			1+rng.Intn(s.Users), 1+rng.Intn(s.Items), 1, next()); err != nil {
 			return 0, err
 		}
+	}
+	if _, err := db.Exec(ctx, "INSERT INTO awc_meta (k, v) VALUES (?, ?)",
+		metaKey, strconv.FormatInt(date, 10)); err != nil {
+		return 0, err
 	}
 	return date, nil
 }

@@ -5,7 +5,7 @@ import (
 	"html"
 	"strings"
 
-	"autowebcache/internal/memdb"
+	"autowebcache/internal/datasource"
 )
 
 // Page is a small HTML builder the benchmark applications use to generate
@@ -80,7 +80,7 @@ func (p *Page) Link(href, text string) *Page {
 
 // Table renders a result set as an HTML table with the given headers. It is
 // the workhorse of the benchmark applications' page generation.
-func (p *Page) Table(headers []string, rows *memdb.Rows) *Page {
+func (p *Page) Table(headers []string, rows *datasource.Rows) *Page {
 	p.b.WriteString("<table border=\"1\"><tr>")
 	for _, h := range headers {
 		p.b.WriteString("<th>")

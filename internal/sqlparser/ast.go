@@ -297,11 +297,15 @@ func (n *NegExpr) String() string {
 }
 func (*NegExpr) exprNode() {}
 
-// InExpr is `left [NOT] IN (e1, e2, ...)`.
+// InExpr is `left [NOT] IN (e1, e2, ...)` or, when Select is non-nil,
+// `left [NOT] IN (SELECT ...)` — an uncorrelated subquery whose first
+// result column is the membership list. List and Select are mutually
+// exclusive.
 type InExpr struct {
-	Left Expr
-	List []Expr
-	Not  bool
+	Left   Expr
+	List   []Expr
+	Select *SelectStmt
+	Not    bool
 }
 
 func (in *InExpr) String() string {
@@ -311,6 +315,9 @@ func (in *InExpr) String() string {
 		b.WriteString(" NOT")
 	}
 	b.WriteString(" IN (")
+	if in.Select != nil {
+		b.WriteString(in.Select.String())
+	}
 	for i, e := range in.List {
 		if i > 0 {
 			b.WriteString(", ")
@@ -656,6 +663,84 @@ func (s *DeleteStmt) String() string {
 }
 func (*DeleteStmt) stmtNode() {}
 
+// ColumnDef is one column definition in a CREATE TABLE statement. Type is
+// canonicalised by the parser: INT/INTEGER map to "INTEGER", FLOAT/REAL/
+// DOUBLE to "REAL", TEXT/VARCHAR/CHAR to "TEXT".
+type ColumnDef struct {
+	Name          string
+	Type          string
+	PrimaryKey    bool
+	AutoIncrement bool
+}
+
+func (c ColumnDef) String() string {
+	s := quoteIdent(c.Name) + " " + c.Type
+	if c.PrimaryKey {
+		s += " PRIMARY KEY"
+	}
+	if c.AutoIncrement {
+		s += " AUTO_INCREMENT"
+	}
+	return s
+}
+
+// CreateTableStmt is the schema-bootstrap subset of CREATE TABLE:
+// `CREATE TABLE [IF NOT EXISTS] name (col TYPE [PRIMARY KEY]
+// [AUTO_INCREMENT], ...)`.
+type CreateTableStmt struct {
+	Table       string
+	IfNotExists bool
+	Cols        []ColumnDef
+}
+
+func (s *CreateTableStmt) String() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	if s.IfNotExists {
+		b.WriteString("IF NOT EXISTS ")
+	}
+	b.WriteString(quoteIdent(s.Table))
+	b.WriteString(" (")
+	for i := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.Cols[i].String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+func (*CreateTableStmt) stmtNode() {}
+
+// CreateIndexStmt is `CREATE INDEX [IF NOT EXISTS] name ON table (col, ...)`.
+type CreateIndexStmt struct {
+	Name        string
+	IfNotExists bool
+	Table       string
+	Columns     []string
+}
+
+func (s *CreateIndexStmt) String() string {
+	var b strings.Builder
+	b.WriteString("CREATE INDEX ")
+	if s.IfNotExists {
+		b.WriteString("IF NOT EXISTS ")
+	}
+	b.WriteString(quoteIdent(s.Name))
+	b.WriteString(" ON ")
+	b.WriteString(quoteIdent(s.Table))
+	b.WriteString(" (")
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteIdent(c))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+func (*CreateIndexStmt) stmtNode() {}
+
 // IsRead reports whether the statement is a read-only query.
 func IsRead(s Statement) bool {
 	_, ok := s.(*SelectStmt)
@@ -681,6 +766,12 @@ func WalkExprs(e Expr, fn func(Expr) bool) {
 		for _, x := range v.List {
 			WalkExprs(x, fn)
 		}
+		// v.Select is a statement boundary, not an expression of the outer
+		// query: its columns resolve in the subquery's own scope, so walkers
+		// concerned with the outer statement (aggregate detection, read-column
+		// collection, probe extraction) must not see inside it. Consumers that
+		// do care (placeholder counting, analysis dependency merging) recurse
+		// into it explicitly via StatementExprs.
 	case *BetweenExpr:
 		WalkExprs(v.Left, fn)
 		WalkExprs(v.Lo, fn)

@@ -30,6 +30,18 @@ func FuzzParse(f *testing.F) {
 		"\x00\x01\x02",
 		"SELECT a FROM t; DROP TABLE t",
 		"SELECT a FROM t LIMIT 5, 10",
+		// JOIN / aggregate / IN-subquery grammar, matching the analyzable
+		// handler shapes, and the DDL the datasource bootstrap issues.
+		"SELECT id, name FROM categories WHERE id IN (SELECT category FROM items WHERE seller IN (SELECT id FROM users WHERE region = ?)) ORDER BY id ASC",
+		"SELECT category, COUNT(id) AS n, SUM(qty) AS q, AVG(price) AS p FROM items WHERE seller IN (SELECT id FROM users WHERE region = ?) GROUP BY category HAVING SUM(qty) > ? ORDER BY n DESC",
+		"SELECT i.i_id, a.a_lname FROM item i JOIN author a ON i.i_a_id = a.a_id WHERE i.i_id IN (SELECT ol_i_id FROM order_line WHERE ol_o_id = ?) AND i.i_id <> ?",
+		"SELECT a FROM t WHERE b IN (SELECT c FROM s WHERE d IN (SELECT e FROM u))",
+		"UPDATE t SET a = 1 WHERE id IN (SELECT tid FROM s)",
+		"DELETE FROM t WHERE a IN (SELECT b FROM s WHERE c = ?)",
+		"CREATE TABLE IF NOT EXISTS awc_meta (k TEXT, v TEXT)",
+		"CREATE TABLE t (id INTEGER PRIMARY KEY AUTO_INCREMENT, name TEXT, price REAL)",
+		"CREATE INDEX IF NOT EXISTS idx_t_name ON t (name)",
+		"SELECT a FROM t WHERE b IN (SELECT",
 	}
 	for _, s := range seeds {
 		f.Add(s)

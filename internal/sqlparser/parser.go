@@ -45,13 +45,19 @@ func Parse(sql string) (Statement, error) {
 }
 
 // NumPlaceholders returns the number of `?` placeholders in the statement by
-// walking its expressions.
+// walking its expressions, including those inside IN-subqueries (which
+// WalkExprs treats as a statement boundary).
 func NumPlaceholders(s Statement) int {
 	n := 0
 	StatementExprs(s, func(e Expr) {
 		WalkExprs(e, func(x Expr) bool {
-			if _, ok := x.(*Placeholder); ok {
+			switch v := x.(type) {
+			case *Placeholder:
 				n++
+			case *InExpr:
+				if v.Select != nil {
+					n += NumPlaceholders(v.Select)
+				}
 			}
 			return true
 		})
@@ -118,6 +124,14 @@ func (p *parser) expectIdent() (string, error) {
 func (p *parser) parseStatement() (Statement, error) {
 	t := p.cur()
 	if t.kind != tokKeyword {
+		// CREATE and its DDL vocabulary (TABLE, INDEX, IF, EXISTS, PRIMARY,
+		// KEY, type names) are deliberately not lexer keywords — they stay
+		// ordinary identifiers everywhere else, so `key` or `index` remain
+		// valid column names in DML.
+		if t.kind == tokIdent && strings.EqualFold(t.text, "CREATE") {
+			p.i++
+			return p.parseCreate()
+		}
 		return nil, p.errorf("expected statement keyword, found %s", t.describe())
 	}
 	switch t.text {
@@ -131,6 +145,162 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	}
 	return nil, p.errorf("unsupported statement %s", t.text)
+}
+
+// acceptWord consumes the next token when it is an identifier equal to word
+// case-insensitively. DDL vocabulary is matched this way (see
+// parseStatement).
+func (p *parser) acceptWord(word string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(word string) error {
+	if !p.acceptWord(word) {
+		return p.errorf("expected %s, found %s", word, p.cur().describe())
+	}
+	return nil
+}
+
+// parseIfNotExists consumes an optional `IF NOT EXISTS` (IF and EXISTS are
+// idents, NOT is a lexer keyword).
+func (p *parser) parseIfNotExists() (bool, error) {
+	if !p.acceptWord("IF") {
+		return false, nil
+	}
+	if err := p.expectKeyword("NOT"); err != nil {
+		return false, err
+	}
+	if err := p.expectWord("EXISTS"); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// parseCreate parses the schema-bootstrap DDL subset, with CREATE already
+// consumed: CREATE TABLE and CREATE INDEX.
+func (p *parser) parseCreate() (Statement, error) {
+	switch {
+	case p.acceptWord("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptWord("INDEX"):
+		return p.parseCreateIndex()
+	}
+	return nil, p.errorf("expected TABLE or INDEX after CREATE, found %s", p.cur().describe())
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	s := &CreateTableStmt{}
+	var err error
+	if s.IfNotExists, err = p.parseIfNotExists(); err != nil {
+		return nil, err
+	}
+	if s.Table, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		s.Cols = append(s.Cols, col)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseColumnDef() (ColumnDef, error) {
+	var c ColumnDef
+	var err error
+	if c.Name, err = p.expectIdent(); err != nil {
+		return c, err
+	}
+	typ, err := p.expectIdent()
+	if err != nil {
+		return c, err
+	}
+	switch strings.ToUpper(typ) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT":
+		c.Type = "INTEGER"
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		c.Type = "REAL"
+	case "TEXT", "VARCHAR", "CHAR", "CLOB":
+		c.Type = "TEXT"
+	default:
+		return c, p.errorf("unsupported column type %s", typ)
+	}
+	// VARCHAR(255)-style length parameters are accepted and ignored.
+	if p.acceptSymbol("(") {
+		if _, err := p.parseAdditive(); err != nil {
+			return c, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return c, err
+		}
+	}
+	for {
+		switch {
+		case p.acceptWord("PRIMARY"):
+			if err := p.expectWord("KEY"); err != nil {
+				return c, err
+			}
+			c.PrimaryKey = true
+		case p.acceptWord("AUTO_INCREMENT"), p.acceptWord("AUTOINCREMENT"):
+			c.AutoIncrement = true
+		case p.acceptKeyword("NOT"):
+			if err := p.expectKeyword("NULL"); err != nil {
+				return c, err
+			}
+		default:
+			return c, nil
+		}
+	}
+}
+
+func (p *parser) parseCreateIndex() (*CreateIndexStmt, error) {
+	s := &CreateIndexStmt{}
+	var err error
+	if s.IfNotExists, err = p.parseIfNotExists(); err != nil {
+		return nil, err
+	}
+	if s.Name, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	if s.Table, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		s.Columns = append(s.Columns, col)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
@@ -519,6 +689,17 @@ func (p *parser) parsePredicate() (Expr, error) {
 			return nil, err
 		}
 		in := &InExpr{Left: left, Not: not}
+		if p.peekKeyword("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			in.Select = sub
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return in, nil
+		}
 		for {
 			e, err := p.parseAdditive()
 			if err != nil {

@@ -35,15 +35,7 @@ func Parameterize(sql string) (Statement, []any, error) {
 	pz := &parameterizer{}
 	switch v := stmt.(type) {
 	case *SelectStmt:
-		for i := range v.Joins {
-			v.Joins[i].On = pz.rewrite(v.Joins[i].On)
-		}
-		v.Where = pz.rewrite(v.Where)
-		v.Having = pz.rewrite(v.Having)
-		if v.Limit != nil {
-			v.Limit.Count = pz.rewrite(v.Limit.Count)
-			v.Limit.Offset = pz.rewrite(v.Limit.Offset)
-		}
+		pz.rewriteSelect(v)
 	case *InsertStmt:
 		for _, row := range v.Rows {
 			for j := range row {
@@ -63,6 +55,20 @@ func Parameterize(sql string) (Statement, []any, error) {
 
 type parameterizer struct {
 	values []any
+}
+
+// rewriteSelect applies rewrite to a SELECT's value positions; IN-subqueries
+// recurse through it so their literals are extracted too.
+func (pz *parameterizer) rewriteSelect(v *SelectStmt) {
+	for i := range v.Joins {
+		v.Joins[i].On = pz.rewrite(v.Joins[i].On)
+	}
+	v.Where = pz.rewrite(v.Where)
+	v.Having = pz.rewrite(v.Having)
+	if v.Limit != nil {
+		v.Limit.Count = pz.rewrite(v.Limit.Count)
+		v.Limit.Offset = pz.rewrite(v.Limit.Offset)
+	}
 }
 
 // rewrite replaces literals with placeholders throughout e.
@@ -85,9 +91,12 @@ func (pz *parameterizer) rewrite(e Expr) Expr {
 	case *NegExpr:
 		return &NegExpr{Expr: pz.rewrite(v.Expr)}
 	case *InExpr:
-		out := &InExpr{Left: pz.rewrite(v.Left), Not: v.Not}
+		out := &InExpr{Left: pz.rewrite(v.Left), Not: v.Not, Select: v.Select}
 		for _, x := range v.List {
 			out.List = append(out.List, pz.rewrite(x))
+		}
+		if out.Select != nil {
+			pz.rewriteSelect(out.Select)
 		}
 		return out
 	case *BetweenExpr:

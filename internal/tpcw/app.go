@@ -42,8 +42,8 @@ func (a *App) adBanner() int64 {
 	return a.banner.Int63n(1_000_000)
 }
 
-// Handlers returns the 14 TPC-W web interactions. The names match the
-// paper's Figure 17/19 labels.
+// Handlers returns the 14 TPC-W web interactions plus a RelatedBooks
+// bought-together page. The names match the paper's Figure 17/19 labels.
 func (a *App) Handlers() []servlet.HandlerInfo {
 	return []servlet.HandlerInfo{
 		// The fragmented pages (fragments.go): Home's ad banner becomes a
@@ -59,6 +59,7 @@ func (a *App) Handlers() []servlet.HandlerInfo {
 		{Name: "OrderInquiry", Path: "/orderInquiry", Fn: a.orderInquiry},
 		{Name: "OrderDisplay", Path: "/orderDisplay", Fn: a.orderDisplay},
 		{Name: "AdminRequest", Path: "/adminRequest", Fn: a.adminRequest},
+		{Name: "RelatedBooks", Path: "/relatedBooks", Fn: a.relatedBooks},
 
 		{Name: "ShoppingCart", Path: "/shoppingCart", Write: true, Fn: a.shoppingCart},
 		{Name: "CustomerRegistration", Path: "/customerRegistration", Write: true, Fn: a.customerRegistration},

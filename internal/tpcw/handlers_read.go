@@ -91,6 +91,24 @@ func (a *App) orderDisplay(w http.ResponseWriter, r *http.Request) {
 	servlet.WriteHTML(w, p.String())
 }
 
+// relatedBooks lists the books bought together with the given one: every
+// item sharing an order with it, joined to its author. The JOIN plus nested
+// IN-subquery over order_line means the read template spans item, author and
+// order_line — a new order line for the book invalidates exactly this page.
+func (a *App) relatedBooks(w http.ResponseWriter, r *http.Request) {
+	itemID := servlet.ParamInt(r, "i_id", 0)
+	rows, err := a.conn.Query(r.Context(),
+		"SELECT item.i_id, item.i_title, author.a_fname, author.a_lname, item.i_cost FROM item JOIN author ON item.i_a_id = author.a_id WHERE item.i_id IN (SELECT ol_i_id FROM order_line WHERE ol_o_id IN (SELECT ol_o_id FROM order_line WHERE ol_i_id = ?)) AND item.i_id <> ? ORDER BY item.i_id ASC LIMIT ?",
+		itemID, itemID, 25)
+	if err != nil {
+		servlet.ServerError(w, err)
+		return
+	}
+	p := servlet.NewPage(fmt.Sprintf("TPC-W — Books bought together with item %d", itemID))
+	p.Table([]string{"Id", "Title", "Author first", "Author last", "Cost"}, rows)
+	servlet.WriteHTML(w, p.String())
+}
+
 func (a *App) adminRequest(w http.ResponseWriter, r *http.Request) {
 	itemID := servlet.ParamInt(r, "i_id", 0)
 	item, err := a.conn.Query(r.Context(),

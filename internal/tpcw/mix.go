@@ -96,6 +96,9 @@ func ShoppingMix(s Scale) Mix {
 		{"ProductDetail", 1700, func(rng *rand.Rand, c int) string {
 			return fmt.Sprintf("/productDetail?i_id=%d", item(rng))
 		}},
+		{"RelatedBooks", 41, func(rng *rand.Rand, c int) string {
+			return fmt.Sprintf("/relatedBooks?i_id=%d", item(rng))
+		}},
 		{"SearchRequest", 2000, func(rng *rand.Rand, c int) string {
 			return "/searchRequest"
 		}},
@@ -145,7 +148,7 @@ func BrowsingMix(s Scale) Mix {
 	shopping := ShoppingMix(s)
 	weights := map[string]int{
 		"HomeInteraction": 2900, "NewProducts": 1100, "BestSellers": 1100,
-		"ProductDetail": 2100, "SearchRequest": 1200, "ExecuteSearch": 1100,
+		"ProductDetail": 2100, "RelatedBooks": 10, "SearchRequest": 1200, "ExecuteSearch": 1100,
 		"OrderInquiry": 30, "OrderDisplay": 10, "AdminRequest": 10,
 		"ShoppingCart": 200, "CustomerRegistration": 82, "BuyRequest": 40,
 		"BuyConfirm": 17, "AdminConfirm": 9,

@@ -14,7 +14,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/memdb"
 )
 
@@ -164,15 +166,59 @@ const baseDate = 2_000_000
 // Load creates and populates the TPC-W schema. It returns the last assigned
 // virtual date.
 func Load(db *memdb.DB, s Scale) (lastDate int64, err error) {
+	return Seed(context.Background(), db, s)
+}
+
+// metaKey marks a seeded TPC-W dataset in the shared awc_meta table; its
+// value records the last generated date.
+const metaKey = "tpcw_last_date"
+
+// Seed creates the TPC-W schema on any datasource backend and populates it
+// with the deterministic dataset of the given scale, returning the last
+// assigned virtual date. Like rubis.Seed it is idempotent (marker row in
+// awc_meta) and runs under the driver's bootstrap lock when conn implements
+// datasource.Bootstrapper, so cluster nodes sharing one database seed it
+// exactly once.
+func Seed(ctx context.Context, conn datasource.Conn, s Scale) (lastDate int64, err error) {
 	if s.Items <= 0 || s.Authors <= 0 || s.Customers <= 0 {
 		return 0, fmt.Errorf("tpcw: scale must be positive: %+v", s)
 	}
+	run := func(c datasource.Conn) error {
+		var err error
+		lastDate, err = seedLocked(ctx, c, s)
+		return err
+	}
+	if b, ok := conn.(datasource.Bootstrapper); ok {
+		err = b.Bootstrap(ctx, run)
+	} else {
+		err = run(conn)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return lastDate, nil
+}
+
+// seedLocked bootstraps the schema and, unless a previous seeding left its
+// marker, generates the dataset. The caller holds the bootstrap lock.
+func seedLocked(ctx context.Context, db datasource.Conn, s Scale) (int64, error) {
 	for _, spec := range Tables() {
-		if err := db.CreateTable(spec); err != nil {
-			return 0, err
+		for _, ddl := range spec.DDL() {
+			if _, err := db.Exec(ctx, ddl); err != nil {
+				return 0, err
+			}
 		}
 	}
-	ctx := context.Background()
+	if _, err := db.Exec(ctx, "CREATE TABLE IF NOT EXISTS awc_meta (k TEXT, v TEXT)"); err != nil {
+		return 0, err
+	}
+	seeded, err := db.Query(ctx, "SELECT v FROM awc_meta WHERE k = ?", metaKey)
+	if err != nil {
+		return 0, err
+	}
+	if seeded.Len() > 0 {
+		return strconv.ParseInt(seeded.Str(0, 0), 10, 64)
+	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	date := int64(baseDate)
 	next := func() int64 { date++; return date }
@@ -239,6 +285,10 @@ func Load(db *memdb.DB, s Scale) (lastDate int64, err error) {
 			res.LastInsertID, "VISA", total, next()); err != nil {
 			return 0, err
 		}
+	}
+	if _, err := db.Exec(ctx, "INSERT INTO awc_meta (k, v) VALUES (?, ?)",
+		metaKey, strconv.FormatInt(date, 10)); err != nil {
+		return 0, err
 	}
 	return date, nil
 }

@@ -67,8 +67,8 @@ func TestLoadPopulatesTables(t *testing.T) {
 func TestHandlersCount(t *testing.T) {
 	_, app := loadApp(t)
 	hs := app.Handlers()
-	if len(hs) != 14 {
-		t.Fatalf("TPC-W defines 14 interactions, got %d", len(hs))
+	if len(hs) != 15 {
+		t.Fatalf("TPC-W defines 14 interactions plus RelatedBooks, got %d", len(hs))
 	}
 	writes := 0
 	for _, h := range hs {
@@ -94,13 +94,14 @@ func TestEveryHandlerServes(t *testing.T) {
 		"OrderInquiry":         "/orderInquiry",
 		"OrderDisplay":         "/orderDisplay?c_id=1",
 		"AdminRequest":         "/adminRequest?i_id=1",
+		"RelatedBooks":         "/relatedBooks?i_id=1",
 		"ShoppingCart":         "/shoppingCart?sc_id=100001&i_id=1&qty=2",
 		"CustomerRegistration": "/customerRegistration?uname=fresh",
 		"BuyRequest":           "/buyRequest?c_id=1&sc_id=100001",
 		"BuyConfirm":           "/buyConfirm?c_id=1&sc_id=100001",
 		"AdminConfirm":         "/adminConfirm?i_id=1&cost=42",
 	}
-	if len(targets) != 14 {
+	if len(targets) != 15 {
 		t.Fatalf("test covers %d interactions", len(targets))
 	}
 	// Order matters for cart flows: exercise ShoppingCart first.
@@ -195,7 +196,7 @@ func TestBestSellersAggregates(t *testing.T) {
 func TestMixProperties(t *testing.T) {
 	s := smallScale()
 	mix := ShoppingMix(s)
-	if len(mix) != 14 {
+	if len(mix) != 15 {
 		t.Fatalf("shopping mix entries: %d", len(mix))
 	}
 	wf := mix.WriteFraction()
@@ -237,6 +238,89 @@ func TestWeaveRules(t *testing.T) {
 	r = WeaveRules(30 * time.Second)
 	if r.Semantic["BestSellers"] != 30*time.Second {
 		t.Fatalf("rules: %+v", r)
+	}
+}
+
+// TestRelatedBooksTemplateSpansOrderLines pins the analyzability of the
+// previously-uncacheable RelatedBooks shape: a JOIN plus nested IN-subquery
+// whose dependency set must span item, author and order_line.
+func TestRelatedBooksTemplateSpansOrderLines(t *testing.T) {
+	db, _ := loadApp(t)
+	const sql = "SELECT item.i_id, item.i_title, author.a_fname, author.a_lname, item.i_cost FROM item JOIN author ON item.i_a_id = author.a_id WHERE item.i_id IN (SELECT ol_i_id FROM order_line WHERE ol_o_id IN (SELECT ol_o_id FROM order_line WHERE ol_i_id = ?)) AND item.i_id <> ? ORDER BY item.i_id ASC LIMIT ?"
+	info, err := analysis.AnalyzeTemplate(sql, db)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	got := map[string]bool{}
+	for _, tbl := range info.Tables {
+		got[tbl] = true
+	}
+	for _, want := range []string{"item", "author", "order_line"} {
+		if !got[want] {
+			t.Errorf("missing dependency table %s (have %v)", want, info.Tables)
+		}
+	}
+	for _, col := range []string{"ol_i_id", "ol_o_id"} {
+		if !info.ReadCols["order_line"][col] {
+			t.Errorf("order_line.%s not a read dependency: %v", col, info.ReadCols)
+		}
+	}
+}
+
+// TestRelatedBooksInvalidatesOnNewOrderLine caches the RelatedBooks page,
+// then places an order containing the book: the new order_line rows are
+// reachable only through the page's IN-subqueries, yet must invalidate it.
+func TestRelatedBooksInvalidatesOnNewOrderLine(t *testing.T) {
+	db := memdb.New()
+	s := smallScale()
+	last, err := Load(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := analysis.NewEngine(analysis.StrategyExtraQuery, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(cache.Options{Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := New(weave.NewConn(db, engine), s, last)
+	woven, err := weave.New(app.Handlers(), c, WeaveRules(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome := func(target string) string {
+		rr := do(t, woven, target)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", target, rr.Code, rr.Body.String())
+		}
+		return rr.Header().Get("X-Autowebcache")
+	}
+	if out := outcome("/relatedBooks?i_id=1"); out != "miss" {
+		t.Fatalf("first fetch: %s", out)
+	}
+	if out := outcome("/relatedBooks?i_id=1"); out != "hit" {
+		t.Fatalf("second fetch: %s", out)
+	}
+	// Buy items 1 and 5 together; the BuyConfirm write inserts the order
+	// lines that link them.
+	if out := outcome("/shoppingCart?sc_id=100900&i_id=1&qty=1"); out != "write" {
+		t.Fatalf("cart add: %s", out)
+	}
+	if out := outcome("/shoppingCart?sc_id=100900&i_id=5&qty=1"); out != "write" {
+		t.Fatalf("cart add: %s", out)
+	}
+	if out := outcome("/buyConfirm?c_id=1&sc_id=100900"); out != "write" {
+		t.Fatalf("buy confirm: %s", out)
+	}
+	if out := outcome("/relatedBooks?i_id=1"); out != "miss" {
+		t.Fatalf("post-order fetch: %s (page not invalidated)", out)
+	}
+	// The regenerated page must list the book bought together with item 1.
+	rr := do(t, woven, "/relatedBooks?i_id=1")
+	if !strings.Contains(rr.Body.String(), "Book 5 ") {
+		t.Fatal("regenerated page missing the newly co-ordered book")
 	}
 }
 

@@ -22,7 +22,7 @@ import (
 	"sync"
 
 	"autowebcache/internal/analysis"
-	"autowebcache/internal/memdb"
+	"autowebcache/internal/datasource"
 	"autowebcache/internal/sqlparser"
 )
 
@@ -98,7 +98,7 @@ func RecorderFrom(ctx context.Context) (*Recorder, bool) {
 // carrying a Recorder are reported to it; other queries pass through
 // untouched.
 type RecordingConn struct {
-	base   memdb.Conn
+	base   datasource.Conn
 	engine *analysis.Engine
 	parse  sqlparser.Cache
 	// canon memoises raw SQL -> canonical template text; a sync.Map keeps
@@ -106,16 +106,16 @@ type RecordingConn struct {
 	canon sync.Map
 }
 
-var _ memdb.Conn = (*RecordingConn)(nil)
+var _ datasource.Conn = (*RecordingConn)(nil)
 
 // NewConn wraps a database connection with query capture for the given
 // analysis engine.
-func NewConn(base memdb.Conn, engine *analysis.Engine) *RecordingConn {
+func NewConn(base datasource.Conn, engine *analysis.Engine) *RecordingConn {
 	return &RecordingConn{base: base, engine: engine}
 }
 
 // Base returns the wrapped connection.
-func (c *RecordingConn) Base() memdb.Conn { return c.base }
+func (c *RecordingConn) Base() datasource.Conn { return c.base }
 
 // canonicalize maps raw SQL to the canonical template text used as the
 // dependency-table key, so equivalent spellings share one template row.
@@ -134,7 +134,7 @@ func (c *RecordingConn) canonicalize(sql string) (string, error) {
 
 // Query executes a read query, recording its (template, value vector) as
 // dependency information when the context carries a Recorder.
-func (c *RecordingConn) Query(ctx context.Context, sql string, args ...any) (*memdb.Rows, error) {
+func (c *RecordingConn) Query(ctx context.Context, sql string, args ...any) (*datasource.Rows, error) {
 	rec, recording := RecorderFrom(ctx)
 	rows, err := c.base.Query(ctx, sql, args...)
 	if !recording {
@@ -151,7 +151,7 @@ func (c *RecordingConn) Query(ctx context.Context, sql string, args ...any) (*me
 		rec.markReadError()
 		return rows, nil
 	}
-	vals, nerr := memdb.NormalizeAll(args)
+	vals, nerr := datasource.NormalizeAll(args)
 	if nerr != nil {
 		rec.markReadError()
 		return rows, nil
@@ -164,7 +164,7 @@ func (c *RecordingConn) Query(ctx context.Context, sql string, args ...any) (*me
 // write's invalidation information is captured BEFORE execution (the
 // extra-query strategy needs the pre-write row values); writes that fail are
 // not recorded (§4.2).
-func (c *RecordingConn) Exec(ctx context.Context, sql string, args ...any) (memdb.Result, error) {
+func (c *RecordingConn) Exec(ctx context.Context, sql string, args ...any) (datasource.Result, error) {
 	rec, recording := RecorderFrom(ctx)
 	if !recording {
 		return c.base.Exec(ctx, sql, args...)
@@ -173,7 +173,7 @@ func (c *RecordingConn) Exec(ctx context.Context, sql string, args ...any) (memd
 	var capture analysis.WriteCapture
 	captured := false
 	if cerr == nil {
-		vals, nerr := memdb.NormalizeAll(args)
+		vals, nerr := datasource.NormalizeAll(args)
 		if nerr == nil {
 			var err error
 			capture, err = c.engine.CaptureWrite(ctx, c.base, analysis.Query{SQL: tmpl, Args: vals})

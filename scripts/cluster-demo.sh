@@ -11,8 +11,14 @@
 #   4. the regenerated page is visible from node C as a hit or remote-hit
 #      (ownership fetch / replica offer works).
 #
+#   5. (SHARED_DB only) node 1's regenerated page shows the bid written on
+#      node 2 — read-your-write through the one shared database, the §3.2
+#      deployment the paper assumes.
+#
 # Knobs: CLUSTER_DURATION (default 5s), CLUSTER_CLIENTS (default 30),
-# MAX_BYTES (optional page-cache budget + admission filter for every node).
+# MAX_BYTES (optional page-cache budget + admission filter for every node),
+# SHARED_DB (path to a sqlite database file all three nodes share; empty =
+# per-process in-memory databases, which exercises only the cache tier).
 #
 # When setting MAX_BYTES, size it above the demo's working set (tens of
 # MiB): assertions 2-4 require inserts and replica offers to be accepted,
@@ -24,6 +30,7 @@ set -u
 DURATION="${CLUSTER_DURATION:-5s}"
 CLIENTS="${CLUSTER_CLIENTS:-30}"
 MAX_BYTES="${MAX_BYTES:-}"
+SHARED_DB="${SHARED_DB:-}"
 
 HTTP_PORTS=(8091 8092 8093)
 PEER_PORTS=(9091 9092 9093)
@@ -37,6 +44,13 @@ go build -o bin/loadgen ./cmd/loadgen || fail "build loadgen"
 GOVERN_FLAGS=()
 if [ -n "$MAX_BYTES" ]; then
   GOVERN_FLAGS=(-max-bytes "$MAX_BYTES" -admission)
+fi
+
+DB_FLAGS=()
+if [ -n "$SHARED_DB" ]; then
+  rm -f "$SHARED_DB" "$SHARED_DB.lock"
+  DB_FLAGS=(-db "sqlite:$SHARED_DB")
+  echo "nodes share one database: $SHARED_DB"
 fi
 
 PIDS=()
@@ -54,7 +68,7 @@ for i in 0 1 2; do
   bin/rubis-server -addr ":${HTTP_PORTS[$i]}" \
     -listen-peer "127.0.0.1:${PEER_PORTS[$i]}" \
     -peers "$(IFS=,; echo "${peers[*]}")" \
-    "${GOVERN_FLAGS[@]}" &
+    "${GOVERN_FLAGS[@]}" "${DB_FLAGS[@]}" &
   PIDS+=($!)
 done
 
@@ -117,5 +131,14 @@ case "$VIA3" in
   hit|remote-hit) echo "cluster-demo: cross-node page visibility OK ($VIA3 on node3)" ;;
   *) fail "expected hit/remote-hit on node3, got '$VIA3'" ;;
 esac
+
+# Assertion 5: with one shared database, node 1's regenerated page must show
+# node 2's bid — read-your-write through the database, across processes.
+if [ -n "$SHARED_DB" ]; then
+  BODY=$(curl -s "$N1$PAGE")
+  echo "$BODY" | grep -q "999" \
+    || fail "shared-db read-your-write failed: node1's regenerated page is missing node2's bid of 999"
+  echo "cluster-demo: shared-database read-your-write OK"
+fi
 
 echo "cluster-demo: PASS"
