@@ -42,6 +42,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/cache"
@@ -356,6 +357,17 @@ type ClusterConfig struct {
 	VNodes int
 	// Replication is how many owner nodes hold each key (0 = 1).
 	Replication int
+	// StrictBroadcast surfaces unreachable peers on strong-mode writes as a
+	// "write-degraded" outcome (the write still succeeds and invalidates
+	// locally; the missed peers quarantine-flush on rejoin). Default false:
+	// failures are only counted in the node stats.
+	StrictBroadcast bool
+	// ProbeInterval is the peer health-probe cadence (0 = 250ms, negative
+	// disables); down peers redial on a jittered exponential backoff.
+	ProbeInterval time.Duration
+	// FailureThreshold is the consecutive-failure count that marks a peer
+	// down and opens its circuit breaker (0 = 3).
+	FailureThreshold int
 }
 
 // Cluster boots the peer tier over the Runtime's caches and attaches it to
@@ -387,14 +399,17 @@ func (rt *Runtime) Cluster(handler *Woven, cfg ClusterConfig) (*ClusterNode, err
 		return nil, fmt.Errorf("autowebcache: unknown invalidation mode %q (strong, async)", cfg.Invalidation)
 	}
 	node, err := cluster.New(cluster.Config{
-		Listen:      cfg.ListenPeer,
-		Advertise:   cfg.Advertise,
-		Peers:       cfg.Peers,
-		Cache:       rt.cache,
-		QueryCache:  rt.qcache,
-		Async:       async,
-		VNodes:      cfg.VNodes,
-		Replication: cfg.Replication,
+		Listen:           cfg.ListenPeer,
+		Advertise:        cfg.Advertise,
+		Peers:            cfg.Peers,
+		Cache:            rt.cache,
+		QueryCache:       rt.qcache,
+		Async:            async,
+		VNodes:           cfg.VNodes,
+		Replication:      cfg.Replication,
+		StrictBroadcast:  cfg.StrictBroadcast,
+		ProbeInterval:    cfg.ProbeInterval,
+		FailureThreshold: cfg.FailureThreshold,
 	})
 	if err != nil {
 		return nil, err

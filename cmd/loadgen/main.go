@@ -139,6 +139,7 @@ func run(args []string, out io.Writer) error {
 	var mu sync.Mutex
 	stats := make(map[string]*outcomeStats)
 	perTarget := make([]int, len(targetList))
+	perTargetErrs := make([]int, len(targetList))
 	record := func(name string, res fetchResult, d time.Duration, failed bool) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -174,9 +175,14 @@ func run(args []string, out io.Writer) error {
 				start := time.Now()
 				res, err := fetch(ctx, httpClient, targetList[ti]+path)
 				// Count every attempt, including failures: an unhealthy node
-				// must show its full share of the load, not look idle.
+				// must show its full share of the load, not look idle — and a
+				// dead node degrades the run (errors in the report), never
+				// aborts it.
 				mu.Lock()
 				perTarget[ti]++
+				if err != nil {
+					perTargetErrs[ti]++
+				}
 				mu.Unlock()
 				record(name, res, time.Since(start), err != nil)
 				if *think > 0 {
@@ -199,7 +205,7 @@ func run(args []string, out io.Writer) error {
 	if len(targetList) > 1 {
 		fmt.Fprintln(out)
 		for i, tgt := range targetList {
-			fmt.Fprintf(out, "target %-40s %8d requests\n", tgt, perTarget[i])
+			fmt.Fprintf(out, "target %-40s %8d requests %8d errors\n", tgt, perTarget[i], perTargetErrs[i])
 		}
 	}
 	return nil
@@ -279,7 +285,10 @@ func report(out io.Writer, stats map[string]*outcomeStats) {
 			name, s.count, mean.Round(time.Microsecond),
 			s.outcomes["hit"]+s.outcomes["semantic-hit"], s.outcomes["remote-hit"],
 			s.outcomes["fragment-hit"], s.outcomes["assembled"],
-			s.outcomes["miss"], s.outcomes["write"], s.errors)
+			s.outcomes["miss"],
+			// A write-degraded response is still a completed write (the
+			// strict-mode cluster broadcast just missed a down peer).
+			s.outcomes["write"]+s.outcomes["write-degraded"], s.errors)
 	}
 	if totalReq > 0 {
 		fmt.Fprintf(out, "\ntotal %d requests, mean %v, hit rate %.1f%%",

@@ -226,8 +226,8 @@ func TestMultiTargetMode(t *testing.T) {
 			line = line[:nl]
 		}
 		fields := strings.Fields(line)
-		// "target <url> <count> requests"
-		if len(fields) != 4 || fields[3] != "requests" {
+		// "target <url> <count> requests <errs> errors"
+		if len(fields) != 6 || fields[3] != "requests" || fields[5] != "errors" {
 			t.Fatalf("malformed per-target line %q", line)
 		}
 		n, err := strconv.Atoi(fields[2])
@@ -237,6 +237,58 @@ func TestMultiTargetMode(t *testing.T) {
 	}
 	if !strings.Contains(report, "hit rate") {
 		t.Fatalf("summary missing:\n%s", report)
+	}
+}
+
+// TestMultiTargetDeadTarget: one live node plus one dead URL must degrade —
+// run exits nil, the live node serves, and the dead target's share shows up
+// as per-target errors instead of aborting the whole generator.
+func TestMultiTargetDeadTarget(t *testing.T) {
+	live := buildRubisServer(t)
+	// A listener that is closed immediately: connection-refused territory.
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-targets", live.URL + "," + deadURL,
+		"-app", "rubis", "-clients", "4",
+		"-duration", "400ms", "-think", "1ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen must degrade, not fail, with a dead target: %v", err)
+	}
+	report := out.String()
+
+	perTarget := func(url string) (reqs, errs int) {
+		idx := strings.Index(report, "target "+url)
+		if idx < 0 {
+			t.Fatalf("per-target line for %s missing:\n%s", url, report)
+		}
+		line := report[idx:]
+		if nl := strings.IndexByte(line, '\n'); nl >= 0 {
+			line = line[:nl]
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 6 {
+			t.Fatalf("malformed per-target line %q", line)
+		}
+		reqs, _ = strconv.Atoi(fields[2])
+		errs, _ = strconv.Atoi(fields[4])
+		return reqs, errs
+	}
+	liveReqs, liveErrs := perTarget(live.URL)
+	deadReqs, deadErrs := perTarget(deadURL)
+	// The mix targets DefaultScale IDs while the fixture seeds a tiny
+	// database, so a minority of live requests 404 — the live node must
+	// still serve the bulk of its share.
+	if liveReqs == 0 || liveErrs*2 >= liveReqs {
+		t.Fatalf("live target mostly failing: %d requests, %d errors:\n%s", liveReqs, liveErrs, report)
+	}
+	if deadReqs == 0 || deadErrs != deadReqs {
+		t.Fatalf("dead target should fail every attempt: %d requests, %d errors:\n%s",
+			deadReqs, deadErrs, report)
 	}
 }
 

@@ -65,6 +65,9 @@ func run(args []string) error {
 	peers := fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes")
 	invMode := fs.String("invalidation", "strong", "cluster invalidation mode: strong or async")
 	replication := fs.Int("replication", 1, "cluster ring replication factor (owner nodes per key)")
+	strictBcast := fs.Bool("strict-broadcast", false, "report strong-mode writes that missed a down peer as write-degraded")
+	probeInterval := fs.Duration("probe-interval", 0, "cluster peer health-probe cadence (0 = 250ms, negative disables)")
+	failThreshold := fs.Int("failure-threshold", 0, "consecutive peer-call failures before the circuit breaker opens (0 = 3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,10 +101,13 @@ func run(args []string) error {
 		return err
 	}
 	node, err := rt.Cluster(handler, autowebcache.ClusterConfig{
-		ListenPeer:   *listenPeer,
-		Peers:        cluster.ParsePeerList(*peers),
-		Invalidation: *invMode,
-		Replication:  *replication,
+		ListenPeer:       *listenPeer,
+		Peers:            cluster.ParsePeerList(*peers),
+		Invalidation:     *invMode,
+		Replication:      *replication,
+		StrictBroadcast:  *strictBcast,
+		ProbeInterval:    *probeInterval,
+		FailureThreshold: *failThreshold,
 	})
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/cache"
@@ -174,4 +175,81 @@ func ClusterScalability(p Params) (*Table, error) {
 	add("strong-invalidate", r, "InvalidateWrite + blocking broadcast to 2 peers")
 
 	return t, nil
+}
+
+// RemoteDownPeerRecord measures the fetch fallback against a dead peer with
+// the circuit breaker open: the failure-domain contract is that a down peer
+// costs the read path ~0 — no dial, no CallTimeout — so a node death
+// degrades remote hits into local misses instead of stalling every request.
+func RemoteDownPeerRecord() (HitPathRecord, error) {
+	quiet := func(string, ...any) {}
+	mk := func() (*cache.Cache, *cluster.Node, error) {
+		eng, err := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := cache.New(cache.Options{Engine: eng, Shards: 8})
+		if err != nil {
+			return nil, nil, err
+		}
+		// The probe loop is disabled so the breaker stays open for the whole
+		// measurement instead of cycling through half-open trials.
+		node, err := cluster.New(cluster.Config{
+			Listen: "127.0.0.1:0", Cache: c, Logf: quiet, ProbeInterval: -1,
+			DialTimeout: 200 * time.Millisecond, CallTimeout: 200 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := node.Start(); err != nil {
+			return nil, nil, err
+		}
+		return c, node, nil
+	}
+	_, a, err := mk()
+	if err != nil {
+		return HitPathRecord{}, err
+	}
+	defer a.Close()
+	_, b, err := mk()
+	if err != nil {
+		return HitPathRecord{}, err
+	}
+	bAddr := b.Addr()
+	a.SetPeers([]string{bAddr})
+	b.SetPeers([]string{a.Addr()})
+
+	// A key the dead peer owns, so every Fetch would cross the wire.
+	key := ""
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("/page?x=%d", i)
+		if a.Ring().Owner(k) == bAddr {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		return HitPathRecord{}, fmt.Errorf("bench: no peer-owned key found")
+	}
+	b.Close()
+
+	// Drive the failure detector until the breaker opens.
+	ctx := context.Background()
+	for i := 0; i < 64 && a.PeerStates()[bAddr] != cluster.StateDown; i++ {
+		a.Fetch(ctx, key)
+	}
+	if a.PeerStates()[bAddr] != cluster.StateDown {
+		return HitPathRecord{}, fmt.Errorf("bench: peer never tripped the breaker")
+	}
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if _, ok := a.Fetch(ctx, key); ok {
+				b.Fatal("fetch succeeded against a dead peer")
+			}
+		}
+	})
+	return record("remote-down-peer", r,
+		"fetch fallback with the key's owner dead and the breaker open: no dial, no timeout paid"), nil
 }

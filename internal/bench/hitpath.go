@@ -236,6 +236,8 @@ func fragmentWoven() (*weave.Woven, error) {
 //     the weave, per-request cost; the handler runs once per round;
 //   - mixed-parallel: the read-dominated page-cache mix (lookups with
 //     periodic re-inserts and write invalidations);
+//   - remote-down-peer: the cluster fetch fallback with the key's owner
+//     dead and the circuit breaker open (the fail-fast contract);
 //   - qr-hit-sqlite / qr-miss-sqlite: the query-result cache over the
 //     file-backed sqlite driver — warm hit (backend untouched) and forced
 //     miss (flock + replay check + scan per op). These run last so their
@@ -412,6 +414,14 @@ func HitPathRecords() ([]HitPathRecord, error) {
 		})
 	})
 	out = append(out, record("mixed-parallel", r, "read-dominated mix: 62/64 lookups, 1/32 re-inserts, 1/64 invalidating writes"))
+
+	// remote-down-peer: the breaker-open fetch fallback — a dead peer must
+	// cost the read path ~0, not a dial or a CallTimeout per request.
+	rdp, err := RemoteDownPeerRecord()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rdp)
 
 	// The sqlite records run LAST on purpose: qr-miss-sqlite churns ~58 KiB
 	// per op, and on small machines the GC pressure it leaves behind would

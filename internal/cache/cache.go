@@ -28,6 +28,7 @@ package cache
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -200,10 +201,26 @@ type View struct {
 // (best-effort, time-lagged — the weak-consistency trade of §8).
 type RemoteInvalidator interface {
 	// BroadcastWrite forwards a locally applied write capture to peers.
-	BroadcastWrite(w analysis.WriteCapture)
-	// BroadcastFlush forwards a full cache flush to peers.
-	BroadcastFlush()
+	// A nil return does not always mean every peer applied it: lenient
+	// implementations count unreachable peers and rely on quarantine-on-
+	// rejoin instead. A strict implementation returns an error wrapping
+	// ErrPeerUnreachable naming the peers that missed the broadcast — by
+	// then the local invalidation and every reachable peer's have already
+	// been applied.
+	BroadcastWrite(w analysis.WriteCapture) error
+	// BroadcastFlush forwards a full cache flush to peers, with the same
+	// error contract as BroadcastWrite.
+	BroadcastFlush() error
 }
+
+// ErrPeerUnreachable marks an invalidation broadcast that could not reach
+// every peer. It lives here — not in the cluster package — so the weave
+// layer can errors.Is a degraded write without importing the cluster.
+// When a returned error wraps it, the write's local invalidation has
+// succeeded; re-flushing locally would not help the unreachable peers
+// (they quarantine-flush on rejoin), so callers should surface the
+// degradation rather than retry or flush.
+var ErrPeerUnreachable = errors.New("peer unreachable during invalidation broadcast")
 
 // remoteBox wraps the interface for atomic.Value (which needs a consistent
 // concrete type).
@@ -806,7 +823,11 @@ func (c *Cache) InvalidateWrite(w analysis.WriteCapture) (int, error) {
 		return n, err
 	}
 	if r := c.loadRemote(); r != nil {
-		r.BroadcastWrite(w)
+		if berr := r.BroadcastWrite(w); berr != nil {
+			// The local sweep already ran; the error (strict cluster mode)
+			// names the peers that missed the broadcast.
+			return n, berr
+		}
 	}
 	return n, nil
 }
@@ -936,7 +957,10 @@ func (c *Cache) InvalidateKey(key string) bool {
 func (c *Cache) Flush() {
 	c.FlushLocal()
 	if r := c.loadRemote(); r != nil {
-		r.BroadcastFlush()
+		// Peers a strict broadcast reports as missed need no action here:
+		// the local flush succeeded and the missed peers quarantine-flush
+		// on rejoin, so the signature stays simple for Flush's many callers.
+		_ = r.BroadcastFlush()
 	}
 }
 

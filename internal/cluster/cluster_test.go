@@ -407,7 +407,7 @@ func TestClusterLocalMode(t *testing.T) {
 		t.Fatal("stale page after local-mode write")
 	}
 	st := clustered.node.Stats()
-	if st.RemoteHits != 0 || st.FetchErrors != 0 || st.InvSent != 0 || st.InvErrors != 0 {
+	if st.RemoteHits != 0 || st.FetchErrors != 0 || st.InvSent != 0 || st.InvBroadcastFailures != 0 {
 		t.Fatalf("local mode touched the network: %+v", st)
 	}
 }

@@ -1,0 +1,285 @@
+// Package fault injects deterministic network failures into the cluster
+// peer protocol for tests: dropped dials, added latency, black holes,
+// one-way partitions and mid-frame connection cuts, keyed per directed
+// peer pair and driven by a seeded RNG so a chaos schedule replays
+// reproducibly.
+//
+// The injector plugs into cluster.Config.Dial (outbound) and
+// cluster.Config.WrapListener (inbound) by structural typing — this
+// package does not import the cluster package, so the cluster's own
+// in-package tests can use it without an import cycle.
+//
+// Rules apply to live connections too, not just new dials: a Partition
+// set while connections sit in the peer pool severs the pooled pipes on
+// their next use, exactly like a real cable pull.
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Wildcard matches any endpoint in a rule's from/to slot. Inbound
+// connections arrive from ephemeral ports and cannot be attributed to a
+// peer, so listener-side rules always match as (Wildcard, self); outbound
+// rules identify the directed pair precisely.
+const Wildcard = "*"
+
+// ErrInjected is the root of every injector-produced failure, so tests can
+// tell injected faults from real ones.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Rule is the failure schedule for one directed pair. The zero Rule is a
+// healthy link.
+type Rule struct {
+	// Drop fails dials outright and severs live connections on their next
+	// read or write — a hard partition in that direction.
+	Drop bool
+	// DropProb drops each dial with this probability (seeded RNG); live
+	// connections are left alone.
+	DropProb float64
+	// Delay sleeps before each dial completes — added connection latency.
+	Delay time.Duration
+	// Blackhole accepts dials and swallows writes but never delivers or
+	// returns bytes: reads block until the connection deadline, the
+	// CallTimeout-shaped hang of a silent partition (vs Drop's fast error).
+	Blackhole bool
+	// CutAfter severs the connection after that many bytes have been
+	// written through it — a mid-frame cut: the receiver sees a truncated
+	// frame, the writer an error on a pipe that must never be pooled again.
+	CutAfter int
+}
+
+func (r Rule) zero() bool {
+	return !r.Drop && r.DropProb == 0 && r.Delay == 0 && !r.Blackhole && r.CutAfter == 0
+}
+
+type pairKey struct{ from, to string }
+
+// Injector holds the fault schedule. Safe for concurrent use; rules can be
+// changed while connections are live.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[pairKey]Rule
+}
+
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), rules: make(map[pairKey]Rule)}
+}
+
+// Set installs the rule for the directed pair (from, to); either side may
+// be Wildcard. A zero rule clears the pair.
+func (in *Injector) Set(from, to string, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	k := pairKey{from, to}
+	if r.zero() {
+		delete(in.rules, k)
+		return
+	}
+	in.rules[k] = r
+}
+
+// Partition severs both directions between a and b.
+func (in *Injector) Partition(a, b string) {
+	in.Set(a, b, Rule{Drop: true})
+	in.Set(b, a, Rule{Drop: true})
+}
+
+// Isolate severs every direction between node and each of the others.
+func (in *Injector) Isolate(node string, others ...string) {
+	for _, o := range others {
+		in.Partition(node, o)
+	}
+}
+
+// Heal removes every rule — the network is whole again.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = make(map[pairKey]Rule)
+}
+
+// ruleFor resolves the effective rule for a directed pair: exact match,
+// then (from, *), (*, to), (*, *).
+func (in *Injector) ruleFor(from, to string) Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, k := range [...]pairKey{{from, to}, {from, Wildcard}, {Wildcard, to}, {Wildcard, Wildcard}} {
+		if r, ok := in.rules[k]; ok {
+			return r
+		}
+	}
+	return Rule{}
+}
+
+func (in *Injector) roll() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
+}
+
+// Dialer returns a dial function (matching cluster.Config.Dial) whose
+// outbound connections are attributed to from — usually the dialing node's
+// ring address — and subjected to the (from, dialed-addr) rule.
+func (in *Injector) Dialer(from string) func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		r := in.ruleFor(from, addr)
+		if r.Delay > 0 {
+			time.Sleep(r.Delay)
+		}
+		if r.Drop || (r.DropProb > 0 && in.roll() < r.DropProb) {
+			return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrInjected}
+		}
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return newConn(c, in, from, addr), nil
+	}
+}
+
+// Listener wraps ln (matching cluster.Config.WrapListener usage) so
+// inbound connections obey (Wildcard, self) rules.
+func (in *Injector) Listener(self string, ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in, self: self}
+}
+
+type listener struct {
+	net.Listener
+	in   *Injector
+	self string
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		r := l.in.ruleFor(Wildcard, l.self)
+		if r.Drop || (r.DropProb > 0 && l.in.roll() < r.DropProb) {
+			c.Close()
+			continue
+		}
+		return newConn(c, l.in, Wildcard, l.self), nil
+	}
+}
+
+// conn applies the pair's CURRENT rule on every operation — it re-reads
+// the schedule, so faults injected after the dial affect pooled
+// connections too.
+type conn struct {
+	net.Conn
+	in       *Injector
+	from, to string
+
+	mu       sync.Mutex
+	deadline time.Time // latest SetDeadline/SetReadDeadline, for Blackhole stalls
+	written  int
+
+	once   sync.Once
+	closed chan struct{}
+}
+
+func newConn(c net.Conn, in *Injector, from, to string) *conn {
+	return &conn{Conn: c, in: in, from: from, to: to, closed: make(chan struct{})}
+}
+
+func (c *conn) rule() Rule { return c.in.ruleFor(c.from, c.to) }
+
+func (c *conn) Read(p []byte) (int, error) {
+	r := c.rule()
+	if r.Drop {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	if r.Blackhole {
+		return 0, c.stall()
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	r := c.rule()
+	if r.Drop {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	if r.Blackhole {
+		// The bytes vanish: report success so the writer goes on to hang
+		// in its read, like a real black hole.
+		return len(p), nil
+	}
+	if r.CutAfter > 0 {
+		c.mu.Lock()
+		already := c.written
+		c.mu.Unlock()
+		if already >= r.CutAfter {
+			c.Conn.Close()
+			return 0, ErrInjected
+		}
+		if already+len(p) > r.CutAfter {
+			n, _ := c.Conn.Write(p[:r.CutAfter-already])
+			c.mu.Lock()
+			c.written += n
+			c.mu.Unlock()
+			c.Conn.Close() // mid-frame: part of the frame is on the wire
+			return n, ErrInjected
+		}
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.written += n
+	c.mu.Unlock()
+	return n, err
+}
+
+// stall blocks like a black-holed read: until the connection deadline
+// (returning the timeout error the real stack would) or until the
+// connection is closed.
+func (c *conn) stall() error {
+	c.mu.Lock()
+	d := c.deadline
+	c.mu.Unlock()
+	var timeout <-chan time.Time // nil channel: blocks forever without a deadline
+	if !d.IsZero() {
+		wait := time.Until(d)
+		if wait <= 0 {
+			return os.ErrDeadlineExceeded
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-timeout:
+		return os.ErrDeadlineExceeded
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *conn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}

@@ -1,0 +1,293 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln
+}
+
+func TestRulePrecedence(t *testing.T) {
+	in := NewInjector(1)
+	in.Set(Wildcard, Wildcard, Rule{Delay: 1})
+	in.Set(Wildcard, "B", Rule{Delay: 2})
+	in.Set("A", Wildcard, Rule{Delay: 3})
+	in.Set("A", "B", Rule{Delay: 4})
+
+	cases := []struct {
+		from, to string
+		want     time.Duration
+	}{
+		{"A", "B", 4}, // exact beats everything
+		{"A", "C", 3}, // (from, *) beats (*, to)
+		{"X", "B", 2}, // (*, to) beats (*, *)
+		{"X", "Y", 1}, // wildcard fallback
+	}
+	for _, tc := range cases {
+		if got := in.ruleFor(tc.from, tc.to); got.Delay != tc.want {
+			t.Errorf("ruleFor(%s, %s).Delay = %v, want %v", tc.from, tc.to, got.Delay, tc.want)
+		}
+	}
+
+	// A zero rule clears the pair, falling back to the next tier.
+	in.Set("A", "B", Rule{})
+	if got := in.ruleFor("A", "B"); got.Delay != 3 {
+		t.Errorf("after clearing exact rule, Delay = %v, want 3", got.Delay)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	in := NewInjector(1)
+	in.Partition("A", "B")
+	if !in.ruleFor("A", "B").Drop || !in.ruleFor("B", "A").Drop {
+		t.Fatal("Partition must sever both directions")
+	}
+	if in.ruleFor("A", "C").Drop {
+		t.Fatal("Partition leaked onto an uninvolved pair")
+	}
+	in.Isolate("C", "A", "B")
+	if !in.ruleFor("C", "A").Drop || !in.ruleFor("B", "C").Drop {
+		t.Fatal("Isolate must sever every direction to every other")
+	}
+	in.Heal()
+	for _, pair := range [][2]string{{"A", "B"}, {"B", "A"}, {"C", "A"}, {"B", "C"}} {
+		if !in.ruleFor(pair[0], pair[1]).zero() {
+			t.Fatalf("Heal left a rule on (%s, %s)", pair[0], pair[1])
+		}
+	}
+}
+
+func TestDialerDrop(t *testing.T) {
+	ln := echoServer(t)
+	in := NewInjector(1)
+	in.Set("A", ln.Addr().String(), Rule{Drop: true})
+
+	_, err := in.Dialer("A")(ln.Addr().String(), time.Second)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped dial error %v, want ErrInjected", err)
+	}
+	// The same schedule does not affect another dialer identity.
+	c, err := in.Dialer("B")(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("unrelated dialer blocked: %v", err)
+	}
+	c.Close()
+}
+
+// TestDropProbDeterministic: the seeded RNG makes a probabilistic schedule
+// replay identically across injectors with the same seed.
+func TestDropProbDeterministic(t *testing.T) {
+	ln := echoServer(t)
+	addr := ln.Addr().String()
+	outcomes := func(seed int64) []bool {
+		in := NewInjector(seed)
+		in.Set("A", addr, Rule{DropProb: 0.5})
+		dial := in.Dialer("A")
+		var res []bool
+		for i := 0; i < 32; i++ {
+			c, err := dial(addr, time.Second)
+			if err == nil {
+				c.Close()
+			}
+			res = append(res, err == nil)
+		}
+		return res
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at dial %d", i)
+		}
+	}
+	succ := 0
+	for _, ok := range a {
+		if ok {
+			succ++
+		}
+	}
+	if succ == 0 || succ == len(a) {
+		t.Fatalf("DropProb 0.5 produced %d/%d successes — not probabilistic", succ, len(a))
+	}
+}
+
+// TestLiveConnSevered: a Drop rule installed AFTER the dial severs the
+// already-established (pooled) connection on its next use.
+func TestLiveConnSevered(t *testing.T) {
+	ln := echoServer(t)
+	addr := ln.Addr().String()
+	in := NewInjector(1)
+	c, err := in.Dialer("A")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	in.Set("A", addr, Rule{Drop: true})
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("live conn write after partition: %v, want ErrInjected", err)
+	}
+}
+
+// TestCutAfterSeversMidStream: the connection carries exactly CutAfter
+// bytes, then dies with ErrInjected — the mid-frame cut.
+func TestCutAfterSeversMidStream(t *testing.T) {
+	ln := echoServer(t)
+	addr := ln.Addr().String()
+	in := NewInjector(1)
+	in.Set("A", addr, Rule{CutAfter: 5})
+	c, err := in.Dialer("A")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	n, err := c.Write([]byte("abc")) // under the budget: passes whole
+	if n != 3 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// Crossing the budget: exactly 2 more bytes pass, then the pipe is
+	// severed — the receiver holds a truncated stream, the writer an error.
+	n, err = c.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v, want 2, ErrInjected", n, err)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after cut: %v, want ErrInjected", err)
+	}
+}
+
+// TestBlackhole: writes report success but reads stall until the deadline,
+// producing the CallTimeout-shaped hang of a silent partition.
+func TestBlackhole(t *testing.T) {
+	ln := echoServer(t)
+	addr := ln.Addr().String()
+	in := NewInjector(1)
+	in.Set("A", addr, Rule{Blackhole: true})
+	c, err := in.Dialer("A")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if n, err := c.Write([]byte("into the void")); n != 13 || err != nil {
+		t.Fatalf("blackhole write: n=%d err=%v, want silent success", n, err)
+	}
+	if err := c.SetDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackhole read: %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("read returned after %v — did not stall to the deadline", elapsed)
+	}
+}
+
+// TestBlackholeUnblocksOnClose: without a deadline the stall must still end
+// when the connection is closed (Close from another goroutine), not leak.
+func TestBlackholeUnblocksOnClose(t *testing.T) {
+	ln := echoServer(t)
+	addr := ln.Addr().String()
+	in := NewInjector(1)
+	in.Set("A", addr, Rule{Blackhole: true})
+	c, err := in.Dialer("A")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, rerr := c.Read(make([]byte, 1))
+		done <- rerr
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case rerr := <-done:
+		if !errors.Is(rerr, net.ErrClosed) {
+			t.Fatalf("stalled read after close: %v, want net.ErrClosed", rerr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackholed read leaked past Close")
+	}
+}
+
+// TestListenerDropsInbound: a (*, self) rule makes the wrapped listener
+// reject inbound connections — the dialer sees its conn die, not hang.
+func TestListenerDropsInbound(t *testing.T) {
+	in := NewInjector(1)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := raw.Addr().String()
+	ln := in.Listener(self, raw)
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	in.Set(Wildcard, self, Rule{Drop: true})
+	c, err := net.Dial("tcp", self)
+	if err != nil {
+		t.Fatal(err) // TCP accept happens in the kernel; the wrap closes it after
+	}
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, rerr := c.Read(make([]byte, 1)); rerr == nil {
+		t.Fatal("connection to a dropping listener stayed open")
+	}
+	c.Close()
+
+	in.Heal()
+	c2, err := net.Dial("tcp", self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	select {
+	case a := <-accepted:
+		a.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("healed listener did not accept")
+	}
+}

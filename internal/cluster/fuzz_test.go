@@ -38,17 +38,20 @@ func seedFrames(t testing.TB) [][]byte {
 		AutoID: 42, HasAutoID: true,
 	})
 	body := bytes.Repeat([]byte("<html>frag</html>"), 8)
+	vector := map[string]uint64{"10.0.0.1:9091": 17, "10.0.0.2:9091": 3}
 	return [][]byte{
 		encodeFrame(t, msgGet, getMeta{Key: "/page?x=1"}, nil),
 		encodeFrame(t, msgGet, getMeta{Key: "/page#frag?x=1"}, nil),
 		encodeFrame(t, msgGetResp, getRespMeta{Found: false}, nil),
-		encodeFrame(t, msgGetResp, getRespMeta{Found: true, ContentType: "text/html", TTLNanos: int64(30 * time.Second), Deps: deps}, body),
-		encodeFrame(t, msgPut, putMeta{Key: "/k", ContentType: "text/html", Deps: deps}, body),
+		encodeFrame(t, msgGetResp, getRespMeta{Found: true, ContentType: "text/html", TTLNanos: int64(30 * time.Second), Deps: deps, Applied: vector}, body),
+		encodeFrame(t, msgPut, putMeta{Key: "/k", ContentType: "text/html", Deps: deps, Applied: vector}, body),
 		encodeFrame(t, msgPutResp, putRespMeta{OK: true}, nil),
-		encodeFrame(t, msgInv, invMeta{Capture: capture}, nil),
+		encodeFrame(t, msgInv, invMeta{Capture: capture, Origin: "10.0.0.1:9091", Seq: 18}, nil),
 		encodeFrame(t, msgInvResp, invRespMeta{Pages: 3, Results: 2}, nil),
-		encodeFrame(t, msgFlush, struct{}{}, nil),
+		encodeFrame(t, msgFlush, flushMeta{Origin: "10.0.0.1:9091", Seq: 19}, nil),
 		encodeFrame(t, msgFlushResp, flushRespMeta{OK: true}, nil),
+		encodeFrame(t, msgPing, pingMeta{Origin: "10.0.0.1:9091", Seq: 19}, nil),
+		encodeFrame(t, msgPong, pongMeta{OK: true, Applied: 19}, nil),
 	}
 }
 
@@ -81,8 +84,17 @@ func decodeMetaFor(typ byte, meta []byte) {
 	case msgInvResp:
 		var m invRespMeta
 		_ = decodeMeta(typ, meta, &m)
-	case msgFlush, msgFlushResp:
+	case msgFlush:
+		var m flushMeta
+		_ = decodeMeta(typ, meta, &m)
+	case msgFlushResp:
 		var m flushRespMeta
+		_ = decodeMeta(typ, meta, &m)
+	case msgPing:
+		var m pingMeta
+		_ = decodeMeta(typ, meta, &m)
+	case msgPong:
+		var m pongMeta
 		_ = decodeMeta(typ, meta, &m)
 	}
 }

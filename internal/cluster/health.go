@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// PeerState is one peer's position in the failure-detector state machine.
+//
+//	healthy --1 failure--> suspect --threshold failures--> down
+//	   ^___________any success___________|                   |
+//	   |_____________________probe success___________________|
+//
+// Suspect peers still take regular calls (one slow request is not a
+// partition); down peers are fenced by the circuit breaker — no regular
+// call dials them, only the background probe loop, on a jittered
+// exponential backoff, may bring them back.
+type PeerState int32
+
+const (
+	StateHealthy PeerState = iota
+	StateSuspect
+	StateDown
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// errBreakerOpen fails a call to a down peer without dialing. It is not
+// network evidence — callers must not feed it back into the state machine.
+var errBreakerOpen = errors.New("cluster: peer down (circuit breaker open)")
+
+// health is one peer's failure detector plus circuit breaker. Transitions
+// are reported to the caller exactly once (changed=true) so state changes
+// can be logged once, not per failed call.
+type health struct {
+	threshold   int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	state   PeerState
+	fails   int // consecutive failures
+	backoff time.Duration
+	retryAt time.Time // down only: next probe attempt
+}
+
+// healthSeed derives a deterministic per-peer jitter seed so two nodes
+// rediscovering the same dead peer do not probe in lockstep, while test
+// runs stay reproducible.
+func healthSeed(addr string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	return int64(h.Sum64())
+}
+
+func newHealth(threshold int, base, max time.Duration, seed int64) *health {
+	if threshold <= 0 {
+		threshold = defaultFailureThreshold
+	}
+	if base <= 0 {
+		base = defaultReconnectBackoff
+	}
+	if max <= 0 {
+		max = defaultMaxReconnectBackoff
+	}
+	if max < base {
+		max = base
+	}
+	return &health{
+		threshold:   threshold,
+		baseBackoff: base,
+		maxBackoff:  max,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// allow reports whether a regular call may dial the peer. Down peers are
+// fully fenced: the breaker stays open until the probe loop's half-open
+// trial (probe) succeeds.
+func (h *health) allow() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state != StateDown
+}
+
+// probeDue reports whether the probe loop should ping this peer now:
+// healthy and suspect peers every tick (keeping the detector fed even on
+// idle clusters), down peers only once their jittered backoff expires.
+func (h *health) probeDue(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != StateDown {
+		return true
+	}
+	return !now.Before(h.retryAt)
+}
+
+// onSuccess records a successful round trip: any success, from any path,
+// restores the peer to healthy and resets the backoff.
+func (h *health) onSuccess() (from, to PeerState, changed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	from = h.state
+	h.state = StateHealthy
+	h.fails = 0
+	h.backoff = 0
+	return from, StateHealthy, from != StateHealthy
+}
+
+// onFailure records a failed dial or round trip: first failure makes the
+// peer suspect, the threshold-th consecutive failure opens the breaker,
+// and further failures (probe trials) grow the jittered backoff
+// exponentially up to the cap.
+func (h *health) onFailure(now time.Time) (from, to PeerState, changed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	from = h.state
+	h.fails++
+	switch h.state {
+	case StateHealthy:
+		h.state = StateSuspect
+		if h.fails >= h.threshold {
+			h.trip(now)
+		}
+	case StateSuspect:
+		if h.fails >= h.threshold {
+			h.trip(now)
+		}
+	case StateDown:
+		h.backoff *= 2
+		if h.backoff > h.maxBackoff {
+			h.backoff = h.maxBackoff
+		}
+		h.retryAt = now.Add(h.jitter(h.backoff))
+	}
+	return from, h.state, from != h.state
+}
+
+// trip opens the breaker. Callers hold h.mu.
+func (h *health) trip(now time.Time) {
+	h.state = StateDown
+	h.backoff = h.baseBackoff
+	h.retryAt = now.Add(h.jitter(h.backoff))
+}
+
+// jitter spreads a backoff over [d/2, d] so peers probing the same dead
+// node desynchronise. Callers hold h.mu (rng is not goroutine-safe).
+func (h *health) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(h.rng.Int63n(int64(d/2)+1))
+}
+
+func (h *health) snapshot() PeerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}

@@ -3,7 +3,9 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,29 +57,92 @@ type Config struct {
 	Replication int
 	// DialTimeout and CallTimeout bound peer dials and round trips
 	// (default 2s each). A slow or dead peer costs at most one CallTimeout
-	// per operation, after which it is treated as a miss.
+	// per operation, after which it is treated as a miss — and once the
+	// failure detector marks it down, ~0 (breaker open, no dial).
 	DialTimeout time.Duration
 	CallTimeout time.Duration
+	// StrictBroadcast makes strong-mode invalidation broadcasts return a
+	// *PeerDownError (wrapping cache.ErrPeerUnreachable) when any peer
+	// missed the invalidation, so the write path can surface the degraded
+	// guarantee per request. Default false: failures are counted
+	// (Stats.InvBroadcastFailures) and the gapped peer quarantine-flushes
+	// on rejoin, but the writer's response is not failed. Ignored in Async
+	// mode, which never waits for peers.
+	StrictBroadcast bool
+	// FailureThreshold is the consecutive-failure count at which a peer is
+	// marked down and its breaker opens (0 = 3; first failure always marks
+	// it suspect).
+	FailureThreshold int
+	// ProbeInterval is the background health-probe cadence: healthy and
+	// suspect peers are pinged every interval, down peers are redialed on a
+	// jittered exponential backoff bounded by ReconnectBackoff and
+	// MaxReconnectBackoff. The probe also carries this node's broadcast
+	// watermark, which is what forces a rejoining peer to quarantine-flush.
+	// 0 = 250ms; negative disables the probe loop.
+	ProbeInterval time.Duration
+	// ReconnectBackoff / MaxReconnectBackoff bound a down peer's jittered
+	// exponential redial backoff (0 = 100ms / 5s).
+	ReconnectBackoff    time.Duration
+	MaxReconnectBackoff time.Duration
+	// Dial overrides the peer dialer (fault injection, tests); nil = TCP.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// WrapListener wraps the peer listener after binding (fault injection,
+	// tests); nil = none.
+	WrapListener func(net.Listener) net.Listener
+	// Logf receives peer state transitions — logged once per transition,
+	// never per failed call. nil = the standard library logger.
+	Logf func(format string, args ...any)
 }
 
-// Stats are cumulative node counters.
+// Defaults for the health machinery (overridable via Config).
+const (
+	defaultFailureThreshold    = 3
+	defaultProbeInterval       = 250 * time.Millisecond
+	defaultReconnectBackoff    = 100 * time.Millisecond
+	defaultMaxReconnectBackoff = 5 * time.Second
+)
+
+// Stats are cumulative node counters (plus point-in-time peer gauges).
 type Stats struct {
-	RemoteHits     uint64 // fetches served by a peer
-	RemoteMisses   uint64 // fetches no peer could serve
-	FetchAborts    uint64 // fetched pages discarded: an invalidation raced the fetch
-	FetchErrors    uint64 // peer calls that failed mid-fetch
-	OffersSent     uint64 // pages replicated to owners
-	OffersRejected uint64 // offers an owner's byte budget refused
-	InvSent        uint64 // invalidation broadcasts sent (per peer)
-	InvErrors      uint64 // invalidation broadcasts that failed (per peer)
-	GetsServed     uint64 // peer fetches this node answered (found or not)
-	PutsApplied    uint64 // replica pages this node accepted
-	PutsRejected   uint64 // replica pages this node refused (over budget)
-	InvApplied     uint64 // peer invalidations this node applied
-	FlushApplied   uint64 // peer flushes this node applied
-	PagesRemoved   uint64 // pages removed by peer invalidations
-	ResultsRemoved uint64 // result sets removed by peer invalidations
+	RemoteHits           uint64 // fetches served by a peer
+	RemoteMisses         uint64 // fetches no peer could serve
+	FetchAborts          uint64 // fetched pages discarded: an invalidation raced the fetch
+	FetchErrors          uint64 // peer calls that failed mid-fetch
+	OffersSent           uint64 // pages replicated to owners
+	OffersRejected       uint64 // offers an owner's byte budget refused
+	InvSent              uint64 // invalidation broadcasts sent (per peer)
+	InvBroadcastFailures uint64 // invalidation/flush sends a peer never applied (down, partitioned, timed out)
+	PingFailures         uint64 // background health probes that failed
+	BreakerSkips         uint64 // peer calls short-circuited by an open breaker (no dial paid)
+	GapFlushes           uint64 // quarantine flushes forced by a detected invalidation-sequence gap
+	StaleFetchRejects    uint64 // fetched pages discarded: the exporter had missed invalidations we applied
+	StalePutRejects      uint64 // replica offers refused: the offerer had missed invalidations we applied
+	GetsServed           uint64 // peer fetches this node answered (found or not)
+	PutsApplied          uint64 // replica pages this node accepted
+	PutsRejected         uint64 // replica pages this node refused (over budget or stale)
+	InvApplied           uint64 // peer invalidations this node applied
+	FlushApplied         uint64 // peer flushes this node applied
+	PagesRemoved         uint64 // pages removed by peer invalidations
+	ResultsRemoved       uint64 // result sets removed by peer invalidations
+	PeersHealthy         int    // gauge: peers currently healthy
+	PeersSuspect         int    // gauge: peers currently suspect
+	PeersDown            int    // gauge: peers currently down (breaker open)
 }
+
+// PeerDownError reports the peers a strict strong-mode broadcast could not
+// reach. It wraps cache.ErrPeerUnreachable so the weave layer can detect
+// the degraded write with errors.Is without importing this package.
+type PeerDownError struct {
+	Op    string   // "invalidate" or "flush"
+	Peers []string // unreachable peer addresses, sorted
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("cluster: %s broadcast missed %d peer(s) %v: %v",
+		e.Op, len(e.Peers), e.Peers, cache.ErrPeerUnreachable)
+}
+
+func (e *PeerDownError) Unwrap() error { return cache.ErrPeerUnreachable }
 
 // Node is one member of the cache cluster. It implements the weave's
 // Remote (Fetch/Offer) and the cache's RemoteInvalidator
@@ -102,21 +167,46 @@ type Node struct {
 	// caching it would outlive the §3.2 guarantee.
 	invEpoch atomic.Uint64
 
-	remoteHits     atomic.Uint64
-	remoteMisses   atomic.Uint64
-	fetchAborts    atomic.Uint64
-	fetchErrors    atomic.Uint64
-	offersSent     atomic.Uint64
-	offersRejected atomic.Uint64
-	invSent        atomic.Uint64
-	invErrors      atomic.Uint64
-	getsServed     atomic.Uint64
-	putsApplied    atomic.Uint64
-	putsRejected   atomic.Uint64
-	invApplied     atomic.Uint64
-	flushApplied   atomic.Uint64
-	pagesRemoved   atomic.Uint64
-	resultsRemoved atomic.Uint64
+	// bcastMu serializes this node's invalidation broadcasts end to end, so
+	// every peer observes this origin's sequence numbers strictly in order:
+	// a receiver-side gap can only mean a genuinely missed broadcast, never
+	// reordering. seqNext is the next broadcast's number (under bcastMu);
+	// seqDone is the completed-broadcast watermark pings carry — stored only
+	// after every peer send for that seq has returned.
+	seqNext uint64
+	bcastMu sync.Mutex
+	seqDone atomic.Uint64
+
+	// applied tracks, per origin node, the last broadcast seq this node has
+	// applied (or been flushed past). Guarded by seqMu.
+	seqMu   sync.Mutex
+	applied map[string]uint64
+
+	logf      func(format string, args ...any)
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+
+	remoteHits        atomic.Uint64
+	remoteMisses      atomic.Uint64
+	fetchAborts       atomic.Uint64
+	fetchErrors       atomic.Uint64
+	offersSent        atomic.Uint64
+	offersRejected    atomic.Uint64
+	invSent           atomic.Uint64
+	invBcastFailures  atomic.Uint64
+	pingFailures      atomic.Uint64
+	breakerSkips      atomic.Uint64
+	gapFlushes        atomic.Uint64
+	staleFetchRejects atomic.Uint64
+	stalePutRejects   atomic.Uint64
+	getsServed        atomic.Uint64
+	putsApplied       atomic.Uint64
+	putsRejected      atomic.Uint64
+	invApplied        atomic.Uint64
+	flushApplied      atomic.Uint64
+	pagesRemoved      atomic.Uint64
+	resultsRemoved    atomic.Uint64
 }
 
 // New creates a Node. Call Start to listen and join the ring.
@@ -136,7 +226,29 @@ func New(cfg Config) (*Node, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
-	return &Node{cfg: cfg, peers: make(map[string]*peer)}, nil
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = defaultFailureThreshold
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = defaultReconnectBackoff
+	}
+	if cfg.MaxReconnectBackoff <= 0 {
+		cfg.MaxReconnectBackoff = defaultMaxReconnectBackoff
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Node{
+		cfg:       cfg,
+		peers:     make(map[string]*peer),
+		applied:   make(map[string]uint64),
+		logf:      logf,
+		stopProbe: make(chan struct{}),
+	}, nil
 }
 
 // Start listens on the configured address, builds the ring from self +
@@ -152,9 +264,16 @@ func (n *Node) Start() error {
 		return err
 	}
 	n.self = self
+	if n.cfg.WrapListener != nil {
+		ln = n.cfg.WrapListener(ln)
+	}
 	n.srv = newServer(ln, n)
 	n.SetPeers(n.cfg.Peers)
 	n.cfg.Cache.SetRemote(n)
+	if n.cfg.ProbeInterval > 0 {
+		n.probeWG.Add(1)
+		go n.probeLoop(n.cfg.ProbeInterval)
+	}
 	return nil
 }
 
@@ -188,6 +307,8 @@ func ringIdentity(cfg Config, resolved string) (string, error) {
 // Close detaches the node from its cache, stops the server and drops every
 // peer connection.
 func (n *Node) Close() error {
+	n.closeOnce.Do(func() { close(n.stopProbe) })
+	n.probeWG.Wait()
 	n.cfg.Cache.SetRemote(nil)
 	if n.srv != nil {
 		n.srv.close()
@@ -225,7 +346,11 @@ func (n *Node) SetPeers(peers []string) {
 			delete(n.peers, addr)
 			continue
 		}
-		next[addr] = newPeer(addr, n.cfg.DialTimeout, n.cfg.CallTimeout)
+		h := newHealth(n.cfg.FailureThreshold, n.cfg.ReconnectBackoff,
+			n.cfg.MaxReconnectBackoff, healthSeed(n.self+"|"+addr))
+		p := newPeer(addr, n.cfg.DialTimeout, n.cfg.CallTimeout, n.cfg.Dial, h)
+		p.onChange = n.peerTransition
+		next[addr] = p
 	}
 	dropped := n.peers
 	n.peers = next
@@ -281,10 +406,21 @@ func (n *Node) Fetch(ctx context.Context, key string) (cache.Page, bool) {
 		var meta getRespMeta
 		body, err := p.call(msgGet, getMeta{Key: key}, nil, &meta)
 		if err != nil {
-			n.fetchErrors.Add(1)
+			if err == errBreakerOpen {
+				// Down peer: the breaker already paid the cost (none).
+				n.breakerSkips.Add(1)
+			} else {
+				n.fetchErrors.Add(1)
+			}
 			continue
 		}
 		if !meta.Found {
+			continue
+		}
+		if n.behindUs(meta.Applied) {
+			// The exporter has missed an invalidation this node already
+			// applied — its copy may predate that write. Treat as a miss.
+			n.staleFetchRejects.Add(1)
 			continue
 		}
 		if n.invEpoch.Load() != epoch {
@@ -318,6 +454,7 @@ func (n *Node) Fetch(ctx context.Context, key string) (cache.Page, bool) {
 // already stored locally; an empty peer set makes Offer a no-op.
 func (n *Node) Offer(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration) {
 	var wireDeps []wireQuery
+	var vector map[string]uint64
 	for _, owner := range n.owners(key) {
 		if owner == n.self {
 			continue
@@ -328,8 +465,9 @@ func (n *Node) Offer(key string, body []byte, contentType string, deps []analysi
 		}
 		if wireDeps == nil {
 			wireDeps = toWireQueries(deps)
+			vector = n.appliedVector()
 		}
-		meta := putMeta{Key: key, ContentType: contentType, TTLNanos: int64(ttl), Deps: wireDeps}
+		meta := putMeta{Key: key, ContentType: contentType, TTLNanos: int64(ttl), Deps: wireDeps, Applied: vector}
 		var resp putRespMeta
 		if _, err := p.call(msgPut, meta, body, &resp); err == nil {
 			if resp.OK {
@@ -348,31 +486,47 @@ func (n *Node) Offer(key string, body []byte, contentType string, deps []analysi
 // (bounded by CallTimeout each, in parallel) before returning, so the
 // caller's InvalidateWrite — and therefore the writer's HTTP response —
 // is released only after the invalidation has been applied cluster-wide.
-// Async mode returns immediately.
-func (n *Node) BroadcastWrite(w analysis.WriteCapture) {
+// Async mode returns immediately (and always nil). A non-nil error is
+// returned only under Config.StrictBroadcast, and only after the local
+// invalidation and every reachable peer's have been applied: it reports
+// the peers that missed the broadcast, not a failure to invalidate.
+func (n *Node) BroadcastWrite(w analysis.WriteCapture) error {
 	n.invEpoch.Add(1)
+	wire := toWireCapture(w)
+	mk := func(seq uint64) any { return invMeta{Capture: wire, Origin: n.self, Seq: seq} }
 	if n.cfg.Async {
-		go n.broadcast(msgInv, invMeta{Capture: toWireCapture(w)})
-		return
+		go n.broadcast(msgInv, mk, "invalidate")
+		return nil
 	}
-	n.broadcast(msgInv, invMeta{Capture: toWireCapture(w)})
+	return n.broadcast(msgInv, mk, "invalidate")
 }
 
 // BroadcastFlush implements cache.RemoteInvalidator for full flushes
 // (unanalysable writes fall back to flushing; the fallback must be
 // cluster-wide too or peers would keep serving pages the origin dropped).
-func (n *Node) BroadcastFlush() {
+func (n *Node) BroadcastFlush() error {
 	n.invEpoch.Add(1)
+	mk := func(seq uint64) any { return flushMeta{Origin: n.self, Seq: seq} }
 	if n.cfg.Async {
-		go n.broadcast(msgFlush, struct{}{})
-		return
+		go n.broadcast(msgFlush, mk, "flush")
+		return nil
 	}
-	n.broadcast(msgFlush, struct{}{})
+	return n.broadcast(msgFlush, mk, "flush")
 }
 
-// broadcast sends one message to every peer in parallel and waits for the
-// responses (or their timeouts).
-func (n *Node) broadcast(typ byte, meta any) {
+// broadcast sends one sequenced message to every peer in parallel and
+// waits for the responses (or their timeouts). bcastMu serializes the
+// node's broadcasts end to end — sequence numbers leave in order, so a
+// receiver-side gap is proof of a missed message. A peer that cannot be
+// reached (down, timed out, breaker open) is counted; it cannot serve
+// stale state on rejoin because its sequence gap forces a quarantine
+// flush, so strong mode stays honest even when this returns nil.
+func (n *Node) broadcast(typ byte, mkMeta func(seq uint64) any, op string) error {
+	n.bcastMu.Lock()
+	defer n.bcastMu.Unlock()
+	n.seqNext++
+	seq := n.seqNext
+	defer n.seqDone.Store(seq)
 	n.mu.Lock()
 	peers := make([]*peer, 0, len(n.peers))
 	for _, p := range n.peers {
@@ -380,21 +534,112 @@ func (n *Node) broadcast(typ byte, meta any) {
 	}
 	n.mu.Unlock()
 	if len(peers) == 0 {
-		return
+		return nil
 	}
-	var wg sync.WaitGroup
+	meta := mkMeta(seq)
+	var (
+		wg     sync.WaitGroup
+		failMu sync.Mutex
+		failed []string
+	)
 	for _, p := range peers {
 		wg.Add(1)
 		go func(p *peer) {
 			defer wg.Done()
 			if _, err := p.call(typ, meta, nil, nil); err != nil {
-				n.invErrors.Add(1)
+				n.invBcastFailures.Add(1)
+				if err == errBreakerOpen {
+					n.breakerSkips.Add(1)
+				}
+				failMu.Lock()
+				failed = append(failed, p.addr)
+				failMu.Unlock()
 				return
 			}
 			n.invSent.Add(1)
 		}(p)
 	}
 	wg.Wait()
+	if n.cfg.StrictBroadcast && !n.cfg.Async && len(failed) > 0 {
+		sort.Strings(failed)
+		return &PeerDownError{Op: op, Peers: failed}
+	}
+	return nil
+}
+
+// advanceApplied records a seq observed from origin and reports whether it
+// exposes a gap: broadcasts this node provably missed while down or
+// partitioned. watermark=true for ping watermarks (everything <= seq has
+// been broadcast, so our counter must already be there), false for
+// inv/flush messages (seq is the message's own number; the previous one
+// must have been applied). The counter always advances to seq — after the
+// caller's quarantine flush the node is clean through seq by construction.
+func (n *Node) advanceApplied(origin string, seq uint64, watermark bool) (gap bool) {
+	if origin == "" || origin == n.self || seq == 0 {
+		return false
+	}
+	n.seqMu.Lock()
+	defer n.seqMu.Unlock()
+	last := n.applied[origin]
+	if seq <= last {
+		return false // duplicate delivery or an already-covered watermark
+	}
+	if watermark {
+		gap = true
+	} else {
+		gap = seq > last+1
+	}
+	n.applied[origin] = seq
+	return gap
+}
+
+// quarantine drops every cached page and result set: a sequence gap from
+// origin means invalidations were missed, so any entry might be stale —
+// §3.2 permits serving nothing, never serving wrong. Returns the number of
+// pages dropped.
+func (n *Node) quarantine(origin string, seq uint64) int {
+	pages := n.cfg.Cache.Len()
+	n.cfg.Cache.FlushLocal()
+	if n.cfg.QueryCache != nil {
+		n.cfg.QueryCache.Flush()
+	}
+	n.gapFlushes.Add(1)
+	n.logf("cluster: %s: invalidation gap from %s (seq %d): quarantine flush (%d pages dropped)",
+		n.self, origin, seq, pages)
+	return pages
+}
+
+// appliedVector snapshots origin -> applied seq, including this node's own
+// completed-broadcast watermark, for the freshness check on the transfer
+// paths (fetch responses, replica offers).
+func (n *Node) appliedVector() map[string]uint64 {
+	n.seqMu.Lock()
+	v := make(map[string]uint64, len(n.applied)+1)
+	for o, s := range n.applied {
+		v[o] = s
+	}
+	n.seqMu.Unlock()
+	if s := n.seqDone.Load(); s > 0 {
+		v[n.self] = s
+	}
+	return v
+}
+
+// behindUs reports whether remote's vector is missing an invalidation this
+// node has already applied (some origin where our counter is ahead; a
+// missing entry counts as zero). A page from such a peer may predate that
+// invalidation, so transfer paths refuse it — the counterpart to
+// quarantine: a gapped peer can neither serve nor export stale state into
+// healthy nodes.
+func (n *Node) behindUs(remote map[string]uint64) bool {
+	n.seqMu.Lock()
+	defer n.seqMu.Unlock()
+	for o, s := range n.applied {
+		if remote[o] < s {
+			return true
+		}
+	}
+	return remote[n.self] < n.seqDone.Load()
 }
 
 // handleFrame serves one peer request (the server side of the protocol).
@@ -415,12 +660,20 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 			ContentType: v.ContentType,
 			TTLNanos:    int64(v.TTL),
 			Deps:        toWireQueries(v.Deps),
+			Applied:     n.appliedVector(),
 		}, v.Body, nil
 
 	case msgPut:
 		var m putMeta
 		if err := decodeMeta(typ, meta, &m); err != nil {
 			return 0, nil, nil, err
+		}
+		if n.behindUs(m.Applied) {
+			// The offerer has missed an invalidation this node already
+			// applied; its page may be stale. Refuse the replica.
+			n.stalePutRejects.Add(1)
+			n.putsRejected.Add(1)
+			return msgPutResp, putRespMeta{OK: false}, nil, nil
 		}
 		// The local byte budget governs replicas exactly like local inserts:
 		// an owner at MaxBytes refuses the offer (or its admission filter
@@ -441,8 +694,18 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 		if err := decodeMeta(typ, meta, &m); err != nil {
 			return 0, nil, nil, err
 		}
-		w := m.Capture.capture()
 		n.invEpoch.Add(1)
+		if n.advanceApplied(m.Origin, m.Seq, false) {
+			// The seq jumped past last+1: broadcasts were missed while this
+			// node was unreachable. The targeted sweep below cannot undo
+			// the missed ones, so quarantine — and the flush subsumes this
+			// capture's own sweep.
+			pages := n.quarantine(m.Origin, m.Seq)
+			n.invApplied.Add(1)
+			n.pagesRemoved.Add(uint64(pages))
+			return msgInvResp, invRespMeta{Pages: pages}, nil, nil
+		}
+		w := m.Capture.capture()
 		// Local-only application: re-broadcasting a received invalidation
 		// would echo around the cluster forever.
 		pages, err := n.cfg.Cache.InvalidateWriteLocal(w)
@@ -461,6 +724,13 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 		return msgInvResp, invRespMeta{Pages: pages, Results: results}, nil, nil
 
 	case msgFlush:
+		var m flushMeta
+		if err := decodeMeta(typ, meta, &m); err != nil {
+			return 0, nil, nil, err
+		}
+		// A flush drops everything, so it covers any gap by itself — just
+		// advance the counter.
+		n.advanceApplied(m.Origin, m.Seq, false)
 		n.invEpoch.Add(1)
 		n.cfg.Cache.FlushLocal()
 		if n.cfg.QueryCache != nil {
@@ -468,27 +738,135 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 		}
 		n.flushApplied.Add(1)
 		return msgFlushResp, flushRespMeta{OK: true}, nil, nil
+
+	case msgPing:
+		var m pingMeta
+		if err := decodeMeta(typ, meta, &m); err != nil {
+			return 0, nil, nil, err
+		}
+		// The ping carries the sender's completed-broadcast watermark: if
+		// this node's applied counter is behind it, invalidations were
+		// missed (down, partitioned, or restarted cold with prior state) —
+		// quarantine now, before any request can hit a stale entry. This is
+		// the rejoin path: the first probe after heal cleans the node.
+		if n.advanceApplied(m.Origin, m.Seq, true) {
+			n.invEpoch.Add(1)
+			n.quarantine(m.Origin, m.Seq)
+		}
+		var applied uint64
+		if m.Origin != "" {
+			n.seqMu.Lock()
+			applied = n.applied[m.Origin]
+			n.seqMu.Unlock()
+		}
+		return msgPong, pongMeta{OK: true, Applied: applied}, nil, nil
 	}
 	return 0, nil, nil, fmt.Errorf("cluster: unknown message type %d", typ)
 }
 
+// probeLoop pings peers on a ticker until Close.
+func (n *Node) probeLoop(interval time.Duration) {
+	defer n.probeWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopProbe:
+			return
+		case <-t.C:
+		}
+		n.probePeers(time.Now())
+	}
+}
+
+// probePeers pings every due peer in parallel: healthy and suspect peers
+// every tick (keeping the failure detector fed even when no requests flow),
+// down peers once their jittered backoff expires — the breaker's half-open
+// trial, and the only path that dials a down peer.
+func (n *Node) probePeers(now time.Time) {
+	n.mu.Lock()
+	if len(n.peers) == 0 {
+		// Solo node: stay allocation-free (the local hit path's 0-alloc
+		// guarantee is measured process-wide).
+		n.mu.Unlock()
+		return
+	}
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	meta := pingMeta{Origin: n.self, Seq: n.seqDone.Load()}
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		if !p.health.probeDue(now) {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			var pong pongMeta
+			if err := p.probe(msgPing, meta, &pong); err != nil {
+				n.pingFailures.Add(1)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// peerTransition is the once-per-transition health callback.
+func (n *Node) peerTransition(addr string, from, to PeerState) {
+	n.logf("cluster: %s: peer %s %s -> %s", n.self, addr, from, to)
+}
+
+// PeerStates returns each peer's current health state — the per-peer gauge.
+func (n *Node) PeerStates() map[string]PeerState {
+	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	out := make(map[string]PeerState, len(peers))
+	for _, p := range peers {
+		out[p.addr] = p.health.snapshot()
+	}
+	return out
+}
+
 // Stats returns a snapshot of the node counters.
 func (n *Node) Stats() Stats {
-	return Stats{
-		RemoteHits:     n.remoteHits.Load(),
-		RemoteMisses:   n.remoteMisses.Load(),
-		FetchAborts:    n.fetchAborts.Load(),
-		FetchErrors:    n.fetchErrors.Load(),
-		OffersSent:     n.offersSent.Load(),
-		OffersRejected: n.offersRejected.Load(),
-		InvSent:        n.invSent.Load(),
-		InvErrors:      n.invErrors.Load(),
-		GetsServed:     n.getsServed.Load(),
-		PutsApplied:    n.putsApplied.Load(),
-		PutsRejected:   n.putsRejected.Load(),
-		InvApplied:     n.invApplied.Load(),
-		FlushApplied:   n.flushApplied.Load(),
-		PagesRemoved:   n.pagesRemoved.Load(),
-		ResultsRemoved: n.resultsRemoved.Load(),
+	st := Stats{
+		RemoteHits:           n.remoteHits.Load(),
+		RemoteMisses:         n.remoteMisses.Load(),
+		FetchAborts:          n.fetchAborts.Load(),
+		FetchErrors:          n.fetchErrors.Load(),
+		OffersSent:           n.offersSent.Load(),
+		OffersRejected:       n.offersRejected.Load(),
+		InvSent:              n.invSent.Load(),
+		InvBroadcastFailures: n.invBcastFailures.Load(),
+		PingFailures:         n.pingFailures.Load(),
+		BreakerSkips:         n.breakerSkips.Load(),
+		GapFlushes:           n.gapFlushes.Load(),
+		StaleFetchRejects:    n.staleFetchRejects.Load(),
+		StalePutRejects:      n.stalePutRejects.Load(),
+		GetsServed:           n.getsServed.Load(),
+		PutsApplied:          n.putsApplied.Load(),
+		PutsRejected:         n.putsRejected.Load(),
+		InvApplied:           n.invApplied.Load(),
+		FlushApplied:         n.flushApplied.Load(),
+		PagesRemoved:         n.pagesRemoved.Load(),
+		ResultsRemoved:       n.resultsRemoved.Load(),
 	}
+	for _, s := range n.PeerStates() {
+		switch s {
+		case StateHealthy:
+			st.PeersHealthy++
+		case StateSuspect:
+			st.PeersSuspect++
+		case StateDown:
+			st.PeersDown++
+		}
+	}
+	return st
 }

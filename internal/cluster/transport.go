@@ -92,27 +92,84 @@ func (s *server) close() {
 // pool dial fresh connections and the surplus is closed on return.
 const maxIdleConns = 4
 
+// dialFunc dials one peer; cluster.Config.Dial overrides it so tests and
+// the fault injector can interpose without this package importing them.
+type dialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+func tcpDial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
 // peer is the client side of one remote node: a small pool of persistent
-// connections carrying strictly alternating request/response frames.
+// connections carrying strictly alternating request/response frames, plus
+// the node's view of that peer's health (failure detector + breaker).
 type peer struct {
 	addr        string
 	dialTimeout time.Duration
 	callTimeout time.Duration
+	dial        dialFunc
+	health      *health
+	// onChange is invoked once per health state transition (never per
+	// failed call) so the node can log and count it.
+	onChange func(addr string, from, to PeerState)
 
 	mu     sync.Mutex
 	idle   []net.Conn
 	closed bool
 }
 
-func newPeer(addr string, dialTimeout, callTimeout time.Duration) *peer {
-	return &peer{addr: addr, dialTimeout: dialTimeout, callTimeout: callTimeout}
+func newPeer(addr string, dialTimeout, callTimeout time.Duration, dial dialFunc, h *health) *peer {
+	if dial == nil {
+		dial = tcpDial
+	}
+	return &peer{addr: addr, dialTimeout: dialTimeout, callTimeout: callTimeout, dial: dial, health: h}
 }
 
 // call performs one round trip, decoding the response meta into respMeta
-// (when non-nil) and returning the raw response body. Any transport error
-// discards the connection; the caller treats errors as a miss or a
-// best-effort failure, never retries into the same broken pipe.
+// (when non-nil) and returning the raw response body. A down peer fails
+// instantly with errBreakerOpen — no dial, no CallTimeout; every real
+// outcome feeds the health state machine.
 func (p *peer) call(typ byte, meta any, body []byte, respMeta any) ([]byte, error) {
+	if !p.health.allow() {
+		return nil, errBreakerOpen
+	}
+	b, err := p.roundTrip(typ, meta, body, respMeta)
+	if err != nil {
+		p.noteFailure()
+		return nil, err
+	}
+	p.noteSuccess()
+	return b, nil
+}
+
+// probe is call for the health loop: it bypasses an open breaker — it IS
+// the down peer's half-open trial — and feeds the state machine like any
+// other call.
+func (p *peer) probe(typ byte, meta any, respMeta any) error {
+	if _, err := p.roundTrip(typ, meta, nil, respMeta); err != nil {
+		p.noteFailure()
+		return err
+	}
+	p.noteSuccess()
+	return nil
+}
+
+func (p *peer) noteSuccess() {
+	if from, to, changed := p.health.onSuccess(); changed && p.onChange != nil {
+		p.onChange(p.addr, from, to)
+	}
+}
+
+func (p *peer) noteFailure() {
+	if from, to, changed := p.health.onFailure(time.Now()); changed && p.onChange != nil {
+		p.onChange(p.addr, from, to)
+	}
+}
+
+// roundTrip is the raw frame exchange. Any transport error discards the
+// connection; the caller treats errors as a miss or a best-effort failure,
+// never retries into the same broken pipe.
+func (p *peer) roundTrip(typ byte, meta any, body []byte, respMeta any) ([]byte, error) {
 	conn, err := p.get()
 	if err != nil {
 		return nil, err
@@ -167,12 +224,17 @@ func (p *peer) get() (net.Conn, error) {
 		return c, nil
 	}
 	p.mu.Unlock()
-	return net.DialTimeout("tcp", p.addr, p.dialTimeout)
+	return p.dial(p.addr, p.dialTimeout)
 }
 
-// put returns a healthy connection to the pool.
+// put returns a healthy connection to the pool. A connection whose
+// deadline cannot be cleared is dead or dying; pooling it would hand a
+// later call a poisoned pipe, so it is closed instead.
 func (p *peer) put(c net.Conn) {
-	_ = c.SetDeadline(time.Time{})
+	if err := c.SetDeadline(time.Time{}); err != nil {
+		c.Close()
+		return
+	}
 	p.mu.Lock()
 	if p.closed || len(p.idle) >= maxIdleConns {
 		p.mu.Unlock()

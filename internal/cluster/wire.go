@@ -29,6 +29,8 @@ const (
 	msgInvResp   byte = 6
 	msgFlush     byte = 7 // drop every cached page and result set
 	msgFlushResp byte = 8
+	msgPing      byte = 9 // health probe; meta carries the sender's broadcast watermark
+	msgPong      byte = 10
 )
 
 // maxFrame bounds a frame so a corrupt or hostile length prefix cannot make
@@ -49,6 +51,11 @@ type getRespMeta struct {
 	ContentType string      `json:"ct,omitempty"`
 	TTLNanos    int64       `json:"ttl,omitempty"`
 	Deps        []wireQuery `json:"deps,omitempty"`
+	// Applied is the exporter's invalidation vector (origin -> last applied
+	// broadcast seq, plus its own completed-broadcast watermark). A fetcher
+	// that has applied an invalidation the exporter missed discards the
+	// page: it may predate that invalidation.
+	Applied map[string]uint64 `json:"applied,omitempty"`
 }
 
 // putMeta replicates a locally generated page to the key's owner.
@@ -57,6 +64,10 @@ type putMeta struct {
 	ContentType string      `json:"ct,omitempty"`
 	TTLNanos    int64       `json:"ttl,omitempty"`
 	Deps        []wireQuery `json:"deps,omitempty"`
+	// Applied is the offering node's invalidation vector; the owner refuses
+	// the replica when the offerer has missed an invalidation the owner
+	// already applied (the page may be stale).
+	Applied map[string]uint64 `json:"applied,omitempty"`
 }
 
 type putRespMeta struct {
@@ -64,9 +75,15 @@ type putRespMeta struct {
 }
 
 // invMeta carries a write capture for remote invalidation. Flush is the
-// dedicated msgFlush, not an empty capture.
+// dedicated msgFlush, not an empty capture. Origin/Seq sequence the
+// broadcast: Seq is the origin node's monotonically increasing broadcast
+// counter, and the origin serializes its broadcasts end to end, so a
+// receiver that sees seq jump past last+1 provably missed a broadcast
+// (it was down or partitioned) and must quarantine-flush.
 type invMeta struct {
 	Capture wireCapture `json:"capture"`
+	Origin  string      `json:"origin,omitempty"`
+	Seq     uint64      `json:"seq,omitempty"`
 }
 
 // invRespMeta reports how many pages and result sets the peer removed.
@@ -75,8 +92,33 @@ type invRespMeta struct {
 	Results int `json:"results"`
 }
 
+// flushMeta sequences a flush broadcast exactly like invMeta sequences a
+// write; a flush covers any gap by itself (the receiver drops everything).
+type flushMeta struct {
+	Origin string `json:"origin,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+}
+
 type flushRespMeta struct {
 	OK bool `json:"ok"`
+}
+
+// pingMeta is a health probe. Origin is the sender's ring identity and Seq
+// its completed-broadcast watermark: every invalidation the sender has
+// finished broadcasting has seq <= Seq, so a receiver whose applied counter
+// for Origin is behind provably missed one — this is how a rejoining peer
+// discovers its gap (and flushes) on the first probe after heal, not on
+// the next write.
+type pingMeta struct {
+	Origin string `json:"origin,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+}
+
+// pongMeta echoes the responder's last-applied seq for the pinger's origin
+// (observability only; the pinger does not act on it).
+type pongMeta struct {
+	OK      bool   `json:"ok"`
+	Applied uint64 `json:"applied,omitempty"`
 }
 
 // wireValue is a datasource.Value with its dynamic type made explicit, so int64

@@ -146,7 +146,8 @@ func (w *Woven) runHole(page *responseBuffer, r *http.Request, seg *servlet.Segm
 	ctx, rec := WithRecorder(r.Context())
 	seg.Gen(page, r.WithContext(ctx))
 	if len(rec.Writes()) > 0 {
-		return w.applyInvalidations(rec)
+		n, _ := w.applyInvalidations(rec)
+		return n
 	}
 	return 0
 }

@@ -20,9 +20,14 @@ const (
 	OutcomeAssembled   Outcome = "assembled"    // page assembled from a mix of fragment hits and generations
 	OutcomeMiss        Outcome = "miss"         // generated, then inserted
 	OutcomeWrite       Outcome = "write"        // write interaction (invalidates)
-	OutcomeUncacheable Outcome = "uncacheable"  // bypassed the cache by rule
-	OutcomeNoCache     Outcome = "nocache"      // served by an unwoven (baseline) app
-	OutcomeError       Outcome = "error"        // handler returned a non-200 status
+	// OutcomeWriteDegraded is a write that invalidated locally but whose
+	// strict-mode cluster broadcast missed one or more peers (down or
+	// partitioned). The write itself succeeded (HTTP 200); the missed peers
+	// quarantine-flush before serving again.
+	OutcomeWriteDegraded Outcome = "write-degraded"
+	OutcomeUncacheable   Outcome = "uncacheable" // bypassed the cache by rule
+	OutcomeNoCache       Outcome = "nocache"     // served by an unwoven (baseline) app
+	OutcomeError         Outcome = "error"       // handler returned a non-200 status
 )
 
 // HeaderOutcome is the response header carrying the request outcome, used by
@@ -52,8 +57,11 @@ type InteractionStats struct {
 	Assembled    uint64 // pages assembled from a mix of fragment hits and generations
 	Misses       uint64
 	Writes       uint64
-	Uncacheable  uint64
-	Errors       uint64
+	// DegradedWrites are writes whose strict-mode cluster broadcast missed
+	// at least one peer (subset of Writes).
+	DegradedWrites uint64
+	Uncacheable    uint64
+	Errors         uint64
 
 	// FragmentsServed / FragmentsTotal count cacheable fragments served from
 	// the cache vs considered, across all fragment-assembled responses.
@@ -145,6 +153,7 @@ func (s *InteractionStats) add(o *InteractionStats) {
 	s.BytesCached += o.BytesCached
 	s.Misses += o.Misses
 	s.Writes += o.Writes
+	s.DegradedWrites += o.DegradedWrites
 	s.Uncacheable += o.Uncacheable
 	s.Errors += o.Errors
 	s.TotalTime += o.TotalTime
@@ -156,17 +165,18 @@ func (s *InteractionStats) add(o *InteractionStats) {
 // counters is the lock-free accumulator behind one interaction's stats:
 // every field is an atomic so the per-request hot path never takes a lock.
 type counters struct {
-	requests     atomic.Uint64
-	hits         atomic.Uint64
-	semanticHits atomic.Uint64
-	coalesced    atomic.Uint64
-	remoteHits   atomic.Uint64
-	fragmentHits atomic.Uint64
-	assembled    atomic.Uint64
-	misses       atomic.Uint64
-	writes       atomic.Uint64
-	uncacheable  atomic.Uint64
-	errors       atomic.Uint64
+	requests       atomic.Uint64
+	hits           atomic.Uint64
+	semanticHits   atomic.Uint64
+	coalesced      atomic.Uint64
+	remoteHits     atomic.Uint64
+	fragmentHits   atomic.Uint64
+	assembled      atomic.Uint64
+	misses         atomic.Uint64
+	writes         atomic.Uint64
+	degradedWrites atomic.Uint64
+	uncacheable    atomic.Uint64
+	errors         atomic.Uint64
 
 	fragsServed atomic.Uint64
 	fragsTotal  atomic.Uint64
@@ -200,6 +210,7 @@ func (c *counters) snapshot(name string) InteractionStats {
 		BytesCached:      c.bytesCached.Load(),
 		Misses:           c.misses.Load(),
 		Writes:           c.writes.Load(),
+		DegradedWrites:   c.degradedWrites.Load(),
 		Uncacheable:      c.uncacheable.Load(),
 		Errors:           c.errors.Load(),
 		TotalTime:        time.Duration(c.totalNs.Load()),
@@ -282,6 +293,12 @@ func (s *Stats) RecordServed(name string, outcome Outcome, d time.Duration, inva
 		c.missNs.Add(int64(d))
 	case OutcomeWrite:
 		c.writes.Add(1)
+		c.pagesInvalidated.Add(uint64(invalidated))
+	case OutcomeWriteDegraded:
+		// The write and local invalidation succeeded; only the strict-mode
+		// broadcast was partial. It is a write, plus the degraded marker.
+		c.writes.Add(1)
+		c.degradedWrites.Add(1)
 		c.pagesInvalidated.Add(uint64(invalidated))
 	case OutcomeUncacheable, OutcomeNoCache:
 		c.uncacheable.Add(1)

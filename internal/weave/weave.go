@@ -3,6 +3,7 @@ package weave
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -481,7 +482,7 @@ func (w *Woven) leadMiss(rw http.ResponseWriter, r *http.Request, h servlet.Hand
 	}
 	// A "read" handler that wrote must still invalidate (defensive: the
 	// weaving rules misclassified it).
-	invalidated := w.applyInvalidations(rec)
+	invalidated, _ := w.applyInvalidations(rec)
 	rb.replay(rw, outcome)
 	// Byte accounting covers cache-governed 200s only (as in the fragment
 	// path): error responses would skew the cached-byte fraction.
@@ -505,7 +506,13 @@ func (w *Woven) afterAdvice(h servlet.HandlerInfo) http.Handler {
 		if rb.status != http.StatusOK {
 			outcome = OutcomeError
 		}
-		invalidated := w.applyInvalidations(rec)
+		invalidated, degraded := w.applyInvalidations(rec)
+		if degraded && outcome == OutcomeWrite {
+			// The write and its local invalidation succeeded, but a strict
+			// cluster broadcast missed one or more peers: surface the §8
+			// availability trade per request instead of hiding it.
+			outcome = OutcomeWriteDegraded
+		}
 		rb.replay(rw, outcome)
 		w.stats.Record(h.Name, outcome, time.Since(start), invalidated)
 	})
@@ -513,9 +520,9 @@ func (w *Woven) afterAdvice(h servlet.HandlerInfo) http.Handler {
 
 // applyInvalidations processes the recorder's write captures against the
 // cache. An empty capture (a write the engine could not analyse) flushes the
-// whole cache — over-invalidation is always sound.
-func (w *Woven) applyInvalidations(rec *Recorder) int {
-	total := 0
+// whole cache — over-invalidation is always sound. degraded reports that a
+// strict cluster broadcast missed at least one peer.
+func (w *Woven) applyInvalidations(rec *Recorder) (total int, degraded bool) {
 	for _, wc := range rec.Writes() {
 		if wc.SQL == "" {
 			n := w.cache.Len()
@@ -525,13 +532,22 @@ func (w *Woven) applyInvalidations(rec *Recorder) int {
 		}
 		n, err := w.cache.InvalidateWrite(wc)
 		if err != nil {
+			if errors.Is(err, cache.ErrPeerUnreachable) {
+				// The local sweep ran; only unreachable peers missed the
+				// broadcast. Flushing here would not help them — they
+				// quarantine-flush on rejoin — so keep the count and mark
+				// the write degraded.
+				total += n
+				degraded = true
+				continue
+			}
 			// Analysis failure: fall back to flushing (sound, never stale).
 			n = w.cache.Len()
 			w.cache.Flush()
 		}
 		total += n
 	}
-	return total
+	return total, degraded
 }
 
 // uncacheable serves a read interaction directly, bypassing the cache — the

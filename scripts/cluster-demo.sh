@@ -15,10 +15,18 @@
 #      node 2 — read-your-write through the one shared database, the §3.2
 #      deployment the paper assumes.
 #
+#   6. (KILL_RESTART only) node 2 is SIGKILLed: the survivors keep serving
+#      reads AND writes (the peer breaker fails fast instead of stalling),
+#      the load generator degrades — per-target errors, zero for the live
+#      nodes — rather than erroring out, and a restarted node 2 rejoins the
+#      warm path: its cache fills again and a write on node 1 still
+#      invalidates it cluster-wide.
+#
 # Knobs: CLUSTER_DURATION (default 5s), CLUSTER_CLIENTS (default 30),
 # MAX_BYTES (optional page-cache budget + admission filter for every node),
 # SHARED_DB (path to a sqlite database file all three nodes share; empty =
-# per-process in-memory databases, which exercises only the cache tier).
+# per-process in-memory databases, which exercises only the cache tier),
+# KILL_RESTART (non-empty = run the kill/restart failure-domain phase).
 #
 # When setting MAX_BYTES, size it above the demo's working set (tens of
 # MiB): assertions 2-4 require inserts and replica offers to be accepted,
@@ -60,8 +68,10 @@ cleanup() {
 }
 trap cleanup EXIT
 
-for i in 0 1 2; do
-  peers=()
+# start_node <i> boots node i in the background and records its pid in
+# PIDS[i] — the kill/restart phase reuses it to bring a dead node back.
+start_node() {
+  local i="$1" j peers=()
   for j in 0 1 2; do
     [ "$j" != "$i" ] && peers+=("127.0.0.1:${PEER_PORTS[$j]}")
   done
@@ -69,17 +79,26 @@ for i in 0 1 2; do
     -listen-peer "127.0.0.1:${PEER_PORTS[$i]}" \
     -peers "$(IFS=,; echo "${peers[*]}")" \
     "${GOVERN_FLAGS[@]}" "${DB_FLAGS[@]}" &
-  PIDS+=($!)
+  PIDS[$i]=$!
+}
+
+# wait_http <port> blocks until the node on <port> answers (or fails).
+wait_http() {
+  local port="$1" _
+  for _ in $(seq 1 150); do
+    if curl -sf -o /dev/null "http://localhost:$port/"; then return 0; fi
+    sleep 0.2
+  done
+  fail "node on :$port never became healthy"
+}
+
+for i in 0 1 2; do
+  start_node "$i"
 done
 
 # Wait for all three nodes to serve.
 for port in "${HTTP_PORTS[@]}"; do
-  up=""
-  for _ in $(seq 1 150); do
-    if curl -sf -o /dev/null "http://localhost:$port/"; then up=1; break; fi
-    sleep 0.2
-  done
-  [ -n "$up" ] || fail "node on :$port never became healthy"
+  wait_http "$port"
 done
 
 echo "three nodes up; driving $CLIENTS clients for $DURATION"
@@ -139,6 +158,65 @@ if [ -n "$SHARED_DB" ]; then
   echo "$BODY" | grep -q "999" \
     || fail "shared-db read-your-write failed: node1's regenerated page is missing node2's bid of 999"
   echo "cluster-demo: shared-database read-your-write OK"
+fi
+
+# Assertion 6 (KILL_RESTART): the failure-domain phase — SIGKILL node 2,
+# prove the survivors degrade instead of stalling, then restart it and
+# prove it rejoins the warm path.
+if [ -n "${KILL_RESTART:-}" ]; then
+  echo "cluster-demo: kill/restart phase: SIGKILL node2 (pid ${PIDS[1]})"
+  kill -9 "${PIDS[1]}" 2>/dev/null
+  wait "${PIDS[1]}" 2>/dev/null
+
+  # 6a: with node 2 dead, the survivors keep serving reads AND writes —
+  # the peer breaker turns the dead node into fast failures, not stalls.
+  W=$(outcome "$N1/storeBid?userId=2&itemId=7&bid=1001&qty=1")
+  case "$W" in
+    write|write-degraded) ;;
+    *) fail "write on node1 with node2 dead returned '$W'" ;;
+  esac
+  R=$(outcome "$N3$PAGE")
+  [ -n "$R" ] || fail "read on node3 with node2 dead returned no outcome"
+  echo "cluster-demo: survivors serve with node2 dead OK (write='$W', read='$R')"
+
+  # 6b: the load generator pointed at all three (one dead) degrades: exit
+  # 0, live targets error-free, the dead target all errors.
+  DEAD_OUT=$(bin/loadgen \
+    -targets "http://localhost:${HTTP_PORTS[0]},http://localhost:${HTTP_PORTS[1]},http://localhost:${HTTP_PORTS[2]}" \
+    -app rubis -clients "$CLIENTS" -duration 3s) \
+    || fail "loadgen must degrade, not fail, with a dead target"
+  echo "$DEAD_OUT"
+  DEAD_LINE=$(echo "$DEAD_OUT" | grep "target http://localhost:${HTTP_PORTS[1]}")
+  [ -n "$DEAD_LINE" ] || fail "no per-target line for the dead node"
+  DEAD_REQS=$(echo "$DEAD_LINE" | awk '{print $3}')
+  DEAD_ERRS=$(echo "$DEAD_LINE" | awk '{print $5}')
+  [ "$DEAD_REQS" -gt 0 ] || fail "dead target shown idle: $DEAD_LINE"
+  [ "$DEAD_ERRS" = "$DEAD_REQS" ] || fail "dead target served requests?! $DEAD_LINE"
+  LIVE_ERRS=$(echo "$DEAD_OUT" | grep "target http://localhost:${HTTP_PORTS[0]}" | awk '{print $5}')
+  [ "$LIVE_ERRS" = "0" ] || fail "live node reported errors under degraded load: $LIVE_ERRS"
+  echo "cluster-demo: degraded loadgen OK ($DEAD_ERRS/$DEAD_REQS dead-target errors, live nodes clean)"
+
+  # 6c: restart node 2 and wait for it to rejoin the warm path: a page
+  # cached on it is a hit, and a write on node 1 still invalidates it —
+  # the survivors' probes must first revive the breaker-down peer, so
+  # poll until the full warm/invalidate cycle holds.
+  start_node 1
+  wait_http "${HTTP_PORTS[1]}"
+  REJOINED=""
+  for _ in $(seq 1 40); do
+    outcome "$N2$PAGE" >/dev/null
+    WARM2=$(outcome "$N2$PAGE")
+    W2=$(outcome "$N1/storeBid?userId=1&itemId=7&bid=1002&qty=1")
+    AFTER2=$(outcome "$N2$PAGE")
+    if [ "$WARM2" = "hit" ] && [ "$W2" = "write" ] \
+       && [ "$AFTER2" != "hit" ] && [ "$AFTER2" != "semantic-hit" ]; then
+      REJOINED=1
+      break
+    fi
+    sleep 0.5
+  done
+  [ -n "$REJOINED" ] || fail "restarted node2 never rejoined the warm path (warm='$WARM2' write='$W2' after='$AFTER2')"
+  echo "cluster-demo: kill/restart rejoin OK (node2 warm hit invalidated by node1's write)"
 fi
 
 echo "cluster-demo: PASS"
