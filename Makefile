@@ -2,8 +2,8 @@ GO ?= go
 
 # make bench writes this PR's benchmark record; the gate diffs a fresh run
 # against the committed baseline of the previous PR.
-BENCH_OUT ?= BENCH_7.json
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_OUT ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_7.json
 
 # cluster-demo knobs.
 CLUSTER_DURATION ?= 5s
@@ -20,7 +20,8 @@ COVER_FLOOR ?= 75
 FUZZTIME ?= 15s
 
 .PHONY: check ci fmtcheck build vet test race bench benchsmoke bench-gate \
-	experiments cluster-demo cover staticcheck govulncheck lint fuzz
+	experiments cluster-demo cover staticcheck govulncheck lint fuzz \
+	docs-check metricsdoc
 
 check: build vet race
 
@@ -29,7 +30,7 @@ check: build vet race
 # job (smoke + regression gate against the committed baseline). The linters
 # need network access to fetch their pinned versions; on an air-gapped box
 # run the individual targets you can.
-ci: fmtcheck build vet lint race cover benchsmoke bench-gate
+ci: fmtcheck build vet lint race cover benchsmoke bench-gate docs-check
 
 fmtcheck:
 	@out=$$(gofmt -l .); \
@@ -92,6 +93,17 @@ fuzz:
 
 experiments:
 	$(GO) run ./cmd/experiments -fast
+
+# docs-check keeps the documentation suite honest: every relative markdown
+# link resolves, docs/METRICS.md matches the live telemetry registry, and
+# the documented examples still build. CI runs it as the docs-check job.
+docs-check:
+	bash scripts/docs-check.sh
+
+# metricsdoc regenerates docs/METRICS.md from the live registry after a
+# metrics change (then commit the result; docs-check diffs it).
+metricsdoc:
+	$(GO) run ./cmd/metricsdoc -out docs/METRICS.md
 
 # cluster-demo boots a 3-node RUBiS cache cluster on localhost, drives it
 # with the multi-target load generator, and asserts the cluster tier's

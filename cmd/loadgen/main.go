@@ -14,6 +14,12 @@
 // remote hits and invalidation broadcasts are exercised:
 //
 //	loadgen -targets http://node1:8080,http://node2:8080,http://node3:8080 -app rubis
+//
+// With -scrape, loadgen reads each node's /metrics (its -metrics-listen
+// address) after the run and appends the server-side counters — requests,
+// outcomes, cache occupancy, peer health — to the report:
+//
+//	loadgen -targets ... -scrape 127.0.0.1:9191,127.0.0.1:9192,127.0.0.1:9193
 package main
 
 import (
@@ -26,11 +32,13 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"autowebcache/internal/cluster"
 	"autowebcache/internal/rubis"
+	"autowebcache/internal/telemetry"
 	"autowebcache/internal/tpcw"
 )
 
@@ -102,6 +110,8 @@ func run(args []string, out io.Writer) error {
 	duration := fs.Duration("duration", 10*time.Second, "measurement duration")
 	think := fs.Duration("think", 50*time.Millisecond, "mean client think time")
 	seed := fs.Int64("seed", 1, "random seed")
+	scrape := fs.String("scrape", "",
+		"comma-separated admin URLs (the servers' -metrics-listen addresses) to scrape after the run; each node's /metrics joins the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,6 +218,76 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "target %-40s %8d requests %8d errors\n", tgt, perTarget[i], perTargetErrs[i])
 		}
 	}
+	if *scrape != "" {
+		fmt.Fprintln(out)
+		for _, base := range cluster.ParsePeerList(*scrape) {
+			if err := scrapeNode(out, httpClient, base); err != nil {
+				fmt.Fprintf(out, "scrape %-38s error: %v\n", base, err)
+			}
+		}
+	}
+	return nil
+}
+
+// scrapeNode fetches one node's /metrics (base is its -metrics-listen URL),
+// validates the exposition with the telemetry parser, and prints the
+// server-side view of the run: requests and outcomes as the node counted
+// them, plus the cluster-health series an operator would watch.
+func scrapeNode(out io.Writer, client *http.Client, base string) error {
+	url := base
+	if !strings.HasSuffix(url, "/metrics") {
+		url = strings.TrimSuffix(url, "/") + "/metrics"
+	}
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	sc, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	sum := func(name string, match ...string) float64 {
+		fam := sc.Families[name]
+		if fam == nil {
+			return 0
+		}
+		want := make(map[string]string, len(match))
+		for _, p := range match {
+			if k, v, ok := strings.Cut(p, "="); ok {
+				want[k] = v
+			}
+		}
+		var total float64
+		for _, s := range fam.Samples {
+			ok := true
+			for k, v := range want {
+				if s.Labels[k] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				total += s.Value
+			}
+		}
+		return total
+	}
+	fmt.Fprintf(out, "node %-38s %6.0f requests: %.0f hit, %.0f remote, %.0f miss, %.0f write (%.0f degraded)\n",
+		base, sum("awc_requests_total"),
+		sum("awc_hits_total")+sum("awc_semantic_hits_total"),
+		sum("awc_remote_hits_total"), sum("awc_misses_total"),
+		sum("awc_writes_total"), sum("awc_degraded_writes_total"))
+	fmt.Fprintf(out, "     %-38s cache %.0f entries / %.0f bytes; peers %.0f healthy, %.0f suspect, %.0f down; %.0f gap flushes\n",
+		"", sum("awc_cache_entries", "cache=page"), sum("awc_cache_bytes", "cache=page"),
+		sum("awc_cluster_peers", "state=healthy"), sum("awc_cluster_peers", "state=suspect"),
+		sum("awc_cluster_peers", "state=down"), sum("awc_cluster_gap_flushes_total"))
 	return nil
 }
 

@@ -1,0 +1,53 @@
+// Command metricsdoc generates docs/METRICS.md from the live telemetry
+// registry of a fully-wired throwaway stack, so the metrics reference can
+// never drift from the code.
+//
+// Usage:
+//
+//	metricsdoc -out docs/METRICS.md          # (re)write the reference
+//	metricsdoc -check docs/METRICS.md        # exit 1 if the file is stale
+//
+// `make docs-check` runs the -check mode in CI; the committed file is also
+// verified by TestMetricsReferenceCurrent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"autowebcache"
+)
+
+func main() {
+	out := flag.String("out", "", "write the generated reference to this path")
+	check := flag.String("check", "", "compare the generated reference against this path; exit 1 on drift")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		log.Fatal("metricsdoc: exactly one of -out or -check is required")
+	}
+
+	want, err := autowebcache.MetricsReference()
+	if err != nil {
+		log.Fatal("metricsdoc: ", err)
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(want), 0o644); err != nil {
+			log.Fatal("metricsdoc: ", err)
+		}
+		fmt.Printf("metricsdoc: wrote %s (%d bytes)\n", *out, len(want))
+		return
+	}
+
+	got, err := os.ReadFile(*check)
+	if err != nil {
+		log.Fatal("metricsdoc: ", err)
+	}
+	if string(got) != want {
+		fmt.Fprintf(os.Stderr, "metricsdoc: %s is stale — regenerate with: go run ./cmd/metricsdoc -out %s\n", *check, *check)
+		os.Exit(1)
+	}
+	fmt.Printf("metricsdoc: %s is current\n", *check)
+}

@@ -12,6 +12,11 @@
 //	tpcw-server -addr :8081 -listen-peer 127.0.0.1:9081 \
 //	    -peers 127.0.0.1:9082,127.0.0.1:9083
 //
+// Observability (see docs/OPERATIONS.md and docs/METRICS.md):
+//
+//	tpcw-server ... -metrics-listen 127.0.0.1:9190
+//	curl http://127.0.0.1:9190/metrics   # Prometheus text format
+//
 // Visit /home?c_id=1, /bestSellers?subject=ARTS, /productDetail?i_id=1, ...
 package main
 
@@ -52,6 +57,7 @@ func run(args []string) error {
 	strictBcast := fs.Bool("strict-broadcast", false, "report strong-mode writes that missed a down peer as write-degraded")
 	probeInterval := fs.Duration("probe-interval", 0, "cluster peer health-probe cadence (0 = 250ms, negative disables)")
 	failThreshold := fs.Int("failure-threshold", 0, "consecutive peer-call failures before the circuit breaker opens (0 = 3)")
+	metricsListen := fs.String("metrics-listen", "", "admin listen address serving /metrics (Prometheus), /statsz, /healthz and /debug/pprof (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +104,18 @@ func run(args []string) error {
 		defer node.Close()
 		log.Printf("cluster peer tier on %s (%d-node ring, invalidation=%s)",
 			node.Addr(), node.Ring().Len(), *invMode)
+	}
+
+	if *metricsListen != "" {
+		admin := autowebcache.NewAdmin().Watch(rt, handler, node)
+		adminSrv := &http.Server{Addr: *metricsListen, Handler: admin.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		defer adminSrv.Close()
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("admin listener: %v", err)
+			}
+		}()
+		log.Printf("admin surface on %s (/metrics, /statsz, /healthz, /debug/pprof)", *metricsListen)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/cache"
@@ -284,6 +285,25 @@ func HitPathRecords() ([]HitPathRecord, error) {
 		}
 	})
 	out = append(out, record("page-hit-governed", r, "warm Lookup with MaxBytes budget + TinyLFU admission"))
+
+	// page-hit-instrumented: the governed hit plus the full telemetry
+	// accounting a served request pays (outcome counters, byte counters,
+	// per-outcome latency histogram) — instrumentation must keep the hit
+	// path at 0 allocs/op.
+	stats := weave.NewStats()
+	stats.RecordServed("Bench", weave.OutcomeHit, time.Microsecond, 0, 1024, 1024)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		i := 0
+		for n := 0; n < b.N; n++ {
+			if _, ok := cg.Lookup(gkeys[i&gmask]); !ok {
+				b.Fatal("unexpected miss")
+			}
+			stats.RecordServed("Bench", weave.OutcomeHit, time.Microsecond, 0, 1024, 1024)
+			i += 7
+		}
+	})
+	out = append(out, record("page-hit-instrumented", r, "governed hit + outcome counters, byte counters and latency histogram"))
 
 	// page-miss-insert.
 	c2, _, err := newHitPathCache(0)

@@ -244,6 +244,19 @@ type Stats struct {
 	// entry's cost plus in-flight insert reservations. With MaxBytes set it
 	// never exceeds the budget.
 	Bytes int64
+
+	// Per-segment occupancy and eviction splits. Under segmented eviction
+	// (byte governance with LRU/LFU) entries start in probation and move to
+	// protected on first reuse; an unsegmented cache reports everything as
+	// probation. A growing EvictionsProtected with a cold probation segment
+	// is the operator's signal that MaxBytes is undersized for the working
+	// set (see docs/OPERATIONS.md).
+	ProbationEntries   int
+	ProtectedEntries   int
+	ProbationBytes     int64 // linked entry cost only (reservations excluded)
+	ProtectedBytes     int64
+	EvictionsProbation uint64
+	EvictionsProtected uint64
 }
 
 // depInstance is one row of the dependency table's value-vector level: a
@@ -338,8 +351,10 @@ type pageShard struct {
 	prot *list.List
 	// bytes is this shard's share of the accounted memory: the summed cost
 	// of the entries currently linked into the shard (in-flight insert
-	// reservations are carried by the cache-wide counter only).
-	bytes atomic.Int64
+	// reservations are carried by the cache-wide counter only); protBytes
+	// is the subset linked into the protected segment.
+	bytes     atomic.Int64
+	protBytes atomic.Int64
 }
 
 // depShard is one stripe of the dependency table.
@@ -395,6 +410,7 @@ type Cache struct {
 	inserts          atomic.Uint64
 	invalidations    atomic.Uint64
 	evictions        atomic.Uint64
+	evictionsProt    atomic.Uint64 // subset of evictions taken from the protected segment
 	expirations      atomic.Uint64
 	writesSeen       atomic.Uint64
 	admissionRejects atomic.Uint64
@@ -545,6 +561,7 @@ func (c *Cache) hitEntry(key string) (*Entry, bool) {
 		el = s.prot.PushBack(e)
 		s.pages[key] = el
 		e.protected = true
+		s.protBytes.Add(e.cost)
 		if c.opts.Replacement == LRU {
 			e.seq = c.seq.Add(1)
 		}
@@ -1086,20 +1103,34 @@ func (c *Cache) Contains(key string) bool {
 	return e.ExpiresAt.IsZero() || !now.After(e.ExpiresAt)
 }
 
-// Stats returns a snapshot of the cache counters.
-func (c *Cache) Stats() Stats {
+// Snapshot returns a point-in-time copy of the cache counters — the
+// canonical stats accessor shared by every layer (weave, cache, qrcache,
+// cluster all expose Snapshot()); the telemetry collectors consume it.
+func (c *Cache) Snapshot() Stats {
 	st := Stats{
-		Hits:             c.hits.Load(),
-		Misses:           c.misses.Load(),
-		Inserts:          c.inserts.Load(),
-		Invalidations:    c.invalidations.Load(),
-		Evictions:        c.evictions.Load(),
-		Expirations:      c.expirations.Load(),
-		WritesSeen:       c.writesSeen.Load(),
-		AdmissionRejects: c.admissionRejects.Load(),
-		OversizeRejects:  c.oversizeRejects.Load(),
-		Entries:          int(c.entries.Load()),
-		Bytes:            c.bytesUsed.Load(),
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Inserts:            c.inserts.Load(),
+		Invalidations:      c.invalidations.Load(),
+		Evictions:          c.evictions.Load(),
+		EvictionsProtected: c.evictionsProt.Load(),
+		Expirations:        c.expirations.Load(),
+		WritesSeen:         c.writesSeen.Load(),
+		AdmissionRejects:   c.admissionRejects.Load(),
+		OversizeRejects:    c.oversizeRejects.Load(),
+		Entries:            int(c.entries.Load()),
+		Bytes:              c.bytesUsed.Load(),
+	}
+	st.EvictionsProbation = st.Evictions - st.EvictionsProtected
+	for i := range c.pageShards {
+		s := &c.pageShards[i]
+		s.mu.Lock()
+		st.ProbationEntries += s.order.Len()
+		st.ProtectedEntries += s.prot.Len()
+		pb := s.protBytes.Load()
+		st.ProtectedBytes += pb
+		st.ProbationBytes += s.bytes.Load() - pb
+		s.mu.Unlock()
 	}
 	for i := range c.depShards {
 		ds := &c.depShards[i]
@@ -1112,6 +1143,9 @@ func (c *Cache) Stats() Stats {
 	}
 	return st
 }
+
+// Stats is Snapshot under its historical name.
+func (c *Cache) Stats() Stats { return c.Snapshot() }
 
 // removeEntryLocked unlinks an entry from its shard's page table and order
 // list, releases its capacity slot, and clears its dependency links. The
@@ -1136,6 +1170,7 @@ func (c *Cache) unlinkEntryLocked(s *pageShard, el *list.Element) {
 	e := el.Value.(*Entry)
 	if e.protected {
 		s.prot.Remove(el)
+		s.protBytes.Add(-e.cost)
 	} else {
 		s.order.Remove(el)
 	}
@@ -1252,8 +1287,12 @@ func (c *Cache) evictPick(best *pick) bool {
 	if !ok {
 		return false
 	}
+	fromProtected := el.Value.(*Entry).protected
 	c.removeEntryLocked(s, el)
 	c.evictions.Add(1)
+	if fromProtected {
+		c.evictionsProt.Add(1)
+	}
 	return true
 }
 

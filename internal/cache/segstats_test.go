@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSegmentStats checks the per-segment occupancy and eviction split the
+// telemetry layer exports: inserts land in probation, a first hit moves the
+// entry (and its bytes) to protected, and eviction under pressure drains
+// probation first and is attributed to the right segment.
+func TestSegmentStats(t *testing.T) {
+	c := governedCache(t, Options{MaxBytes: 16 << 10})
+
+	body := make([]byte, 1024)
+	c.Insert("/a", body, "text/html", depOn(1), 0)
+	c.Insert("/b", body, "text/html", depOn(2), 0)
+
+	st := c.Snapshot()
+	if st.ProbationEntries != 2 || st.ProtectedEntries != 0 {
+		t.Fatalf("after inserts: probation=%d protected=%d", st.ProbationEntries, st.ProtectedEntries)
+	}
+	if st.ProbationBytes != st.Bytes || st.ProtectedBytes != 0 {
+		t.Fatalf("after inserts: probation bytes %d (total %d), protected %d",
+			st.ProbationBytes, st.Bytes, st.ProtectedBytes)
+	}
+
+	// First hit promotes /a — entry count and bytes move segments.
+	if _, ok := c.Lookup("/a"); !ok {
+		t.Fatal("lookup /a missed")
+	}
+	st = c.Snapshot()
+	if st.ProbationEntries != 1 || st.ProtectedEntries != 1 {
+		t.Fatalf("after promote: probation=%d protected=%d", st.ProbationEntries, st.ProtectedEntries)
+	}
+	wantProt := entryCost("/a", body, depOn(1))
+	if st.ProtectedBytes != wantProt {
+		t.Fatalf("protected bytes = %d, want %d", st.ProtectedBytes, wantProt)
+	}
+	if st.ProbationBytes+st.ProtectedBytes != st.Bytes {
+		t.Fatalf("segment bytes %d+%d != total %d", st.ProbationBytes, st.ProtectedBytes, st.Bytes)
+	}
+
+	// A second hit must not move bytes again (promotion is one-time).
+	c.Lookup("/a")
+	if st2 := c.Snapshot(); st2.ProtectedBytes != wantProt {
+		t.Fatalf("protected bytes after re-hit = %d, want %d", st2.ProtectedBytes, wantProt)
+	}
+
+	// Removal from the protected segment credits its counter.
+	c.InvalidateKey("/a")
+	st = c.Snapshot()
+	if st.ProtectedEntries != 0 || st.ProtectedBytes != 0 {
+		t.Fatalf("after invalidate: protected entries=%d bytes=%d", st.ProtectedEntries, st.ProtectedBytes)
+	}
+}
+
+// TestSegmentEvictionSplit fills a tiny governed cache with one protected
+// page and churns one-hit inserts: the churn must evict from probation, and
+// the split counters must attribute every eviction to a segment.
+func TestSegmentEvictionSplit(t *testing.T) {
+	c := governedCache(t, Options{MaxBytes: 8 << 10, Shards: 1})
+	body := make([]byte, 1024)
+
+	c.Insert("/hot", body, "text/html", depOn(0), 0)
+	c.Lookup("/hot") // promote
+
+	for i := 0; i < 64; i++ {
+		c.Insert(fmt.Sprintf("/cold-%d", i), body, "text/html", depOn(i+1), 0)
+	}
+
+	st := c.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatal("churn produced no evictions")
+	}
+	if st.EvictionsProbation+st.EvictionsProtected != st.Evictions {
+		t.Fatalf("eviction split %d+%d != total %d",
+			st.EvictionsProbation, st.EvictionsProtected, st.Evictions)
+	}
+	if st.EvictionsProbation == 0 {
+		t.Fatal("one-hit churn must evict from probation")
+	}
+	// The protected page survived the probation churn.
+	if _, ok := c.Lookup("/hot"); !ok {
+		t.Fatal("protected page was evicted by one-hit churn")
+	}
+}

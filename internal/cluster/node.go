@@ -13,6 +13,7 @@ import (
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/cache"
 	"autowebcache/internal/qrcache"
+	"autowebcache/internal/telemetry"
 )
 
 // Deployment note: the tier keeps the CACHES consistent — it assumes the
@@ -127,6 +128,17 @@ type Stats struct {
 	PeersHealthy         int    // gauge: peers currently healthy
 	PeersSuspect         int    // gauge: peers currently suspect
 	PeersDown            int    // gauge: peers currently down (breaker open)
+
+	// Latency distributions of the three peer operations, end to end: Fetch
+	// (owner walk after a local miss, successful or not — but only walks
+	// that dialed at least one peer; breaker-skipped walks are counted by
+	// BreakerSkips and kept out of the distribution), Offer (replication
+	// to every owner) and invalidation broadcast (including its serializing
+	// bcastMu wait — queueing behind another broadcast IS write latency the
+	// operator needs to see).
+	FetchLatency     telemetry.HistSnapshot
+	OfferLatency     telemetry.HistSnapshot
+	BroadcastLatency telemetry.HistSnapshot
 }
 
 // PeerDownError reports the peers a strict strong-mode broadcast could not
@@ -207,6 +219,10 @@ type Node struct {
 	flushApplied      atomic.Uint64
 	pagesRemoved      atomic.Uint64
 	resultsRemoved    atomic.Uint64
+
+	fetchLat telemetry.DurationHist
+	offerLat telemetry.DurationHist
+	bcastLat telemetry.DurationHist
 }
 
 // New creates a Node. Call Start to listen and join the ring.
@@ -391,6 +407,16 @@ func (n *Node) owners(key string) []string {
 // peer had the page (or all were unreachable): the caller falls back to
 // executing the handler.
 func (n *Node) Fetch(ctx context.Context, key string) (cache.Page, bool) {
+	// start is taken lazily, before the first peer actually dialed: a walk
+	// that only meets open breakers must stay clock-free (the fail-fast
+	// guarantee) and must not pollute the fetch-latency distribution with
+	// ~0 observations — those walks are visible as BreakerSkips instead.
+	var start time.Time
+	defer func() {
+		if !start.IsZero() {
+			n.fetchLat.Observe(time.Since(start))
+		}
+	}()
 	for _, owner := range n.owners(key) {
 		if owner == n.self {
 			continue // we already missed locally
@@ -402,12 +428,21 @@ func (n *Node) Fetch(ctx context.Context, key string) (cache.Page, bool) {
 		if err := ctx.Err(); err != nil {
 			break
 		}
+		if !p.health.allow() {
+			// Down peer: the breaker already paid the cost (none).
+			n.breakerSkips.Add(1)
+			continue
+		}
+		if start.IsZero() {
+			start = time.Now()
+		}
 		epoch := n.invEpoch.Load()
 		var meta getRespMeta
 		body, err := p.call(msgGet, getMeta{Key: key}, nil, &meta)
 		if err != nil {
 			if err == errBreakerOpen {
-				// Down peer: the breaker already paid the cost (none).
+				// The breaker opened between the pre-check above and the
+				// call's own check — still a skip, not a fetch error.
 				n.breakerSkips.Add(1)
 			} else {
 				n.fetchErrors.Add(1)
@@ -453,6 +488,8 @@ func (n *Node) Fetch(ctx context.Context, key string) (cache.Page, bool) {
 // lost replica only costs a future remote miss. Self-owned keys are
 // already stored locally; an empty peer set makes Offer a no-op.
 func (n *Node) Offer(key string, body []byte, contentType string, deps []analysis.Query, ttl time.Duration) {
+	start := time.Now()
+	defer func() { n.offerLat.Observe(time.Since(start)) }()
 	var wireDeps []wireQuery
 	var vector map[string]uint64
 	for _, owner := range n.owners(key) {
@@ -522,6 +559,8 @@ func (n *Node) BroadcastFlush() error {
 // stale state on rejoin because its sequence gap forces a quarantine
 // flush, so strong mode stays honest even when this returns nil.
 func (n *Node) broadcast(typ byte, mkMeta func(seq uint64) any, op string) error {
+	start := time.Now()
+	defer func() { n.bcastLat.Observe(time.Since(start)) }()
 	n.bcastMu.Lock()
 	defer n.bcastMu.Unlock()
 	n.seqNext++
@@ -834,8 +873,10 @@ func (n *Node) PeerStates() map[string]PeerState {
 	return out
 }
 
-// Stats returns a snapshot of the node counters.
-func (n *Node) Stats() Stats {
+// Snapshot returns a point-in-time copy of the node counters, peer gauges
+// and peer-operation latency distributions — the canonical stats accessor
+// shared by every layer; the telemetry collectors consume it.
+func (n *Node) Snapshot() Stats {
 	st := Stats{
 		RemoteHits:           n.remoteHits.Load(),
 		RemoteMisses:         n.remoteMisses.Load(),
@@ -868,5 +909,11 @@ func (n *Node) Stats() Stats {
 			st.PeersDown++
 		}
 	}
+	st.FetchLatency = n.fetchLat.Snapshot()
+	st.OfferLatency = n.offerLat.Snapshot()
+	st.BroadcastLatency = n.bcastLat.Snapshot()
 	return st
 }
+
+// Stats is Snapshot under its historical name.
+func (n *Node) Stats() Stats { return n.Snapshot() }

@@ -44,6 +44,16 @@ type Stats struct {
 	// Bytes is the accounted memory charged against Options.MaxBytes: every
 	// cached result set's cost plus in-flight insert reservations.
 	Bytes int64
+
+	// Per-segment occupancy and eviction splits under byte governance
+	// (probation = not yet reused, protected = promoted on first hit). An
+	// ungoverned cache reports everything as probation.
+	ProbationEntries   int
+	ProtectedEntries   int
+	ProbationBytes     int64 // linked entry cost only (reservations excluded)
+	ProtectedBytes     int64
+	EvictionsProbation uint64
+	EvictionsProtected uint64
 }
 
 // entry is one cached result set.
@@ -145,8 +155,10 @@ type qrShard struct {
 	// probation segment is empty.
 	prot *list.List
 	// bytes is this shard's share of the accounted memory (linked entries
-	// only; in-flight reservations live in the cache-wide counter).
-	bytes atomic.Int64
+	// only; in-flight reservations live in the cache-wide counter);
+	// protBytes is the subset linked into the protected segment.
+	bytes     atomic.Int64
+	protBytes atomic.Int64
 }
 
 // tmplShard is one stripe of the template -> instances index.
@@ -203,6 +215,7 @@ type Conn struct {
 	misses           atomic.Uint64
 	invalidations    atomic.Uint64
 	evictions        atomic.Uint64
+	evictionsProt    atomic.Uint64 // subset of evictions taken from the protected segment
 	admissionRejects atomic.Uint64
 	oversizeRejects  atomic.Uint64
 }
@@ -337,6 +350,7 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*datasource.
 			s.lru.Remove(e.el)
 			e.el = s.prot.PushBack(e)
 			e.protected = true
+			s.protBytes.Add(e.cost)
 			e.seq = c.seq.Add(1)
 		} else if c.opts.MaxEntries > 0 || c.opts.MaxBytes > 0 {
 			if e.protected {
@@ -610,6 +624,7 @@ func (c *Conn) removeLocked(s *qrShard, e *entry) {
 	delete(s.entries, e.key)
 	if e.protected {
 		s.prot.Remove(e.el)
+		s.protBytes.Add(-e.cost)
 	} else {
 		s.lru.Remove(e.el)
 	}
@@ -689,8 +704,12 @@ func (c *Conn) evictPick(v victim) bool {
 	if !ok {
 		return false // vanished since the scan; caller retries
 	}
+	fromProtected := e.protected
 	c.removeLocked(v.shard, e)
 	c.evictions.Add(1)
+	if fromProtected {
+		c.evictionsProt.Add(1)
+	}
 	return true
 }
 
@@ -725,16 +744,34 @@ func (c *Conn) ShardBytes() []int64 {
 	return out
 }
 
-// Stats returns a snapshot of the counters.
-func (c *Conn) Stats() Stats {
-	return Stats{
-		Hits:             c.hits.Load(),
-		Misses:           c.misses.Load(),
-		Invalidations:    c.invalidations.Load(),
-		Evictions:        c.evictions.Load(),
-		AdmissionRejects: c.admissionRejects.Load(),
-		OversizeRejects:  c.oversizeRejects.Load(),
-		Entries:          int(c.count.Load()),
-		Bytes:            c.bytesUsed.Load(),
+// Snapshot returns a point-in-time copy of the counters — the canonical
+// stats accessor shared by every layer; the telemetry collectors consume
+// it.
+func (c *Conn) Snapshot() Stats {
+	st := Stats{
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Invalidations:      c.invalidations.Load(),
+		Evictions:          c.evictions.Load(),
+		EvictionsProtected: c.evictionsProt.Load(),
+		AdmissionRejects:   c.admissionRejects.Load(),
+		OversizeRejects:    c.oversizeRejects.Load(),
+		Entries:            int(c.count.Load()),
+		Bytes:              c.bytesUsed.Load(),
 	}
+	st.EvictionsProbation = st.Evictions - st.EvictionsProtected
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.ProbationEntries += s.lru.Len()
+		st.ProtectedEntries += s.prot.Len()
+		pb := s.protBytes.Load()
+		st.ProtectedBytes += pb
+		st.ProbationBytes += s.bytes.Load() - pb
+		s.mu.Unlock()
+	}
+	return st
 }
+
+// Stats is Snapshot under its historical name.
+func (c *Conn) Stats() Stats { return c.Snapshot() }

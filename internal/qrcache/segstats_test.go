@@ -1,0 +1,72 @@
+package qrcache
+
+import (
+	"context"
+	"testing"
+)
+
+// TestQrSegmentStats checks the per-segment occupancy split the telemetry
+// layer exports from the result cache: a first query lands its result set
+// in probation, a repeat query promotes it (bytes move to protected), and
+// churning cold templates evicts from probation while the split counters
+// stay consistent.
+func TestQrSegmentStats(t *testing.T) {
+	_, qr := governFixture(t, Options{MaxBytes: 64 << 10}, 32, 4)
+	ctx := context.Background()
+
+	if _, err := qr.Query(ctx, groupSQL, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := qr.Snapshot()
+	if st.ProbationEntries != 1 || st.ProtectedEntries != 0 {
+		t.Fatalf("after first query: probation=%d protected=%d", st.ProbationEntries, st.ProtectedEntries)
+	}
+
+	// The repeat query is a hit: the result set promotes to protected.
+	if _, err := qr.Query(ctx, groupSQL, 0); err != nil {
+		t.Fatal(err)
+	}
+	st = qr.Snapshot()
+	if st.ProbationEntries != 0 || st.ProtectedEntries != 1 {
+		t.Fatalf("after promote: probation=%d protected=%d", st.ProbationEntries, st.ProtectedEntries)
+	}
+	if st.ProtectedBytes <= 0 || st.ProbationBytes != 0 {
+		t.Fatalf("after promote: probation bytes %d, protected bytes %d", st.ProbationBytes, st.ProtectedBytes)
+	}
+	if st.ProtectedBytes > st.Bytes {
+		t.Fatalf("protected bytes %d exceed accounted total %d", st.ProtectedBytes, st.Bytes)
+	}
+}
+
+// TestQrSegmentEvictionSplit drives a small governed result cache with
+// one-hit queries until eviction and checks the probation/protected
+// attribution adds up.
+func TestQrSegmentEvictionSplit(t *testing.T) {
+	_, qr := governFixture(t, Options{MaxBytes: 4 << 10, Shards: 1}, 64, 4)
+	ctx := context.Background()
+
+	// Establish one protected result set.
+	for i := 0; i < 2; i++ {
+		if _, err := qr.Query(ctx, groupSQL, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn cold groups.
+	for g := 1; g < 64; g++ {
+		if _, err := qr.Query(ctx, groupSQL, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := qr.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatal("churn produced no evictions")
+	}
+	if st.EvictionsProbation+st.EvictionsProtected != st.Evictions {
+		t.Fatalf("eviction split %d+%d != total %d",
+			st.EvictionsProbation, st.EvictionsProtected, st.Evictions)
+	}
+	if st.EvictionsProbation == 0 {
+		t.Fatal("one-hit churn must evict from probation")
+	}
+}

@@ -1,0 +1,370 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("temp", "temperature")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestVecSameSeriesReturned(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("hits_total", "hits", "handler")
+	a := v.With("search")
+	b := v.With("search")
+	if a != b {
+		t.Fatal("With twice with same labels must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared series did not share state")
+	}
+}
+
+func TestRegistryPanicsOnBadWiring(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"invalid name", func(r *Registry) { r.Counter("9bad", "") }},
+		{"invalid label", func(r *Registry) { r.CounterVec("ok_total", "", "le-bad") }},
+		{"duplicate", func(r *Registry) { r.Counter("dup", ""); r.Gauge("dup", "") }},
+		{"arity", func(r *Registry) { r.CounterVec("v_total", "", "a").With("x", "y") }},
+		{"descending bounds", func(r *Registry) { r.HistogramVec("h", "", []float64{2, 1}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestWriteTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	hits := r.CounterVec("awc_hits_total", "Cache hits by handler.", "handler")
+	hits.With("search").Add(7)
+	hits.With("view\"item\n\\x").Add(3) // escaping stress
+	r.Gauge("awc_entries", "Entries resident.").Set(42)
+	h := r.HistogramVec("awc_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1}, "outcome")
+	h.With("hit").Observe(0.0005)
+	h.With("hit").Observe(0.05)
+	h.With("hit").Observe(5) // lands in +Inf
+	r.GaugeFunc("awc_up", "Always one.", func() float64 { return 1 })
+	r.Collect(func(g *Gatherer) {
+		g.Declare("awc_peer_state", TypeGauge, "Peer state one-hot.", "peer", "state")
+		g.Value("awc_peer_state", 1, "127.0.0.1:9091", "healthy")
+		g.Declare("awc_fetch_seconds", TypeHistogram, "Fetch latency.")
+		var d DurationHist
+		d.Observe(500 * time.Nanosecond)
+		d.Observe(2 * time.Millisecond)
+		g.Histo("awc_fetch_seconds", d.Snapshot())
+	})
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	sc, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+
+	if v, ok := sc.Value("awc_hits_total", "handler=search"); !ok || v != 7 {
+		t.Fatalf("hits{search} = %v,%v want 7", v, ok)
+	}
+	if v, ok := sc.Value("awc_hits_total", "handler=view\"item\n\\x"); !ok || v != 3 {
+		t.Fatalf("escaped label did not round-trip: %v,%v", v, ok)
+	}
+	if v, ok := sc.Value("awc_entries"); !ok || v != 42 {
+		t.Fatalf("entries = %v,%v", v, ok)
+	}
+	if v, ok := sc.Value("awc_up"); !ok || v != 1 {
+		t.Fatalf("gaugefunc = %v,%v", v, ok)
+	}
+	if v, ok := sc.Value("awc_peer_state", "peer=127.0.0.1:9091", "state=healthy"); !ok || v != 1 {
+		t.Fatalf("collected peer state = %v,%v", v, ok)
+	}
+	// Histogram semantics: cumulative buckets, +Inf == count.
+	if v, ok := sc.Value("awc_latency_seconds_bucket", "outcome=hit", "le=0.001"); !ok || v != 1 {
+		t.Fatalf("le=0.001 bucket = %v,%v want 1", v, ok)
+	}
+	if v, ok := sc.Value("awc_latency_seconds_bucket", "outcome=hit", "le=0.1"); !ok || v != 2 {
+		t.Fatalf("le=0.1 bucket = %v,%v want 2 (cumulative)", v, ok)
+	}
+	if v, ok := sc.Value("awc_latency_seconds_bucket", "outcome=hit", "le=+Inf"); !ok || v != 3 {
+		t.Fatalf("+Inf bucket = %v,%v want 3", v, ok)
+	}
+	if v, ok := sc.Value("awc_latency_seconds_count", "outcome=hit"); !ok || v != 3 {
+		t.Fatalf("count = %v,%v want 3", v, ok)
+	}
+	if v, ok := sc.Value("awc_latency_seconds_sum", "outcome=hit"); !ok || math.Abs(v-5.0505) > 1e-9 {
+		t.Fatalf("sum = %v,%v want 5.0505", v, ok)
+	}
+	if v, ok := sc.Value("awc_fetch_seconds_count"); !ok || v != 2 {
+		t.Fatalf("collected hist count = %v,%v want 2", v, ok)
+	}
+	if fam := sc.Families["awc_latency_seconds"]; fam == nil || fam.Type != "histogram" {
+		t.Fatalf("histogram family type lost: %+v", fam)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		v := r.CounterVec("z_total", "", "l")
+		v.With("b").Inc()
+		v.With("a").Inc()
+		r.Counter("a_total", "").Inc()
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	one := build()
+	for i := 0; i < 5; i++ {
+		if got := build(); got != one {
+			t.Fatalf("render not deterministic:\n%s\nvs\n%s", one, got)
+		}
+	}
+	if strings.Index(one, "a_total") > strings.Index(one, "z_total") {
+		t.Fatal("families not name-sorted")
+	}
+}
+
+func TestFamiliesIncludesCollectors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("static_total", "a static one")
+	r.Collect(func(g *Gatherer) {
+		g.Declare("dynamic", TypeGauge, "a collected one", "peer")
+		g.Value("dynamic", 1, "x")
+	})
+	fams := r.Families()
+	byName := map[string]FamilyMeta{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if _, ok := byName["static_total"]; !ok {
+		t.Fatal("static family missing")
+	}
+	d, ok := byName["dynamic"]
+	if !ok || d.Type != TypeGauge || len(d.Labels) != 1 || d.Labels[0] != "peer" {
+		t.Fatalf("collector family meta wrong: %+v ok=%v", d, ok)
+	}
+}
+
+func TestCollectorCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	r.Collect(func(g *Gatherer) {
+		g.Declare("x_total", TypeCounter, "")
+		g.Value("x_total", 1)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected collision panic")
+		}
+	}()
+	_ = r.WriteText(&strings.Builder{})
+}
+
+func TestDurationHist(t *testing.T) {
+	var h DurationHist
+	if !h.Empty() {
+		t.Fatal("zero value not empty")
+	}
+	h.Observe(100 * time.Nanosecond) // bucket 0 (<=250ns)
+	h.Observe(250 * time.Nanosecond) // bucket 0 (boundary inclusive)
+	h.Observe(251 * time.Nanosecond) // bucket 1
+	h.Observe(10 * time.Second)      // +Inf
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 || s.Buckets[len(s.Buckets)-1] != 1 {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+	wantSum := (100 + 250 + 251 + 10_000_000_000) / 1e9
+	if math.Abs(s.Sum-wantSum) > 1e-12 {
+		t.Fatalf("sum = %v want %v", s.Sum, wantSum)
+	}
+	if len(s.Bounds) != DurationBucketCount || len(s.Buckets) != DurationBucketCount+1 {
+		t.Fatalf("shape: %d bounds, %d buckets", len(s.Bounds), len(s.Buckets))
+	}
+	h.Reset()
+	if !h.Empty() {
+		t.Fatal("Reset did not empty")
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	var a, b DurationHist
+	a.Observe(time.Microsecond)
+	b.Observe(time.Millisecond)
+	b.Observe(2 * time.Millisecond)
+	var tot HistSnapshot
+	tot.Merge(a.Snapshot())
+	tot.Merge(b.Snapshot())
+	if tot.Count != 3 {
+		t.Fatalf("merged count = %d", tot.Count)
+	}
+	want := a.Snapshot().Sum + b.Snapshot().Sum
+	if math.Abs(tot.Sum-want) > 1e-12 {
+		t.Fatalf("merged sum = %v want %v", tot.Sum, want)
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("hits_total", "", "handler").With("search")
+	g := r.Gauge("entries", "")
+	var d DurationHist
+	h := r.HistogramVec("lat_seconds", "", []float64{0.001, 0.1}).With()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+		g.Add(1)
+		d.Observe(420 * time.Nanosecond)
+		h.Observe(0.05)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path instrument updates allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestConcurrentUseWithScrapes(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("ops_total", "", "kind")
+	h := r.HistogramVec("lat_seconds", "", []float64{0.001})
+	var d DurationHist
+	r.Collect(func(g *Gatherer) {
+		g.Declare("d_seconds", TypeHistogram, "")
+		g.Histo("d_seconds", d.Snapshot())
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kind := []string{"a", "b"}[i%2]
+			c := v.With(kind)
+			hh := h.With()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					hh.Observe(0.01)
+					d.Observe(time.Microsecond)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 20; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("scrape %d invalid under concurrency: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "help").Add(9)
+	RegisterRuntimeMetrics(r)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	sc, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("x_total"); !ok || v != 9 {
+		t.Fatalf("x_total = %v,%v", v, ok)
+	}
+	if _, ok := sc.Value("go_goroutines"); !ok {
+		t.Fatal("runtime metrics missing")
+	}
+	if v, ok := sc.Value("go_memstats_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Fatalf("heap gauge = %v,%v", v, ok)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"9name 1",
+		"x{l=unquoted} 1",
+		`x{l="v"} notanumber`,
+		`x{l="v"} 1 2 3`,
+		"# TYPE x rainbow\nx 1",
+		// non-cumulative buckets
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5",
+		// missing +Inf
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5",
+		// count disagrees with +Inf
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4",
+	}
+	for _, in := range bad {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseText accepted malformed input:\n%s", in)
+		}
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	sc, err := ParseText(strings.NewReader("a +Inf\nb -Inf\nc NaN\nd 1e-9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sc.Value("a"); !math.IsInf(v, 1) {
+		t.Fatalf("a = %v", v)
+	}
+	if v, _ := sc.Value("b"); !math.IsInf(v, -1) {
+		t.Fatalf("b = %v", v)
+	}
+	if v, _ := sc.Value("c"); !math.IsNaN(v) {
+		t.Fatalf("c = %v", v)
+	}
+	if v, _ := sc.Value("d"); v != 1e-9 {
+		t.Fatalf("d = %v", v)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"autowebcache/internal/telemetry"
 )
 
 // Outcome classifies how a request was served.
@@ -80,6 +82,18 @@ type InteractionStats struct {
 	MissTime  time.Duration
 
 	PagesInvalidated uint64 // pages removed by this interaction's writes
+
+	// Latencies holds one fixed-bucket latency histogram per outcome that
+	// occurred at least once — the data behind the per-outcome
+	// request-duration series on /metrics. Sorted by outcome name.
+	Latencies []OutcomeLatency
+}
+
+// OutcomeLatency is the latency distribution of one outcome class within
+// one interaction.
+type OutcomeLatency struct {
+	Outcome Outcome
+	Latency telemetry.HistSnapshot
 }
 
 // MeanResponse returns the mean response time over all requests.
@@ -138,6 +152,26 @@ func (s *InteractionStats) CachedByteFraction() float64 {
 	return float64(s.BytesCached) / float64(s.BytesOut)
 }
 
+// mergeLatencies folds o's per-outcome histograms into s's (for totals).
+func (s *InteractionStats) mergeLatencies(o *InteractionStats) {
+	for _, ol := range o.Latencies {
+		found := false
+		for i := range s.Latencies {
+			if s.Latencies[i].Outcome == ol.Outcome {
+				s.Latencies[i].Latency.Merge(ol.Latency)
+				found = true
+				break
+			}
+		}
+		if !found {
+			merged := OutcomeLatency{Outcome: ol.Outcome}
+			merged.Latency.Merge(ol.Latency)
+			s.Latencies = append(s.Latencies, merged)
+		}
+	}
+	sort.Slice(s.Latencies, func(i, j int) bool { return s.Latencies[i].Outcome < s.Latencies[j].Outcome })
+}
+
 // add merges o into s (for totals).
 func (s *InteractionStats) add(o *InteractionStats) {
 	s.Requests += o.Requests
@@ -160,6 +194,48 @@ func (s *InteractionStats) add(o *InteractionStats) {
 	s.HitTime += o.HitTime
 	s.MissTime += o.MissTime
 	s.PagesInvalidated += o.PagesInvalidated
+	s.mergeLatencies(o)
+}
+
+// outcomeClasses enumerates the outcomes that carry a latency histogram, in
+// the order their histograms sit inside counters.lat. nocache shares
+// uncacheable's accounting but keeps its own distribution — an unwoven
+// baseline's latency is a different population than a rule bypass.
+var outcomeClasses = [...]Outcome{
+	OutcomeHit, OutcomeSemanticHit, OutcomeCoalesced, OutcomeRemoteHit,
+	OutcomeFragmentHit, OutcomeAssembled, OutcomeMiss, OutcomeWrite,
+	OutcomeWriteDegraded, OutcomeUncacheable, OutcomeNoCache, OutcomeError,
+}
+
+// classIndex maps an outcome to its histogram slot. A switch, not a map:
+// it runs on the zero-alloc page-hit path and must stay branch-only.
+func classIndex(o Outcome) int {
+	switch o {
+	case OutcomeHit:
+		return 0
+	case OutcomeSemanticHit:
+		return 1
+	case OutcomeCoalesced:
+		return 2
+	case OutcomeRemoteHit:
+		return 3
+	case OutcomeFragmentHit:
+		return 4
+	case OutcomeAssembled:
+		return 5
+	case OutcomeMiss:
+		return 6
+	case OutcomeWrite:
+		return 7
+	case OutcomeWriteDegraded:
+		return 8
+	case OutcomeUncacheable:
+		return 9
+	case OutcomeNoCache:
+		return 10
+	default:
+		return 11 // OutcomeError and anything unrecognised
+	}
 }
 
 // counters is the lock-free accumulator behind one interaction's stats:
@@ -188,6 +264,10 @@ type counters struct {
 	missNs  atomic.Int64
 
 	pagesInvalidated atomic.Uint64
+
+	// lat holds one fixed-bucket latency histogram per outcome class.
+	// DurationHist.Observe is atomics-only, keeping Record* allocation-free.
+	lat [len(outcomeClasses)]telemetry.DurationHist
 }
 
 // snapshot materialises the counters as an InteractionStats value. The
@@ -195,6 +275,13 @@ type counters struct {
 // recording is per-field (not cross-field) consistent — same as any
 // monitoring read of live counters.
 func (c *counters) snapshot(name string) InteractionStats {
+	var lats []OutcomeLatency
+	for i := range c.lat {
+		if !c.lat[i].Empty() {
+			lats = append(lats, OutcomeLatency{Outcome: outcomeClasses[i], Latency: c.lat[i].Snapshot()})
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i].Outcome < lats[j].Outcome })
 	return InteractionStats{
 		Name:             name,
 		Requests:         c.requests.Load(),
@@ -217,6 +304,7 @@ func (c *counters) snapshot(name string) InteractionStats {
 		HitTime:          time.Duration(c.hitNs.Load()),
 		MissTime:         time.Duration(c.missNs.Load()),
 		PagesInvalidated: c.pagesInvalidated.Load(),
+		Latencies:        lats,
 	}
 }
 
@@ -252,6 +340,7 @@ func (s *Stats) RecordServed(name string, outcome Outcome, d time.Duration, inva
 	c := s.get(name)
 	c.requests.Add(1)
 	c.totalNs.Add(int64(d))
+	c.lat[classIndex(outcome)].Observe(d)
 	if bytesOut > 0 {
 		c.bytesOut.Add(uint64(bytesOut))
 	}
@@ -318,6 +407,7 @@ func (s *Stats) RecordCoalesced(name string, semantic bool, d time.Duration, byt
 	c.totalNs.Add(int64(d))
 	c.hitNs.Add(int64(d))
 	c.coalesced.Add(1)
+	c.lat[classIndex(OutcomeCoalesced)].Observe(d)
 	if bytes > 0 {
 		c.bytesOut.Add(uint64(bytes))
 		c.bytesCached.Add(uint64(bytes))

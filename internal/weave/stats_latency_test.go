@@ -1,0 +1,73 @@
+package weave
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStatsLatencyHistograms checks that Record* feeds the per-outcome
+// latency histograms: counts line up with the outcome counters, only
+// outcomes that occurred appear, and totals merge across interactions.
+func TestStatsLatencyHistograms(t *testing.T) {
+	s := NewStats()
+	s.Record("search", OutcomeHit, 500*time.Nanosecond, 0)
+	s.Record("search", OutcomeHit, 2*time.Microsecond, 0)
+	s.Record("search", OutcomeMiss, 3*time.Millisecond, 0)
+	s.RecordCoalesced("search", false, time.Microsecond, 10)
+	s.Record("bid", OutcomeWrite, time.Millisecond, 2)
+
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("interactions = %d, want 2", len(snap))
+	}
+	byName := map[string]InteractionStats{}
+	for _, is := range snap {
+		byName[is.Name] = is
+	}
+
+	search := byName["search"]
+	lat := map[Outcome]uint64{}
+	for _, ol := range search.Latencies {
+		lat[ol.Outcome] = ol.Latency.Count
+	}
+	if lat[OutcomeHit] != 2 || lat[OutcomeMiss] != 1 || lat[OutcomeCoalesced] != 1 {
+		t.Fatalf("search latency counts = %v", lat)
+	}
+	if _, present := lat[OutcomeWrite]; present {
+		t.Fatal("search must not report a write histogram")
+	}
+	for _, ol := range search.Latencies {
+		if ol.Latency.Sum <= 0 {
+			t.Fatalf("outcome %s: zero latency sum", ol.Outcome)
+		}
+	}
+
+	bid := byName["bid"]
+	if len(bid.Latencies) != 1 || bid.Latencies[0].Outcome != OutcomeWrite || bid.Latencies[0].Latency.Count != 1 {
+		t.Fatalf("bid latencies = %+v", bid.Latencies)
+	}
+
+	tot := s.Totals()
+	var n uint64
+	for _, ol := range tot.Latencies {
+		n += ol.Latency.Count
+	}
+	if n != 5 {
+		t.Fatalf("total latency observations = %d, want 5", n)
+	}
+}
+
+// TestRecordServedZeroAlloc guards the instrumented stats path itself:
+// recording a hit outcome — counter adds plus a histogram observe — must
+// not allocate, because it sits inside the governed page-hit path whose
+// end-to-end AllocsPerRun==0 guard this repo maintains.
+func TestRecordServedZeroAlloc(t *testing.T) {
+	s := NewStats()
+	s.RecordServed("search", OutcomeHit, time.Microsecond, 0, 128, 128) // pre-create the accumulator
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.RecordServed("search", OutcomeHit, time.Microsecond, 0, 128, 128)
+	})
+	if allocs != 0 {
+		t.Fatalf("RecordServed allocated %v allocs/op, want 0", allocs)
+	}
+}

@@ -216,6 +216,25 @@ func (w *Woven) SetRemote(r Remote) { w.remote = r }
 // Stats returns the per-interaction statistics collector.
 func (w *Woven) Stats() *Stats { return w.stats }
 
+// AppStats is a point-in-time snapshot of everything the weave layer
+// measures: per-interaction statistics, their aggregate, and the epoch
+// guard's abort count. It is the weave's half of the unified Snapshot()
+// convention the telemetry layer scrapes.
+type AppStats struct {
+	Interactions []InteractionStats
+	Total        InteractionStats
+	FlightAborts uint64
+}
+
+// Snapshot returns the weave layer's current statistics.
+func (w *Woven) Snapshot() AppStats {
+	return AppStats{
+		Interactions: w.stats.Snapshot(),
+		Total:        w.stats.Totals(),
+		FlightAborts: w.flightAborts.Load(),
+	}
+}
+
 // FlightAborts reports how many flights discarded their freshly inserted
 // page (or fragment) because an invalidation sweep raced the generation —
 // the epoch guard that keeps single-flight followers on post-invalidation

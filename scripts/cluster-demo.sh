@@ -4,7 +4,9 @@
 # core guarantees from the outside — exit code 0 means they held, so CI can
 # run the demo headlessly as an end-to-end smoke test:
 #
-#   1. the cluster served traffic with a non-zero cache hit rate;
+#   1. the cluster served traffic with a non-zero cache hit rate, and every
+#      node serves a non-empty /metrics (per-handler counters with real
+#      counts, latency histograms, per-peer health) on its admin port;
 #   2. a page cached on node A is HIT on re-request (local caching works);
 #   3. a write on node B removes that page from node A before the write's
 #      response returns (strong cluster-wide invalidation, §3.2);
@@ -42,6 +44,7 @@ SHARED_DB="${SHARED_DB:-}"
 
 HTTP_PORTS=(8091 8092 8093)
 PEER_PORTS=(9091 9092 9093)
+METRICS_PORTS=(9191 9192 9193)
 
 fail() { echo "cluster-demo: FAIL: $*" >&2; exit 1; }
 
@@ -78,6 +81,7 @@ start_node() {
   bin/rubis-server -addr ":${HTTP_PORTS[$i]}" \
     -listen-peer "127.0.0.1:${PEER_PORTS[$i]}" \
     -peers "$(IFS=,; echo "${peers[*]}")" \
+    -metrics-listen "127.0.0.1:${METRICS_PORTS[$i]}" \
     "${GOVERN_FLAGS[@]}" "${DB_FLAGS[@]}" &
   PIDS[$i]=$!
 }
@@ -114,6 +118,23 @@ case "$HIT_RATE" in
   0|0.0) fail "cluster served zero cache hits (hit rate $HIT_RATE%)" ;;
 esac
 echo "cluster-demo: hit rate $HIT_RATE% OK"
+
+# Assertion 1b: every node serves a non-empty /metrics in Prometheus text
+# format on its admin port — per-handler request counters with real counts
+# (the load generator just hit every node) and per-peer health series.
+for i in 0 1 2; do
+  MURL="http://127.0.0.1:${METRICS_PORTS[$i]}/metrics"
+  METRICS=$(curl -sf "$MURL") || fail "node $((i+1)) /metrics unreachable at $MURL"
+  echo "$METRICS" | grep -q '^# TYPE awc_requests_total counter' \
+    || fail "node $((i+1)) /metrics is missing awc_requests_total"
+  echo "$METRICS" | grep '^awc_requests_total{' | grep -qv ' 0$' \
+    || fail "node $((i+1)) /metrics shows zero requests after the load run"
+  echo "$METRICS" | grep -q '^awc_cluster_peer_state{' \
+    || fail "node $((i+1)) /metrics is missing per-peer health series"
+  echo "$METRICS" | grep -q '^awc_request_duration_seconds_bucket{' \
+    || fail "node $((i+1)) /metrics is missing latency histograms"
+done
+echo "cluster-demo: /metrics non-empty on all nodes OK"
 
 # outcome <url> prints the X-Autowebcache header of one request.
 outcome() {
