@@ -2,8 +2,8 @@ GO ?= go
 
 # make bench writes this PR's benchmark record; the gate diffs a fresh run
 # against the committed baseline of the previous PR.
-BENCH_OUT ?= BENCH_8.json
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_OUT ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_8.json
 
 # cluster-demo knobs.
 CLUSTER_DURATION ?= 5s
@@ -21,7 +21,7 @@ FUZZTIME ?= 15s
 
 .PHONY: check ci fmtcheck build vet test race bench benchsmoke bench-gate \
 	experiments cluster-demo cover staticcheck govulncheck lint fuzz \
-	docs-check metricsdoc
+	docs-check metricsdoc api-check apidoc
 
 check: build vet race
 
@@ -30,7 +30,7 @@ check: build vet race
 # job (smoke + regression gate against the committed baseline). The linters
 # need network access to fetch their pinned versions; on an air-gapped box
 # run the individual targets you can.
-ci: fmtcheck build vet lint race cover benchsmoke bench-gate docs-check
+ci: fmtcheck build vet lint race cover benchsmoke bench-gate docs-check api-check
 
 fmtcheck:
 	@out=$$(gofmt -l .); \
@@ -104,6 +104,17 @@ docs-check:
 # metrics change (then commit the result; docs-check diffs it).
 metricsdoc:
 	$(GO) run ./cmd/metricsdoc -out docs/METRICS.md
+
+# api-check fails when the package's public surface drifts from the
+# committed docs/API.md dump — API changes must land as reviewable diffs
+# (the docs/METRICS.md contract, applied to the API). CI runs it in the
+# docs-check job.
+api-check:
+	bash scripts/api-check.sh --check
+
+# apidoc regenerates docs/API.md after an API change (then commit it).
+apidoc:
+	bash scripts/api-check.sh --write
 
 # cluster-demo boots a 3-node RUBiS cache cluster on localhost, drives it
 # with the multi-target load generator, and asserts the cluster tier's

@@ -164,25 +164,16 @@ func ParseByteSize(s string) (int64, error) {
 	return n * mult, nil
 }
 
-// Config configures a Runtime.
-type Config struct {
-	// Strategy is the invalidation strategy; defaults to ExtraQuery.
-	Strategy Strategy
+// PageCacheConfig bounds and tunes the page-cache tier.
+type PageCacheConfig struct {
 	// MaxEntries bounds the page cache (0 = unbounded).
 	MaxEntries int
-	// MaxBytes bounds the page cache's accounted memory — body, key and
-	// dependency overhead per page — independently of MaxEntries (0 =
-	// unbounded). Setting it enables segmented (probation/protected)
-	// eviction: pages with proven reuse are evicted only after one-hit
-	// pages are exhausted.
+	// MaxBytes bounds the page cache's accounted memory — body, key,
+	// dependency and variant overhead per page — independently of
+	// MaxEntries (0 = unbounded). Setting it enables segmented
+	// (probation/protected) eviction: pages with proven reuse are evicted
+	// only after one-hit pages are exhausted.
 	MaxBytes int64
-	// Admission gates inserts under byte-budget pressure with a TinyLFU
-	// filter: at the budget, an entry is cached only when its request
-	// frequency beats the eviction victim's. It applies to each cache tier
-	// that has a byte budget (MaxBytes for the page cache, QueryCacheBytes
-	// for the query-result cache); setting it with no budget anywhere is a
-	// configuration error.
-	Admission bool
 	// Replacement picks the eviction policy for bounded caches (default
 	// LRU).
 	Replacement Replacement
@@ -190,18 +181,129 @@ type Config struct {
 	// of two (0 picks GOMAXPROCS rounded likewise). Higher values reduce
 	// contention between concurrent request goroutines.
 	Shards int
+}
+
+// QueryCacheConfig stacks the back-end query-result cache under the page
+// cache — the paper's §9 extension ("A database query-results cache is
+// complementary to webpage caching").
+type QueryCacheConfig struct {
+	// Enabled turns the query-result cache on.
+	Enabled bool
+	// MaxEntries bounds its entry count (0 = unbounded).
+	MaxEntries int
+	// MaxBytes bounds its accounted memory (0 = unbounded).
+	MaxBytes int64
+}
+
+// ServeConfig controls the HTTP representation of cached pages: which
+// content-encoding variants are built at insert time and whether pages
+// carry validators for conditional requests. These knobs shape the entry
+// at insert (compress once, hash once) so the serve path stays
+// allocation-free; they do not change what is cached or when it is
+// invalidated.
+type ServeConfig struct {
+	// Encodings lists the content-encodings the cache may serve, chosen
+	// per request from Accept-Encoding. Recognised codings are "identity"
+	// and "gzip"; anything else is a configuration error. Listing "gzip"
+	// makes each insert compress the page once and store the variant
+	// alongside the identity bytes (kept only when strictly smaller).
+	// Empty means identity-only — the historical behaviour.
+	Encodings []string
+	// GzipMinBytes is the smallest body worth compressing (0 = 256).
+	// Negotiation of smaller pages falls back to identity.
+	GzipMinBytes int
+	// ETags precomputes a strong, content-derived validator per entry at
+	// insert; responses then carry it and If-None-Match revalidations are
+	// answered 304 with zero body bytes straight from the cache.
+	ETags bool
+}
+
+// Config configures a Runtime. Capacity, query-cache and serving knobs live
+// in the PageCache, QueryResults and Serve groups; the flat fields beneath
+// them are deprecated aliases kept so existing callers keep compiling.
+type Config struct {
+	// Strategy is the invalidation strategy; defaults to ExtraQuery.
+	Strategy Strategy
+	// Admission gates inserts under byte-budget pressure with a TinyLFU
+	// filter: at the budget, an entry is cached only when its request
+	// frequency beats the eviction victim's. It applies to each cache tier
+	// that has a byte budget (PageCache.MaxBytes for the page cache,
+	// QueryResults.MaxBytes for the query-result cache); setting it with no
+	// budget anywhere is a configuration error.
+	Admission bool
 	// Disabled builds the baseline configuration: handlers still work and
 	// statistics are collected, but nothing is cached (the paper's
 	// "No cache" comparison).
 	Disabled bool
-	// QueryCache additionally stacks a back-end query-result cache under
-	// the page cache — the paper's §9 extension ("A database query-results
-	// cache is complementary to webpage caching"). QueryCacheEntries bounds
-	// its entry count, QueryCacheBytes its accounted memory (0 = unbounded
-	// for either).
-	QueryCache        bool
+
+	// PageCache bounds and tunes the page-cache tier.
+	PageCache PageCacheConfig
+	// QueryResults configures the §9 back-end query-result cache.
+	QueryResults QueryCacheConfig
+	// Serve configures content-encoding variants and ETag validators.
+	Serve ServeConfig
+
+	// Deprecated: set PageCache.MaxEntries. Applies only when the grouped
+	// field is unset.
+	MaxEntries int
+	// Deprecated: set PageCache.MaxBytes.
+	MaxBytes int64
+	// Deprecated: set PageCache.Replacement.
+	Replacement Replacement
+	// Deprecated: set PageCache.Shards.
+	Shards int
+	// Deprecated: set QueryResults.Enabled.
+	QueryCache bool
+	// Deprecated: set QueryResults.MaxEntries.
 	QueryCacheEntries int
-	QueryCacheBytes   int64
+	// Deprecated: set QueryResults.MaxBytes.
+	QueryCacheBytes int64
+}
+
+// normalized folds the deprecated flat aliases into the grouped fields —
+// each alias applies only when its grouped field is unset, so callers
+// mixing old and new spellings get the new one — and validates the Serve
+// group.
+func (cfg Config) normalized() (Config, error) {
+	if cfg.PageCache.MaxEntries == 0 {
+		cfg.PageCache.MaxEntries = cfg.MaxEntries
+	}
+	if cfg.PageCache.MaxBytes == 0 {
+		cfg.PageCache.MaxBytes = cfg.MaxBytes
+	}
+	if cfg.PageCache.Replacement == 0 {
+		cfg.PageCache.Replacement = cfg.Replacement
+	}
+	if cfg.PageCache.Shards == 0 {
+		cfg.PageCache.Shards = cfg.Shards
+	}
+	if !cfg.QueryResults.Enabled {
+		cfg.QueryResults.Enabled = cfg.QueryCache
+	}
+	if cfg.QueryResults.MaxEntries == 0 {
+		cfg.QueryResults.MaxEntries = cfg.QueryCacheEntries
+	}
+	if cfg.QueryResults.MaxBytes == 0 {
+		cfg.QueryResults.MaxBytes = cfg.QueryCacheBytes
+	}
+	for _, enc := range cfg.Serve.Encodings {
+		switch strings.ToLower(strings.TrimSpace(enc)) {
+		case "identity", "gzip":
+		default:
+			return cfg, fmt.Errorf("autowebcache: unknown content-encoding %q (identity, gzip)", enc)
+		}
+	}
+	return cfg, nil
+}
+
+// gzipEnabled reports whether the Serve group asks for gzip variants.
+func (s ServeConfig) gzipEnabled() bool {
+	for _, enc := range s.Encodings {
+		if strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			return true
+		}
+	}
+	return false
 }
 
 // Runtime wires a database backend to an analysis engine, a page cache and
@@ -246,6 +348,10 @@ func NewFromConn(conn Conn, cfg Config) (*Runtime, error) {
 	if conn == nil {
 		return nil, fmt.Errorf("autowebcache: nil connection")
 	}
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Strategy == 0 {
 		cfg.Strategy = ExtraQuery
 	}
@@ -257,19 +363,19 @@ func NewFromConn(conn Conn, cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Admission && cfg.MaxBytes <= 0 && cfg.QueryCacheBytes <= 0 {
-		return nil, fmt.Errorf("autowebcache: Admission requires a byte budget (MaxBytes or QueryCacheBytes)")
+	if cfg.Admission && cfg.PageCache.MaxBytes <= 0 && cfg.QueryResults.MaxBytes <= 0 {
+		return nil, fmt.Errorf("autowebcache: Admission requires a byte budget (PageCache.MaxBytes or QueryResults.MaxBytes)")
 	}
 	rt := &Runtime{raw: conn, engine: engine}
 	if db, ok := conn.(*memdb.DB); ok {
 		rt.db = db
 	}
 	base := conn
-	if cfg.QueryCache {
+	if cfg.QueryResults.Enabled {
 		rt.qcache, err = qrcache.NewWithOptions(conn, engine, qrcache.Options{
-			MaxEntries: cfg.QueryCacheEntries,
-			MaxBytes:   cfg.QueryCacheBytes,
-			Admission:  cfg.Admission && cfg.QueryCacheBytes > 0,
+			MaxEntries: cfg.QueryResults.MaxEntries,
+			MaxBytes:   cfg.QueryResults.MaxBytes,
+			Admission:  cfg.Admission && cfg.QueryResults.MaxBytes > 0,
 		})
 		if err != nil {
 			return nil, err
@@ -281,12 +387,15 @@ func NewFromConn(conn Conn, cfg Config) (*Runtime, error) {
 		return rt, nil
 	}
 	rt.cache, err = cache.New(cache.Options{
-		Engine:      engine,
-		MaxEntries:  cfg.MaxEntries,
-		MaxBytes:    cfg.MaxBytes,
-		Admission:   cfg.Admission && cfg.MaxBytes > 0,
-		Replacement: cfg.Replacement,
-		Shards:      cfg.Shards,
+		Engine:       engine,
+		MaxEntries:   cfg.PageCache.MaxEntries,
+		MaxBytes:     cfg.PageCache.MaxBytes,
+		Admission:    cfg.Admission && cfg.PageCache.MaxBytes > 0,
+		Replacement:  cfg.PageCache.Replacement,
+		Shards:       cfg.PageCache.Shards,
+		Gzip:         cfg.Serve.gzipEnabled(),
+		GzipMinBytes: cfg.Serve.GzipMinBytes,
+		ETags:        cfg.Serve.ETags,
 	})
 	if err != nil {
 		return nil, err

@@ -109,6 +109,9 @@ func run(args []string, out io.Writer) error {
 		"parallel client goroutines (0 = use -clients); use with high values to stress the sharded caches")
 	duration := fs.Duration("duration", 10*time.Second, "measurement duration")
 	think := fs.Duration("think", 50*time.Millisecond, "mean client think time")
+	openloop := fs.Bool("openloop", false,
+		"open-loop mode: requests depart on a fixed arrival schedule at -rate regardless of response times, and latency is measured from each request's intended send time — the coordinated-omission-free measurement")
+	rate := fs.Float64("rate", 200, "open-loop offered load in requests/sec (with -openloop)")
 	seed := fs.Int64("seed", 1, "random seed")
 	scrape := fs.String("scrape", "",
 		"comma-separated admin URLs (the servers' -metrics-listen addresses) to scrape after the run; each node's /metrics joins the report")
@@ -142,8 +145,16 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
-	defer cancel()
+	// Closed-loop runs are bounded by the context deadline; the open-loop
+	// run is bounded by its arrival schedule instead, so in-flight requests
+	// at the end of the schedule still complete (the HTTP client timeout
+	// bounds stragglers).
+	ctx := context.Background()
+	if !*openloop {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
 	httpClient := &http.Client{Timeout: 30 * time.Second}
 
 	var mu sync.Mutex
@@ -169,49 +180,66 @@ func run(args []string, out io.Writer) error {
 		s.bytesCached += res.cachedBytes()
 	}
 
-	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(client int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(client)*7919))
-			reqNum := 0
-			for ctx.Err() == nil {
-				name, path := mix.Request(rng, client)
-				// Round-robin across the node list, offset per client so the
-				// instantaneous load spreads even with few clients.
-				ti := (client + reqNum) % len(targetList)
-				reqNum++
-				start := time.Now()
-				res, err := fetch(ctx, httpClient, targetList[ti]+path)
-				// Count every attempt, including failures: an unhealthy node
-				// must show its full share of the load, not look idle — and a
-				// dead node degrades the run (errors in the report), never
-				// aborts it.
-				mu.Lock()
-				perTarget[ti]++
-				if err != nil {
-					perTargetErrs[ti]++
-				}
-				mu.Unlock()
-				record(name, res, time.Since(start), err != nil)
-				if *think > 0 {
-					d := time.Duration(rng.ExpFloat64() * float64(*think))
-					if d > 5**think {
-						d = 5 * *think
-					}
-					timer := time.NewTimer(d)
-					select {
-					case <-ctx.Done():
-						timer.Stop()
-					case <-timer.C:
-					}
-				}
-			}
-		}(c)
+	// attempt issues one request and records it; it returns whether the
+	// fetch succeeded. intended is the latency clock's zero point: the
+	// actual send time in closed-loop mode, the scheduled departure time in
+	// open-loop mode — so open-loop latencies include any queueing delay a
+	// slow server imposed on the fixed arrival schedule (the
+	// coordinated-omission correction).
+	attempt := func(client, reqNum int, rng *rand.Rand, intended time.Time) bool {
+		name, path := mix.Request(rng, client)
+		// Round-robin across the node list, offset per client so the
+		// instantaneous load spreads even with few clients.
+		ti := (client + reqNum) % len(targetList)
+		res, err := fetch(ctx, httpClient, targetList[ti]+path)
+		// Count every attempt, including failures: an unhealthy node
+		// must show its full share of the load, not look idle — and a
+		// dead node degrades the run (errors in the report), never
+		// aborts it.
+		mu.Lock()
+		perTarget[ti]++
+		if err != nil {
+			perTargetErrs[ti]++
+		}
+		mu.Unlock()
+		record(name, res, time.Since(intended), err != nil)
+		return err == nil
 	}
-	wg.Wait()
-	report(out, stats)
+
+	if *openloop {
+		if *rate <= 0 {
+			return fmt.Errorf("-openloop needs a positive -rate, got %v", *rate)
+		}
+		ol := runOpenLoop(*clients, *duration, *rate, *seed, attempt)
+		report(out, stats)
+		ol.print(out)
+	} else {
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(client int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed + int64(client)*7919))
+				for reqNum := 0; ctx.Err() == nil; reqNum++ {
+					attempt(client, reqNum, rng, time.Now())
+					if *think > 0 {
+						d := time.Duration(rng.ExpFloat64() * float64(*think))
+						if d > 5**think {
+							d = 5 * *think
+						}
+						timer := time.NewTimer(d)
+						select {
+						case <-ctx.Done():
+							timer.Stop()
+						case <-timer.C:
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		report(out, stats)
+	}
 	if len(targetList) > 1 {
 		fmt.Fprintln(out)
 		for i, tgt := range targetList {
@@ -311,6 +339,10 @@ func (f fetchResult) cachedBytes() int64 {
 	switch f.outcome {
 	case "hit", "semantic-hit", "remote-hit", "coalesced":
 		return f.bytes
+	case "not-modified":
+		// Zero body bytes moved, but the revalidation was answered from the
+		// cache; nothing to attribute either way.
+		return 0
 	}
 	return 0
 }
@@ -326,7 +358,9 @@ func fetch(ctx context.Context, client *http.Client, url string) (fetchResult, e
 	}
 	defer resp.Body.Close()
 	n, _ := io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK {
+	// 304 Not Modified is a successful zero-body answer (an ETag
+	// revalidation served straight from the cache), not an error.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
 		return fetchResult{}, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	res := fetchResult{outcome: resp.Header.Get("X-Autowebcache"), bytes: n, cached: -1}
@@ -348,7 +382,7 @@ func report(out io.Writer, stats map[string]*outcomeStats) {
 		names = append(names, name)
 		totalReq += s.count
 		totalDur += s.total
-		hits += s.outcomes["hit"] + s.outcomes["semantic-hit"] + s.outcomes["remote-hit"]
+		hits += s.outcomes["hit"] + s.outcomes["semantic-hit"] + s.outcomes["remote-hit"] + s.outcomes["not-modified"]
 		bytesOut += s.bytesOut
 		bytesCached += s.bytesCached
 	}

@@ -1,0 +1,99 @@
+// Open-loop load generation: requests depart on a fixed arrival schedule
+// computed before the run, independent of how fast the server answers.
+// Latency is measured from each request's *intended* departure time, so a
+// stalled server shows up as growing queueing delay in the tail percentiles
+// instead of silently throttling the load — the closed-loop artefact known
+// as coordinated omission.
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// openLoopResult is one open-loop run's latency sample and throughput.
+type openLoopResult struct {
+	offered   float64         // scheduled arrival rate (req/s)
+	achieved  float64         // completed requests over the wall-clock run
+	scheduled int             // requests in the arrival schedule
+	failures  int             // fetches that errored (excluded from latencies)
+	latencies []time.Duration // sorted, successful requests only
+}
+
+// runOpenLoop issues `rate` requests/sec for `duration` across `workers`
+// goroutines. The schedule interleaves: worker w owns global request
+// indices w, w+W, w+2W, ..., each departing at start + index*interval, so
+// the aggregate arrival process is uniform even when one worker blocks on a
+// slow response.
+func runOpenLoop(workers int, duration time.Duration, rate float64, seed int64,
+	attempt func(client, reqNum int, rng *rand.Rand, intended time.Time) bool) openLoopResult {
+
+	interval := time.Duration(float64(time.Second) / rate)
+	total := int(rate * duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	perWorker := make([][]time.Duration, workers)
+	failed := make([]int, workers)
+	start := time.Now().Add(5 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			for i := w; i < total; i += workers {
+				intended := start.Add(time.Duration(i) * interval)
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				if attempt(w, i, rng, intended) {
+					perWorker[w] = append(perWorker[w], time.Since(intended))
+				} else {
+					failed[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := openLoopResult{offered: rate, scheduled: total}
+	for w := range perWorker {
+		res.latencies = append(res.latencies, perWorker[w]...)
+		res.failures += failed[w]
+	}
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	if elapsed > 0 {
+		res.achieved = float64(len(res.latencies)) / elapsed.Seconds()
+	}
+	return res
+}
+
+// percentile reads the q-quantile (0 <= q <= 1) from a sorted sample by
+// nearest-rank on the scaled index.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (r openLoopResult) print(out io.Writer) {
+	fmt.Fprintf(out, "\nopen-loop: offered %.1f req/s (%d scheduled), achieved %.1f req/s, %d send failures\n",
+		r.offered, r.scheduled, r.achieved, r.failures)
+	if len(r.latencies) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "latency from intended send: p50 %v  p95 %v  p99 %v  p999 %v  max %v\n",
+		percentile(r.latencies, 0.50).Round(time.Microsecond),
+		percentile(r.latencies, 0.95).Round(time.Microsecond),
+		percentile(r.latencies, 0.99).Round(time.Microsecond),
+		percentile(r.latencies, 0.999).Round(time.Microsecond),
+		r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autowebcache"
+	"autowebcache/internal/rubis"
+)
+
+func TestOpenLoopScheduleCoversEveryIndexOnce(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	res := runOpenLoop(3, 100*time.Millisecond, 500, 1,
+		func(client, reqNum int, rng *rand.Rand, intended time.Time) bool {
+			mu.Lock()
+			seen[reqNum]++
+			mu.Unlock()
+			return true
+		})
+	if res.scheduled != 50 {
+		t.Fatalf("scheduled = %d, want 500 req/s * 0.1s = 50", res.scheduled)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("issued %d distinct indices, want 50", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d issued %d times", i, n)
+		}
+	}
+	if len(res.latencies) != 50 || res.failures != 0 {
+		t.Fatalf("latencies=%d failures=%d", len(res.latencies), res.failures)
+	}
+}
+
+func TestOpenLoopLatencyFromIntendedSendTime(t *testing.T) {
+	// A worker that stalls 20ms per request at a schedule demanding one
+	// request per ms must accumulate queueing delay: later requests start
+	// well past their intended departure, so their recorded latency exceeds
+	// the 20ms service time. A closed-loop (coordinated-omission) measure
+	// would report ~20ms for every request.
+	res := runOpenLoop(1, 40*time.Millisecond, 1000, 1,
+		func(client, reqNum int, rng *rand.Rand, intended time.Time) bool {
+			time.Sleep(20 * time.Millisecond)
+			return true
+		})
+	if res.failures != 0 || len(res.latencies) == 0 {
+		t.Fatalf("failures=%d latencies=%d", res.failures, len(res.latencies))
+	}
+	if max := res.latencies[len(res.latencies)-1]; max < 40*time.Millisecond {
+		t.Fatalf("max latency %v; queueing delay not measured from intended send time", max)
+	}
+}
+
+func TestOpenLoopFailuresExcludedFromLatencies(t *testing.T) {
+	res := runOpenLoop(2, 20*time.Millisecond, 500, 1,
+		func(client, reqNum int, rng *rand.Rand, intended time.Time) bool {
+			return reqNum%2 == 0
+		})
+	if res.failures == 0 {
+		t.Fatal("no failures counted")
+	}
+	if len(res.latencies)+res.failures != res.scheduled {
+		t.Fatalf("latencies %d + failures %d != scheduled %d",
+			len(res.latencies), res.failures, res.scheduled)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sample := make([]time.Duration, 100)
+	for i := range sample {
+		sample[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.50, 50 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	} {
+		if got := percentile(sample, tc.q); got != tc.want {
+			t.Errorf("p%v = %v, want %v", tc.q*100, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty sample: %v", got)
+	}
+}
+
+func TestOpenLoopAgainstLiveServer(t *testing.T) {
+	db := autowebcache.NewDB()
+	scale := rubis.Scale{Regions: 2, Categories: 3, Users: 10, Items: 20,
+		BidsPerItem: 2, CommentsPerUser: 1, BuyNows: 5, Seed: 1}
+	last, err := rubis.Load(db, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := autowebcache.New(db, autowebcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := rubis.New(rt.Conn(), scale, last)
+	h, err := rt.Weave(app.Handlers(), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var out strings.Builder
+	err = run([]string{
+		"-target", srv.URL, "-app", "rubis", "-clients", "4",
+		"-openloop", "-rate", "400", "-duration", "250ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"open-loop:", "offered 400.0 req/s", "p50", "p99", "p999", "hit rate"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	if err := run([]string{"-openloop", "-rate", "0"}, &out); err == nil {
+		t.Fatal("zero -rate accepted")
+	}
+}

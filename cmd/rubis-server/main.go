@@ -6,6 +6,7 @@
 //	rubis-server -addr :8080                 # cache-enabled (AC-extraQuery)
 //	rubis-server -nocache                    # baseline
 //	rubis-server -strategy columnonly        # pick an invalidation strategy
+//	rubis-server -encodings gzip -etag       # gzip variants + 304 revalidation
 //
 // Clustered (one logical cache across N processes):
 //
@@ -24,19 +25,14 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
-	"os/signal"
-	"strings"
-	"time"
 
 	"autowebcache"
-	"autowebcache/internal/cluster"
 	"autowebcache/internal/rubis"
+	"autowebcache/internal/serverutil"
 )
 
 func main() {
@@ -45,53 +41,24 @@ func main() {
 	}
 }
 
-func parseStrategy(s string) (autowebcache.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "columnonly":
-		return autowebcache.ColumnOnly, nil
-	case "wherematch":
-		return autowebcache.WhereMatch, nil
-	case "extraquery", "ac-extraquery":
-		return autowebcache.ExtraQuery, nil
-	}
-	return 0, fmt.Errorf("unknown strategy %q", s)
-}
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("rubis-server", flag.ContinueOnError)
-	addr := fs.String("addr", ":8080", "listen address")
-	dbDSN := fs.String("db", "memdb", "database backend DSN: memdb, memdb:<name>, or sqlite:<path> (file shared across processes)")
-	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
+	flags := serverutil.Register(fs, ":8080")
 	strategy := fs.String("strategy", "extraquery", "invalidation strategy: columnonly, wherematch, extraquery")
-	maxBytes := fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)")
-	admission := fs.Bool("admission", false, "gate inserts with a TinyLFU admission filter under byte-budget pressure (requires -max-bytes)")
-	fragments := fs.Bool("fragments", false, "fragment-granular (ESI-style) caching: assemble pages from per-fragment cache hits")
-	listenPeer := fs.String("listen-peer", "", "cluster peer-protocol listen address (enables the peer tier)")
-	peers := fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes")
-	invMode := fs.String("invalidation", "strong", "cluster invalidation mode: strong or async")
-	replication := fs.Int("replication", 1, "cluster ring replication factor (owner nodes per key)")
-	strictBcast := fs.Bool("strict-broadcast", false, "report strong-mode writes that missed a down peer as write-degraded")
-	probeInterval := fs.Duration("probe-interval", 0, "cluster peer health-probe cadence (0 = 250ms, negative disables)")
-	failThreshold := fs.Int("failure-threshold", 0, "consecutive peer-call failures before the circuit breaker opens (0 = 3)")
-	metricsListen := fs.String("metrics-listen", "", "admin listen address serving /metrics (Prometheus), /statsz, /healthz and /debug/pprof (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	strat, err := parseStrategy(*strategy)
+	strat, err := serverutil.ParseStrategy(*strategy)
 	if err != nil {
 		return err
 	}
-	budget, err := autowebcache.ParseByteSize(*maxBytes)
+	cfg, err := flags.Config()
 	if err != nil {
 		return err
 	}
+	cfg.Strategy = strat
 
-	rt, err := autowebcache.Open(*dbDSN, autowebcache.Config{
-		Strategy:  strat,
-		Disabled:  *noCache,
-		MaxBytes:  budget,
-		Admission: *admission,
-	})
+	rt, err := autowebcache.Open(*flags.DB, cfg)
 	if err != nil {
 		return err
 	}
@@ -102,64 +69,11 @@ func run(args []string) error {
 		return err
 	}
 	app := rubis.New(rt.Conn(), scale, lastDate)
-	handler, err := rt.Weave(app.Handlers(), autowebcache.Rules{Fragments: *fragments})
+	handler, err := rt.Weave(app.Handlers(), autowebcache.Rules{Fragments: *flags.Fragments})
 	if err != nil {
 		return err
 	}
-	node, err := rt.Cluster(handler, autowebcache.ClusterConfig{
-		ListenPeer:       *listenPeer,
-		Peers:            cluster.ParsePeerList(*peers),
-		Invalidation:     *invMode,
-		Replication:      *replication,
-		StrictBroadcast:  *strictBcast,
-		ProbeInterval:    *probeInterval,
-		FailureThreshold: *failThreshold,
-	})
-	if err != nil {
-		return err
-	}
-	if node != nil {
-		defer node.Close()
-		log.Printf("cluster peer tier on %s (%d-node ring, invalidation=%s)",
-			node.Addr(), node.Ring().Len(), *invMode)
-	}
-
-	if *metricsListen != "" {
-		admin := autowebcache.NewAdmin().Watch(rt, handler, node)
-		adminSrv := &http.Server{Addr: *metricsListen, Handler: admin.Handler(), ReadHeaderTimeout: 5 * time.Second}
-		defer adminSrv.Close()
-		go func() {
-			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("admin listener: %v", err)
-			}
-		}()
-		log.Printf("admin surface on %s (/metrics, /statsz, /healthz, /debug/pprof)", *metricsListen)
-	}
-
-	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("RUBiS serving on %s (cache=%v, strategy=%v, fragments=%v)", *addr, !*noCache, strat, *fragments)
-
-	select {
-	case err := <-errCh:
-		if !errors.Is(err, http.ErrServerClosed) {
-			return err
-		}
-	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			return err
-		}
-	}
-	if c := rt.Cache(); c != nil {
-		log.Printf("cache stats at exit: %+v", c.Stats())
-	}
-	if node != nil {
-		log.Printf("cluster stats at exit: %+v", node.Stats())
-	}
-	return nil
+	return flags.Serve(rt, handler, fmt.Sprintf(
+		"RUBiS serving on %s (cache=%v, strategy=%v, fragments=%v)",
+		*flags.Addr, !*flags.NoCache, strat, *flags.Fragments))
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"autowebcache"
+	"autowebcache/internal/serverutil"
 )
 
 func TestParseStrategy(t *testing.T) {
@@ -13,7 +14,7 @@ func TestParseStrategy(t *testing.T) {
 		"AC-extraQuery": true, "bogus": false, "": false,
 	}
 	for in, ok := range cases {
-		_, err := parseStrategy(in)
+		_, err := serverutil.ParseStrategy(in)
 		if ok && err != nil {
 			t.Errorf("%q: %v", in, err)
 		}

@@ -6,6 +6,7 @@
 //	tpcw-server -addr :8081                  # cache-enabled
 //	tpcw-server -nocache                     # baseline
 //	tpcw-server -bestseller-window 30s       # the paper's Fig. 15 semantics
+//	tpcw-server -encodings gzip -etag        # gzip variants + 304 revalidation
 //
 // Clustered (one logical cache across N processes):
 //
@@ -22,16 +23,13 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
+	"fmt"
 	"log"
-	"net/http"
 	"os"
-	"os/signal"
-	"time"
 
 	"autowebcache"
-	"autowebcache/internal/cluster"
+	"autowebcache/internal/serverutil"
 	"autowebcache/internal/tpcw"
 )
 
@@ -43,35 +41,17 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("tpcw-server", flag.ContinueOnError)
-	addr := fs.String("addr", ":8081", "listen address")
-	dbDSN := fs.String("db", "memdb", "database backend DSN: memdb, memdb:<name>, or sqlite:<path> (file shared across processes)")
-	noCache := fs.Bool("nocache", false, "serve the uncached baseline")
+	flags := serverutil.Register(fs, ":8081")
 	window := fs.Duration("bestseller-window", 0, "BestSellers semantic freshness window (paper: 30s)")
-	maxBytes := fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)")
-	admission := fs.Bool("admission", false, "gate inserts with a TinyLFU admission filter under byte-budget pressure (requires -max-bytes)")
-	fragments := fs.Bool("fragments", false, "fragment-granular (ESI-style) caching: assemble pages from per-fragment cache hits")
-	listenPeer := fs.String("listen-peer", "", "cluster peer-protocol listen address (enables the peer tier)")
-	peers := fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes")
-	invMode := fs.String("invalidation", "strong", "cluster invalidation mode: strong or async")
-	replication := fs.Int("replication", 1, "cluster ring replication factor (owner nodes per key)")
-	strictBcast := fs.Bool("strict-broadcast", false, "report strong-mode writes that missed a down peer as write-degraded")
-	probeInterval := fs.Duration("probe-interval", 0, "cluster peer health-probe cadence (0 = 250ms, negative disables)")
-	failThreshold := fs.Int("failure-threshold", 0, "consecutive peer-call failures before the circuit breaker opens (0 = 3)")
-	metricsListen := fs.String("metrics-listen", "", "admin listen address serving /metrics (Prometheus), /statsz, /healthz and /debug/pprof (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	budget, err := autowebcache.ParseByteSize(*maxBytes)
+	cfg, err := flags.Config()
 	if err != nil {
 		return err
 	}
 
-	rt, err := autowebcache.Open(*dbDSN, autowebcache.Config{
-		Disabled:  *noCache,
-		MaxBytes:  budget,
-		Admission: *admission,
-	})
+	rt, err := autowebcache.Open(*flags.DB, cfg)
 	if err != nil {
 		return err
 	}
@@ -83,65 +63,12 @@ func run(args []string) error {
 	}
 	app := tpcw.New(rt.Conn(), scale, lastDate)
 	rules := tpcw.WeaveRules(*window)
-	rules.Fragments = *fragments
+	rules.Fragments = *flags.Fragments
 	handler, err := rt.Weave(app.Handlers(), rules)
 	if err != nil {
 		return err
 	}
-	node, err := rt.Cluster(handler, autowebcache.ClusterConfig{
-		ListenPeer:       *listenPeer,
-		Peers:            cluster.ParsePeerList(*peers),
-		Invalidation:     *invMode,
-		Replication:      *replication,
-		StrictBroadcast:  *strictBcast,
-		ProbeInterval:    *probeInterval,
-		FailureThreshold: *failThreshold,
-	})
-	if err != nil {
-		return err
-	}
-	if node != nil {
-		defer node.Close()
-		log.Printf("cluster peer tier on %s (%d-node ring, invalidation=%s)",
-			node.Addr(), node.Ring().Len(), *invMode)
-	}
-
-	if *metricsListen != "" {
-		admin := autowebcache.NewAdmin().Watch(rt, handler, node)
-		adminSrv := &http.Server{Addr: *metricsListen, Handler: admin.Handler(), ReadHeaderTimeout: 5 * time.Second}
-		defer adminSrv.Close()
-		go func() {
-			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("admin listener: %v", err)
-			}
-		}()
-		log.Printf("admin surface on %s (/metrics, /statsz, /healthz, /debug/pprof)", *metricsListen)
-	}
-
-	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("TPC-W serving on %s (cache=%v, window=%v)", *addr, !*noCache, *window)
-
-	select {
-	case err := <-errCh:
-		if !errors.Is(err, http.ErrServerClosed) {
-			return err
-		}
-	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			return err
-		}
-	}
-	if c := rt.Cache(); c != nil {
-		log.Printf("cache stats at exit: %+v", c.Stats())
-	}
-	if node != nil {
-		log.Printf("cluster stats at exit: %+v", node.Stats())
-	}
-	return nil
+	return flags.Serve(rt, handler, fmt.Sprintf(
+		"TPC-W serving on %s (cache=%v, window=%v)",
+		*flags.Addr, !*flags.NoCache, *window))
 }

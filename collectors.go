@@ -30,6 +30,8 @@ var appCounters = []appCounter{
 		func(s *InteractionStats) uint64 { return s.Requests }},
 	{"awc_hits_total", "Strong-consistency cache hits, including coalesced (by handler). Mirrors weave.InteractionStats.Hits.",
 		func(s *InteractionStats) uint64 { return s.Hits }},
+	{"awc_not_modified_total", "Conditional requests answered 304 via If-None-Match, zero body bytes (subset of hits). Mirrors weave.InteractionStats.NotModified.",
+		func(s *InteractionStats) uint64 { return s.NotModified }},
 	{"awc_semantic_hits_total", "Cache hits under a semantic TTL window. Mirrors weave.InteractionStats.SemanticHits.",
 		func(s *InteractionStats) uint64 { return s.SemanticHits }},
 	{"awc_coalesced_total", "Misses served by a concurrent flight's result (subset of hits). Mirrors weave.InteractionStats.Coalesced.",
@@ -50,6 +52,8 @@ var appCounters = []appCounter{
 		func(s *InteractionStats) uint64 { return s.Uncacheable }},
 	{"awc_errors_total", "Handler responses with a non-200 status. Mirrors weave.InteractionStats.Errors.",
 		func(s *InteractionStats) uint64 { return s.Errors }},
+	{"awc_send_failures_total", "Responses whose write to the client failed mid-send; their latencies are excluded from the histogram. Mirrors weave.InteractionStats.SendFailures.",
+		func(s *InteractionStats) uint64 { return s.SendFailures }},
 	{"awc_pages_invalidated_total", "Pages removed by this handler's write invalidations. Mirrors weave.InteractionStats.PagesInvalidated.",
 		func(s *InteractionStats) uint64 { return s.PagesInvalidated }},
 	{"awc_fragments_served_total", "Cacheable fragments served from the cache across assembled responses. Mirrors weave.InteractionStats.FragmentsServed.",
@@ -163,6 +167,9 @@ var cacheCounters = []cacheCounter{
 	{"awc_cache_oversize_rejects_total", "Inserts refused because one entry exceeds MaxBytes. Mirrors cache.Stats.OversizeRejects / qrcache.Stats.OversizeRejects.",
 		func(s *CacheStats) (uint64, bool) { return yes(s.OversizeRejects) },
 		func(s *QueryCacheStats) (uint64, bool) { return yes(s.OversizeRejects) }},
+	{"awc_cache_gzip_compressions_total", "Gzip compressor runs — exactly one per insert of a compressible page, never on the serve path. Mirrors cache.Stats.GzipCompressions (page cache only).",
+		func(s *CacheStats) (uint64, bool) { return yes(s.GzipCompressions) },
+		func(s *QueryCacheStats) (uint64, bool) { return no() }},
 }
 
 // declareCacheFamilies declares the families shared by the page and query
@@ -189,6 +196,9 @@ func declareCacheFamilies(g *telemetry.Gatherer) {
 	g.Declare("awc_cache_dep_instances", telemetry.TypeGauge,
 		"Dependency-table (template, vector) instance count. Mirrors cache.Stats.DepInstances (page cache only).",
 		"cache")
+	g.Declare("awc_cache_variant_bytes", telemetry.TypeGauge,
+		"Resident gzip-variant payload bytes, a subset of accounted bytes. Mirrors cache.Stats.VariantBytes (page cache only).",
+		"cache")
 }
 
 // WatchCache exports the page cache under cache="page".
@@ -211,6 +221,7 @@ func (a *Admin) WatchCache(c *PageCache) *Admin {
 		g.Value("awc_cache_accounted_bytes", float64(st.Bytes), "page")
 		g.Value("awc_cache_dep_templates", float64(st.DepTemplates), "page")
 		g.Value("awc_cache_dep_instances", float64(st.DepInstances), "page")
+		g.Value("awc_cache_variant_bytes", float64(st.VariantBytes), "page")
 	})
 	return a
 }

@@ -1,0 +1,160 @@
+package autowebcache_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"autowebcache"
+)
+
+// exercise drives a runtime through enough traffic to expose its capacity
+// and tier wiring: four distinct pages (so bounds bite), one revisit.
+func exercise(t *testing.T, rt *autowebcache.Runtime) {
+	t.Helper()
+	h, err := rt.Weave(buildApp(t, rt.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []string{"/list", "/list?p=1", "/list?p=2", "/list?p=3", "/list"} {
+		if rr := get(t, h, target); rr.Code != http.StatusOK {
+			t.Fatalf("GET %s: %d", target, rr.Code)
+		}
+	}
+}
+
+// TestConfigFlatAliasesEquivalent proves the deprecated flat Config fields
+// and the grouped sub-structs build identical runtimes: same tiers present,
+// same bounds enforced, same cache occupancy after identical traffic.
+func TestConfigFlatAliasesEquivalent(t *testing.T) {
+	flat := autowebcache.Config{
+		MaxEntries:        2,
+		MaxBytes:          1 << 20,
+		Replacement:       autowebcache.LFU,
+		Shards:            4,
+		QueryCache:        true,
+		QueryCacheEntries: 8,
+		QueryCacheBytes:   1 << 16,
+	}
+	grouped := autowebcache.Config{
+		PageCache: autowebcache.PageCacheConfig{
+			MaxEntries:  2,
+			MaxBytes:    1 << 20,
+			Replacement: autowebcache.LFU,
+			Shards:      4,
+		},
+		QueryResults: autowebcache.QueryCacheConfig{
+			Enabled:    true,
+			MaxEntries: 8,
+			MaxBytes:   1 << 16,
+		},
+	}
+	rtFlat, err := autowebcache.New(newDB(t), flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtGrouped, err := autowebcache.New(newDB(t), grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exercise(t, rtFlat)
+	exercise(t, rtGrouped)
+	if rtFlat.QueryCache() == nil || rtGrouped.QueryCache() == nil {
+		t.Fatal("query-result cache missing under one spelling")
+	}
+	sf, sg := rtFlat.Cache().Snapshot(), rtGrouped.Cache().Snapshot()
+	if sf != sg {
+		t.Fatalf("identical traffic, different cache stats:\nflat:    %+v\ngrouped: %+v", sf, sg)
+	}
+	if sf.Entries > 2 {
+		t.Fatalf("MaxEntries=2 not enforced: %d entries", sf.Entries)
+	}
+	if sf.Evictions == 0 {
+		t.Fatal("bounded cache saw 4 pages but evicted nothing")
+	}
+}
+
+// TestConfigGroupedFieldWinsOverAlias: when both spellings are set, the
+// grouped field is authoritative.
+func TestConfigGroupedFieldWinsOverAlias(t *testing.T) {
+	rt, err := autowebcache.New(newDB(t), autowebcache.Config{
+		MaxEntries: 1,
+		PageCache:  autowebcache.PageCacheConfig{MaxEntries: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exercise(t, rt)
+	if s := rt.Cache().Snapshot(); s.Entries != 4 || s.Evictions != 0 {
+		t.Fatalf("grouped MaxEntries=100 lost to alias 1: %+v", s)
+	}
+}
+
+func TestConfigRejectsUnknownEncoding(t *testing.T) {
+	_, err := autowebcache.New(newDB(t), autowebcache.Config{
+		Serve: autowebcache.ServeConfig{Encodings: []string{"br"}},
+	})
+	if err == nil {
+		t.Fatal("unknown content-encoding accepted")
+	}
+}
+
+// TestServeConfigEndToEnd: the facade's Serve group reaches the serve path —
+// gzip negotiation and ETag revalidation work through Runtime + Weave.
+func TestServeConfigEndToEnd(t *testing.T) {
+	rt, err := autowebcache.New(newDB(t), autowebcache.Config{
+		Serve: autowebcache.ServeConfig{
+			Encodings:    []string{"identity", "gzip"},
+			GzipMinBytes: 1,
+			ETags:        true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := rt.RawConn().Exec(context.Background(), "INSERT INTO notes (note) VALUES (?)", "a long enough note to be worth compressing, repeated and repeated"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := rt.Weave(buildApp(t, rt.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := get(t, h, "/list")
+	etag := plain.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("ETags on, no ETag served")
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/list", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	zipped := httptest.NewRecorder()
+	h.ServeHTTP(zipped, req)
+	if zipped.Header().Get("Content-Encoding") != "gzip" {
+		t.Fatal("gzip encoding configured but not negotiated")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(zipped.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, plain.Body.Bytes()) {
+		t.Fatal("gzip variant decodes to different bytes than identity")
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/list", nil)
+	req.Header.Set("If-None-Match", etag)
+	cond := httptest.NewRecorder()
+	h.ServeHTTP(cond, req)
+	if cond.Code != http.StatusNotModified || cond.Body.Len() != 0 {
+		t.Fatalf("revalidation: code=%d bodyBytes=%d, want 304 with empty body", cond.Code, cond.Body.Len())
+	}
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestFullHTTPHitZeroAllocs pins the tentpole target: the measured unit is
+// the full HTTP hit (routing, epoch-guarded lookup, negotiation, headers,
+// stats), and in steady state it allocates nothing — for the identity body,
+// the gzip variant, and the 304 revalidation alike. The first request on a
+// fresh writer pays one-time header-map population; AllocsPerRun measures
+// the requests after it.
+func TestFullHTTPHitZeroAllocs(t *testing.T) {
+	hw, etag, err := httpWoven()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := httptest.NewRequest(http.MethodGet, "/http", nil)
+	gz.Header.Set("Accept-Encoding", "gzip")
+	inm := httptest.NewRequest(http.MethodGet, "/http", nil)
+	inm.Header.Set("If-None-Match", etag)
+	for _, tc := range []struct {
+		name string
+		req  *http.Request
+	}{
+		{"identity", httptest.NewRequest(http.MethodGet, "/http", nil)},
+		{"gzip", gz},
+		{"304", inm},
+	} {
+		dw := &discardWriter{h: make(http.Header)}
+		hw.ServeHTTP(dw, tc.req) // steady the header map
+		if allocs := testing.AllocsPerRun(100, func() { hw.ServeHTTP(dw, tc.req) }); allocs > 0 {
+			t.Errorf("%s: %.2f allocs/op on the steady-state full-HTTP hit, want 0", tc.name, allocs)
+		}
+	}
+}

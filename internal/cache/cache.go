@@ -108,6 +108,19 @@ type Options struct {
 	// on every lookup... the performance difference to NoCache is
 	// negligible").
 	ForceMiss bool
+	// Gzip builds a gzip content-encoding variant for each inserted page at
+	// insert time — compressed exactly once per generation, byte-accounted
+	// with its entry, sharing the entry's deps/TTL/epoch lifecycle — for the
+	// serve layer to negotiate per request from Accept-Encoding. Variants
+	// that would not shrink the body are discarded (identity only).
+	Gzip bool
+	// GzipMinBytes is the smallest body a gzip variant is built for; 0
+	// means defaultGzipMinBytes. Only meaningful with Gzip set.
+	GzipMinBytes int
+	// ETags precomputes a strong, content-derived validator per entry at
+	// insert so conditional requests (If-None-Match) on hits are answered
+	// 304 straight from the cache with zero body bytes.
+	ETags bool
 }
 
 // Page is the caller-facing view of one cached page: the stored body slice
@@ -123,6 +136,20 @@ type Options struct {
 type Page struct {
 	Body        []byte
 	ContentType string
+	// Gzip is the entry's gzip content-encoding variant, compressed exactly
+	// once at insert; nil when absent (Options.Gzip off, the body below
+	// GzipMinBytes, or compression did not shrink it). Same shared
+	// read-only contract as Body.
+	Gzip []byte
+	// ETag is the entry's strong validator, precomputed at insert
+	// (RFC 7232 quoted form); "" when Options.ETags is off.
+	ETag string
+	// BodyLen and GzipLen are the decimal renderings of len(Body) and
+	// len(Gzip), precomputed at insert so the serve path can set
+	// Content-Length without a per-request allocation. "" when variant
+	// metadata is off (both Options.Gzip and Options.ETags unset).
+	BodyLen string
+	GzipLen string
 }
 
 // Entry is one cached page together with its dependency information.
@@ -137,6 +164,15 @@ type Entry struct {
 	// ExpiresAt, when non-zero, makes the entry invisible after this time —
 	// used for TTL (weak) consistency and semantic windows.
 	ExpiresAt time.Time
+	// Gzip and ETag are the serve-path variants built once at insert (see
+	// variants.go); immutable like Body for the entry's lifetime.
+	Gzip []byte
+	ETag string
+
+	// bodyLen / gzipLen are the precomputed Content-Length strings of the
+	// identity and gzip representations ("" when variants are off).
+	bodyLen string
+	gzipLen string
 
 	hits uint64
 	// seq is the entry's position in the global replacement order: assigned
@@ -237,13 +273,21 @@ type Stats struct {
 	WritesSeen       uint64 // InvalidateWrite calls
 	AdmissionRejects uint64 // inserts refused by the TinyLFU admission filter
 	OversizeRejects  uint64 // inserts refused because one entry exceeds MaxBytes
-	Entries          int    // current page count
-	DepTemplates     int    // current dependency-table template count
-	DepInstances     int    // current dependency-table (template, vector) count
+	// GzipCompressions counts gzip compressor runs — exactly one per
+	// variant-building insert, never per request (the once-per-insert
+	// contract of Options.Gzip).
+	GzipCompressions uint64
+	Entries          int // current page count
+	DepTemplates     int // current dependency-table template count
+	DepInstances     int // current dependency-table (template, vector) count
 	// Bytes is the accounted memory charged against MaxBytes: every linked
 	// entry's cost plus in-flight insert reservations. With MaxBytes set it
 	// never exceeds the budget.
 	Bytes int64
+	// VariantBytes is the resident gzip-variant payload (a subset of
+	// Bytes): what the content-encoding variants currently cost on top of
+	// the identity bodies.
+	VariantBytes int64
 
 	// Per-segment occupancy and eviction splits. Under segmented eviction
 	// (byte governance with LRU/LFU) entries start in probation and move to
@@ -404,6 +448,12 @@ type Cache struct {
 	// admit is the TinyLFU admission filter (nil unless Options.Admission):
 	// touched on every lookup, consulted when a reservation needs to evict.
 	admit *tinylfu.Filter
+
+	// gzipCompressions counts compressor runs (once per variant-building
+	// insert); variantBytes tracks resident gzip payload, added when an
+	// entry links and credited when it unlinks.
+	gzipCompressions atomic.Uint64
+	variantBytes     atomic.Int64
 
 	hits             atomic.Uint64
 	misses           atomic.Uint64
@@ -587,7 +637,19 @@ func (c *Cache) Lookup(key string) (Page, bool) {
 	if !ok {
 		return Page{}, false
 	}
-	return Page{Body: e.Body, ContentType: e.ContentType}, true
+	return e.page(), true
+}
+
+// page is the zero-copy caller-facing view of the entry, variants included.
+func (e *Entry) page() Page {
+	return Page{
+		Body:        e.Body,
+		ContentType: e.ContentType,
+		Gzip:        e.Gzip,
+		ETag:        e.ETag,
+		BodyLen:     e.bodyLen,
+		GzipLen:     e.gzipLen,
+	}
 }
 
 // Export returns the full stored entry for key — page, dependency info and
@@ -600,7 +662,7 @@ func (c *Cache) Export(key string) (View, bool) {
 	if !ok {
 		return View{}, false
 	}
-	v := View{Page: Page{Body: e.Body, ContentType: e.ContentType}, Deps: e.Deps}
+	v := View{Page: e.page(), Deps: e.Deps}
 	if !e.ExpiresAt.IsZero() {
 		v.TTL = e.ExpiresAt.Sub(c.opts.Clock())
 	}
@@ -642,12 +704,16 @@ func (c *Cache) TryInsert(key string, body []byte, contentType string, deps []an
 		ContentType: contentType,
 		Deps:        deps,
 		InsertedAt:  now,
-		cost:        entryCost(key, body, deps),
 	}
+	// Variants are built on the private copy before costing, so the gzip
+	// payload and validator strings are charged against MaxBytes with the
+	// rest of the entry.
+	c.buildVariants(e)
+	e.cost = entryCost(key, body, deps) + variantCost(e)
 	if ttl > 0 {
 		e.ExpiresAt = now.Add(ttl)
 	}
-	stored := Page{Body: e.Body, ContentType: e.ContentType}
+	stored := e.page()
 	s := c.pageShard(key)
 	// Replacing a resident key happens atomically under the shard lock,
 	// reusing the old entry's capacity slot AND its byte budget: only the
@@ -724,6 +790,9 @@ func (c *Cache) insertEntryLocked(s *pageShard, e *Entry) {
 	e.seq = c.seq.Add(1)
 	s.pages[e.Key] = s.order.PushBack(e)
 	s.bytes.Add(e.cost)
+	if e.Gzip != nil {
+		c.variantBytes.Add(int64(len(e.Gzip)))
+	}
 	for _, d := range e.Deps {
 		c.addDepLocked(d, e.Key)
 	}
@@ -1118,8 +1187,10 @@ func (c *Cache) Snapshot() Stats {
 		WritesSeen:         c.writesSeen.Load(),
 		AdmissionRejects:   c.admissionRejects.Load(),
 		OversizeRejects:    c.oversizeRejects.Load(),
+		GzipCompressions:   c.gzipCompressions.Load(),
 		Entries:            int(c.entries.Load()),
 		Bytes:              c.bytesUsed.Load(),
+		VariantBytes:       c.variantBytes.Load(),
 	}
 	st.EvictionsProbation = st.Evictions - st.EvictionsProtected
 	for i := range c.pageShards {
@@ -1175,6 +1246,9 @@ func (c *Cache) unlinkEntryLocked(s *pageShard, el *list.Element) {
 		s.order.Remove(el)
 	}
 	s.bytes.Add(-e.cost)
+	if e.Gzip != nil {
+		c.variantBytes.Add(-int64(len(e.Gzip)))
+	}
 	delete(s.pages, e.Key)
 	for _, d := range e.Deps {
 		ds := c.depShard(d.SQL)

@@ -1,0 +1,204 @@
+package cache
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"autowebcache/internal/analysis"
+)
+
+func variantCache(t *testing.T, opts Options) *Cache {
+	t.Helper()
+	if opts.Engine == nil {
+		eng, err := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		opts.Engine = eng
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// compressible returns n bytes of repetitive HTML-ish content that gzip
+// shrinks substantially.
+func compressible(n int) []byte {
+	var b bytes.Buffer
+	for b.Len() < n {
+		b.WriteString("<tr><td>item</td><td>price</td><td>bids</td></tr>\n")
+	}
+	return b.Bytes()[:n]
+}
+
+func gunzip(t *testing.T, gz []byte) []byte {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatalf("gzip.NewReader: %v", err)
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	return out
+}
+
+// The once-per-insert contract: the compressor runs exactly once when the
+// entry is built, and never again — not on hits, not on exports.
+func TestGzipCompressedExactlyOncePerInsert(t *testing.T) {
+	c := variantCache(t, Options{Gzip: true, ETags: true})
+	body := compressible(4096)
+	pg := c.Insert("/k", body, "text/html", nil, 0)
+	if got := c.Snapshot().GzipCompressions; got != 1 {
+		t.Fatalf("GzipCompressions after insert = %d, want 1", got)
+	}
+	if pg.Gzip == nil {
+		t.Fatalf("stored page has no gzip variant")
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := c.Lookup("/k"); !ok {
+			t.Fatalf("lookup miss")
+		}
+		if _, ok := c.Export("/k"); !ok {
+			t.Fatalf("export miss")
+		}
+	}
+	if got := c.Snapshot().GzipCompressions; got != 1 {
+		t.Fatalf("GzipCompressions after 50 hits = %d, want 1 (compress once at insert)", got)
+	}
+	// A second insert of the same key is a new generation: one more run.
+	c.Insert("/k", body, "text/html", nil, 0)
+	if got := c.Snapshot().GzipCompressions; got != 2 {
+		t.Fatalf("GzipCompressions after re-insert = %d, want 2", got)
+	}
+}
+
+func TestGzipVariantRoundTripsAndShrinks(t *testing.T) {
+	c := variantCache(t, Options{Gzip: true})
+	body := compressible(8192)
+	c.Insert("/k", body, "text/html", nil, 0)
+	pg, ok := c.Lookup("/k")
+	if !ok {
+		t.Fatalf("lookup miss")
+	}
+	if len(pg.Gzip) == 0 || len(pg.Gzip) >= len(pg.Body) {
+		t.Fatalf("gzip variant len %d vs body %d: want a strictly smaller variant", len(pg.Gzip), len(pg.Body))
+	}
+	if !bytes.Equal(gunzip(t, pg.Gzip), body) {
+		t.Fatalf("gzip variant does not decompress to the identity body")
+	}
+	if pg.BodyLen != strconv.Itoa(len(body)) || pg.GzipLen != strconv.Itoa(len(pg.Gzip)) {
+		t.Fatalf("precomputed lengths %q/%q do not match %d/%d", pg.BodyLen, pg.GzipLen, len(body), len(pg.Gzip))
+	}
+}
+
+func TestGzipSkipsSmallAndIncompressibleBodies(t *testing.T) {
+	c := variantCache(t, Options{Gzip: true})
+	c.Insert("/small", compressible(64), "text/html", nil, 0)
+	if pg, _ := c.Lookup("/small"); pg.Gzip != nil {
+		t.Fatalf("variant built for a %d-byte body below the minimum", 64)
+	}
+	if got := c.Snapshot().GzipCompressions; got != 0 {
+		t.Fatalf("compressor ran for a below-minimum body (%d runs)", got)
+	}
+
+	// Pseudo-random bytes do not compress; the attempt is counted but the
+	// variant is discarded.
+	junk := make([]byte, 4096)
+	x := uint32(2463534242)
+	for i := range junk {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		junk[i] = byte(x)
+	}
+	c.Insert("/junk", junk, "application/octet-stream", nil, 0)
+	if pg, _ := c.Lookup("/junk"); pg.Gzip != nil {
+		t.Fatalf("kept a gzip variant that does not shrink the body")
+	}
+	if got := c.Snapshot().GzipCompressions; got != 1 {
+		t.Fatalf("GzipCompressions = %d, want 1 (attempt counted even when discarded)", got)
+	}
+}
+
+func TestETagContentDerivedAndStable(t *testing.T) {
+	c := variantCache(t, Options{ETags: true})
+	body := []byte(strings.Repeat("stable content ", 40))
+	pg1 := c.Insert("/k", body, "text/html", nil, 0)
+	if pg1.ETag == "" || !strings.HasPrefix(pg1.ETag, `"`) || !strings.HasSuffix(pg1.ETag, `"`) {
+		t.Fatalf("ETag %q: want a non-empty RFC 7232 quoted tag", pg1.ETag)
+	}
+	// Identical content regenerated after an invalidation keeps its tag...
+	c.InvalidateKey("/k")
+	pg2 := c.Insert("/k", body, "text/html", nil, 0)
+	if pg2.ETag != pg1.ETag {
+		t.Fatalf("identical content changed tag: %q -> %q", pg1.ETag, pg2.ETag)
+	}
+	// ...while any content change produces a new one.
+	c.InvalidateKey("/k")
+	pg3 := c.Insert("/k", append([]byte("x"), body...), "text/html", nil, 0)
+	if pg3.ETag == pg1.ETag {
+		t.Fatalf("changed content kept tag %q", pg1.ETag)
+	}
+	// Same content under a different key: same tag (content-derived, so
+	// every cluster node computes it independently and identically).
+	pg4 := c.Insert("/other", body, "text/html", nil, 0)
+	if pg4.ETag != pg1.ETag {
+		t.Fatalf("content-derived tag differs across keys: %q vs %q", pg4.ETag, pg1.ETag)
+	}
+}
+
+func TestVariantBytesAccounting(t *testing.T) {
+	c := variantCache(t, Options{Gzip: true, MaxBytes: 1 << 20})
+	body := compressible(8192)
+	pg := c.Insert("/k", body, "text/html", nil, 0)
+	st := c.Snapshot()
+	if st.VariantBytes != int64(len(pg.Gzip)) {
+		t.Fatalf("VariantBytes = %d, want resident gzip payload %d", st.VariantBytes, len(pg.Gzip))
+	}
+	// The variant is charged against MaxBytes with its entry: accounted
+	// bytes must cover body + variant, and removal credits both back.
+	if st.Bytes < int64(len(body))+int64(len(pg.Gzip)) {
+		t.Fatalf("Bytes = %d does not cover body %d + variant %d", st.Bytes, len(body), len(pg.Gzip))
+	}
+	c.InvalidateKey("/k")
+	st = c.Snapshot()
+	if st.VariantBytes != 0 || st.Bytes != 0 {
+		t.Fatalf("after removal VariantBytes=%d Bytes=%d, want 0/0", st.VariantBytes, st.Bytes)
+	}
+}
+
+// A budget sized for bodies must refuse entries whose variant pushes them
+// over, instead of silently overshooting.
+func TestVariantCountsAgainstByteBudget(t *testing.T) {
+	body := compressible(4096)
+	bare := variantCache(t, Options{})
+	bareCost := entryCost("/k", body, nil)
+	// Budget that fits the bare entry but not the variant-carrying one.
+	c := variantCache(t, Options{Gzip: true, MaxBytes: bareCost + 32})
+	if _, stored := c.TryInsert("/k", body, "text/html", nil, 0); stored {
+		t.Fatalf("variant-carrying entry admitted into a budget of %d that cannot hold its variant", bareCost+32)
+	}
+	if _, stored := bare.TryInsert("/k", body, "text/html", nil, 0); !stored {
+		t.Fatalf("sanity: bare entry should store unbounded")
+	}
+}
+
+func TestVariantsOffByDefault(t *testing.T) {
+	c := variantCache(t, Options{})
+	pg := c.Insert("/k", compressible(4096), "text/html", nil, time.Minute)
+	if pg.Gzip != nil || pg.ETag != "" || pg.BodyLen != "" || pg.GzipLen != "" {
+		t.Fatalf("variant metadata built with both knobs off: %+v", pg)
+	}
+	if st := c.Snapshot(); st.GzipCompressions != 0 || st.VariantBytes != 0 {
+		t.Fatalf("variant counters moved with both knobs off: %+v", st)
+	}
+}

@@ -468,6 +468,11 @@ func (n *Node) Fetch(ctx context.Context, key string) (cache.Page, bool) {
 		// Insert (not TryInsert): if the local byte budget refuses the
 		// replica, the returned view is still this fetch's servable copy —
 		// the page just stays remote-only and the next miss re-fetches.
+		// The wire carries the identity body only: variants (gzip, ETag)
+		// are derived state, so this Insert recomputes them under the
+		// local cache's own Options rather than trusting the exporter's —
+		// nodes may disagree on -encodings/-etag without trading stale or
+		// mismatched variants.
 		stored := n.cfg.Cache.Insert(key, body, meta.ContentType,
 			fromWireQueries(meta.Deps), ttlFromNanos(meta.TTLNanos))
 		n.remoteHits.Add(1)
@@ -694,6 +699,9 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 		if !ok {
 			return msgGetResp, getRespMeta{Found: false}, nil, nil
 		}
+		// v.Body is the identity representation — the canonical page on the
+		// wire. Gzip variants and ETags are never shipped: the requester
+		// re-derives them at insert under its own serve configuration.
 		return msgGetResp, getRespMeta{
 			Found:       true,
 			ContentType: v.ContentType,

@@ -1,0 +1,57 @@
+package serverutil
+
+import (
+	"flag"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, ":0")
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigMapsServeFlags(t *testing.T) {
+	f := parse(t, "-encodings", "gzip, identity", "-etag", "-max-bytes", "64k")
+	cfg, err := f.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Serve.Encodings; len(got) != 2 || got[0] != "gzip" || got[1] != "identity" {
+		t.Fatalf("Encodings = %v", got)
+	}
+	if !cfg.Serve.ETags {
+		t.Fatal("-etag not mapped")
+	}
+	if cfg.PageCache.MaxBytes != 64<<10 {
+		t.Fatalf("MaxBytes = %d", cfg.PageCache.MaxBytes)
+	}
+}
+
+func TestConfigDefaultsIdentityOnly(t *testing.T) {
+	cfg, err := parse(t).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Serve.Encodings != nil || cfg.Serve.ETags {
+		t.Fatalf("serving knobs should default off: %+v", cfg.Serve)
+	}
+}
+
+func TestConfigBadByteSize(t *testing.T) {
+	if _, err := parse(t, "-max-bytes", "lots").Config(); err == nil {
+		t.Fatal("bad -max-bytes accepted")
+	}
+}
+
+func TestClusterConfigMapsFlags(t *testing.T) {
+	f := parse(t, "-listen-peer", "127.0.0.1:9080", "-peers", "a:1, b:2", "-invalidation", "async", "-replication", "2")
+	cc := f.ClusterConfig()
+	if cc.ListenPeer != "127.0.0.1:9080" || len(cc.Peers) != 2 || cc.Invalidation != "async" || cc.Replication != 2 {
+		t.Fatalf("ClusterConfig = %+v", cc)
+	}
+}

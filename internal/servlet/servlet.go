@@ -52,7 +52,27 @@ type HandlerInfo struct {
 // query parameters sorted by name (§3.3: pages are "indexed by the URI of
 // the client requests including the request arguments").
 func PageKey(r *http.Request) string {
+	// url.Query() allocates an empty map even for a bare path; parameterless
+	// pages are common enough (and hit often enough) to skip the parse.
+	if r.URL.RawQuery == "" {
+		return r.URL.Path
+	}
 	return PageKeyOf(r.URL.Path, r.URL.Query())
+}
+
+// SetHeader sets h[key] = [value] like http.Header.Set, but reuses the
+// existing value slice when the key is already present with a single value.
+// On a reused header map (steady-state benchmark writers, custom keep-alive
+// writers) that makes repeated serving allocation-free; under net/http each
+// request gets a fresh map, where the first set allocates as usual. key
+// must already be in textproto canonical form (e.g. "Content-Type",
+// "Etag") — no canonicalisation is performed.
+func SetHeader(h http.Header, key, value string) {
+	if vs := h[key]; len(vs) == 1 {
+		vs[0] = value
+		return
+	}
+	h[key] = []string{value}
 }
 
 // keyBuf is a pooled scratch buffer for page-key construction: the builder

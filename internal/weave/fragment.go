@@ -3,6 +3,7 @@ package weave
 import (
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"autowebcache/internal/analysis"
@@ -19,6 +20,74 @@ import (
 // pages, rides the cluster's get/put/inv messages by key unchanged, and
 // InvalidateWrite removes exactly the fragments whose read templates
 // intersect the write, never the rest of the page.
+
+// assembly accumulates a page's spans for the vectored serve: cached
+// fragments stay as shared stored-slice views, and generated output (holes,
+// error text, uncached fragment bodies rendered this request) lands in one
+// pooled buffer, referenced by offset — offsets stay valid across buffer
+// growth, and the final [][]byte vector is materialised once, after every
+// generator has run.
+type assembly struct {
+	spans []span
+	gen   *responseBuffer
+	parts [][]byte
+}
+
+// span is one contiguous stretch of the response: a shared cache view
+// (view != nil) or the [a,b) range of the assembly's gen buffer.
+type span struct {
+	view []byte
+	a, b int
+}
+
+// asmPool recycles assemblies (span and part slices included) across
+// requests.
+var asmPool = sync.Pool{New: func() any { return new(assembly) }}
+
+func newAssembly() *assembly {
+	a := asmPool.Get().(*assembly)
+	a.gen = newResponseBuffer()
+	return a
+}
+
+// release returns the assembly and its buffer to their pools. The caller
+// must be done with the parts vector — the buffer's bytes die here.
+func (a *assembly) release() {
+	a.gen.release()
+	a.gen = nil
+	a.spans = a.spans[:0]
+	a.parts = a.parts[:0]
+	asmPool.Put(a)
+}
+
+// addView appends a shared cache view to the page.
+func (a *assembly) addView(b []byte) {
+	if len(b) > 0 {
+		a.spans = append(a.spans, span{view: b})
+	}
+}
+
+// markGen closes the generated span that started when the gen buffer was
+// `from` bytes long (empty output adds no span).
+func (a *assembly) markGen(from int) {
+	if to := a.gen.body.Len(); to > from {
+		a.spans = append(a.spans, span{a: from, b: to})
+	}
+}
+
+// vector materialises the span list as the [][]byte the vectored serve
+// consumes. Call once, after all generators have run.
+func (a *assembly) vector() [][]byte {
+	buf := a.gen.body.Bytes()
+	for _, s := range a.spans {
+		if s.view != nil {
+			a.parts = append(a.parts, s.view)
+		} else {
+			a.parts = append(a.parts, buf[s.a:s.b])
+		}
+	}
+	return a.parts
+}
 
 // segResult is one segment's rendered output within an assembly.
 type segResult struct {
@@ -65,25 +134,27 @@ func (w *Woven) fragmentAdvice(h servlet.HandlerInfo) http.Handler {
 	}
 	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		page := newResponseBuffer()
+		page := newAssembly()
 		defer page.release()
 		hits, cachedBytes, invalidated := 0, 0, 0
 		status := http.StatusOK
 		for i := range segs {
 			seg := &segs[i]
 			if !seg.Cacheable() {
-				// Holes render straight into the assembly buffer: no
-				// intermediate buffer, no copy, on the warm path.
-				invalidated += w.runHole(page, r, seg)
-				if page.status != http.StatusOK {
-					status = page.status
+				// Holes render straight into the assembly's generated-span
+				// buffer: no intermediate buffer, no copy, on the warm path.
+				from := page.gen.body.Len()
+				invalidated += w.runHole(page.gen, r, seg)
+				page.markGen(from)
+				if page.gen.status != http.StatusOK {
+					status = page.gen.status
 					break
 				}
 				continue
 			}
 			key := servlet.FragmentKey(r.URL.Path, seg.ID, r, seg.Vary, seg.VaryCookies)
 			if pg, ok := w.cache.Lookup(key); ok {
-				_, _ = page.body.Write(pg.Body)
+				page.addView(pg.Body)
 				hits++
 				cachedBytes += len(pg.Body)
 				continue
@@ -92,7 +163,7 @@ func (w *Woven) fragmentAdvice(h servlet.HandlerInfo) http.Handler {
 			if res.status == 0 {
 				return // client gone mid-flight; nothing to write
 			}
-			_, _ = page.body.Write(res.body)
+			page.addView(res.body)
 			if res.status != http.StatusOK {
 				status = res.status
 				break
@@ -108,10 +179,11 @@ func (w *Woven) fragmentAdvice(h servlet.HandlerInfo) http.Handler {
 			// body the monolithic composition replays when a segment errors
 			// mid-page. (Error helpers overwrite Content-Type to text/plain,
 			// exactly as they do on the buffered monolithic path.)
-			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			rw.Header().Set(HeaderOutcome, string(OutcomeError))
-			rw.WriteHeader(status)
-			_, _ = rw.Write(page.body.Bytes())
+			sv := serveParts(rw, status, "text/plain; charset=utf-8", OutcomeError, page.vector())
+			if sv.err != nil {
+				w.stats.RecordSendFailure(h.Name)
+				return
+			}
 			w.stats.Record(h.Name, OutcomeError, time.Since(start), invalidated)
 			return
 		}
@@ -127,13 +199,14 @@ func (w *Woven) fragmentAdvice(h servlet.HandlerInfo) http.Handler {
 			outcome = OutcomeAssembled
 		}
 		hdr := rw.Header()
-		hdr.Set("Content-Type", "text/html; charset=utf-8")
-		hdr.Set(HeaderOutcome, string(outcome))
-		hdr.Set(HeaderFragments, strconv.Itoa(hits)+"/"+strconv.Itoa(cacheable))
-		hdr.Set(HeaderCachedBytes, strconv.Itoa(cachedBytes))
-		rw.WriteHeader(http.StatusOK)
-		_, _ = rw.Write(page.body.Bytes())
-		w.stats.RecordFragments(h.Name, outcome, time.Since(start), hits, cacheable, page.body.Len(), cachedBytes)
+		servlet.SetHeader(hdr, HeaderFragments, strconv.Itoa(hits)+"/"+strconv.Itoa(cacheable))
+		servlet.SetHeader(hdr, HeaderCachedBytes, strconv.Itoa(cachedBytes))
+		sv := serveParts(rw, http.StatusOK, "text/html; charset=utf-8", outcome, page.vector())
+		if sv.err != nil {
+			w.stats.RecordSendFailure(h.Name)
+			return
+		}
+		w.stats.RecordFragments(h.Name, outcome, time.Since(start), hits, cacheable, sv.bytes, cachedBytes)
 	})
 }
 

@@ -1,0 +1,127 @@
+package weave
+
+// Request-side negotiation parsing for the serve choke point. Both parsers
+// run on every hit, so they scan the header values in place — substrings
+// and byte indexes only, no splitting, no allocation.
+
+import "strings"
+
+// acceptsGzip reports whether an Accept-Encoding header value allows the
+// gzip coding. An explicit "gzip" (or its historical "x-gzip" alias) entry
+// decides by its q-value; otherwise a "*" entry decides; otherwise gzip was
+// not offered. Unknown codings are ignored. An absent header reads as
+// identity-only — the conservative reading every origin in practice uses.
+func acceptsGzip(ae string) bool {
+	if ae == "" {
+		return false
+	}
+	gzipQ, starQ := -1, -1
+	for len(ae) > 0 {
+		var elem string
+		if j := strings.IndexByte(ae, ','); j >= 0 {
+			elem, ae = ae[:j], ae[j+1:]
+		} else {
+			elem, ae = ae, ""
+		}
+		token, q := elem, 1000
+		if k := strings.IndexByte(elem, ';'); k >= 0 {
+			token, q = elem[:k], parseQ(elem[k+1:])
+		}
+		token = strings.TrimSpace(token)
+		switch {
+		case strings.EqualFold(token, "gzip"), strings.EqualFold(token, "x-gzip"):
+			gzipQ = q
+		case token == "*":
+			starQ = q
+		}
+	}
+	if gzipQ >= 0 {
+		return gzipQ > 0
+	}
+	return starQ > 0
+}
+
+// parseQ finds the q parameter in a ";"-separated parameter list and
+// returns its value in thousandths (absent: 1000).
+func parseQ(params string) int {
+	for len(params) > 0 {
+		var p string
+		if j := strings.IndexByte(params, ';'); j >= 0 {
+			p, params = params[:j], params[j+1:]
+		} else {
+			p, params = params, ""
+		}
+		p = strings.TrimSpace(p)
+		if len(p) >= 2 && (p[0] == 'q' || p[0] == 'Q') && p[1] == '=' {
+			return parseQValue(p[2:])
+		}
+	}
+	return 1000
+}
+
+// parseQValue parses an RFC 7231 qvalue ("0", "1", "0.75", "1.000") into
+// thousandths. A malformed value reads as 1000: the coding was listed, and
+// refusing to serve it over a bad q spelling helps nobody.
+func parseQValue(s string) int {
+	if s == "" {
+		return 1000
+	}
+	var q int
+	switch s[0] {
+	case '0':
+		q = 0
+	case '1':
+		q = 1000
+	default:
+		return 1000
+	}
+	if len(s) == 1 {
+		return q
+	}
+	if s[1] != '.' {
+		return 1000
+	}
+	scale := 100
+	for i := 2; i < len(s) && i < 5; i++ {
+		d := s[i]
+		if d < '0' || d > '9' {
+			return 1000
+		}
+		q += int(d-'0') * scale
+		scale /= 10
+	}
+	if q > 1000 {
+		q = 1000
+	}
+	return q
+}
+
+// etagMatch implements If-None-Match against the entry's stored strong tag
+// using RFC 7232 §3.2 weak comparison: "*" matches any representation, and
+// a W/ prefix on a listed tag is ignored (our stored tags are always
+// strong). Listed tags are split on commas — our content-derived tags never
+// contain one, and a foreign tag that does simply fails to match.
+func etagMatch(inm, etag string) bool {
+	if inm == "" || etag == "" {
+		return false
+	}
+	for len(inm) > 0 {
+		var t string
+		if j := strings.IndexByte(inm, ','); j >= 0 {
+			t, inm = inm[:j], inm[j+1:]
+		} else {
+			t, inm = inm, ""
+		}
+		t = strings.TrimSpace(t)
+		if t == "*" {
+			return true
+		}
+		if len(t) > 2 && t[0] == 'W' && t[1] == '/' {
+			t = t[2:]
+		}
+		if t == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -30,6 +30,13 @@ const (
 	OutcomeUncacheable   Outcome = "uncacheable" // bypassed the cache by rule
 	OutcomeNoCache       Outcome = "nocache"     // served by an unwoven (baseline) app
 	OutcomeError         Outcome = "error"       // handler returned a non-200 status
+	// OutcomeNotModified is a conditional request answered 304 from the
+	// cache: the client's If-None-Match matched the entry's precomputed
+	// ETag, so the hit transferred zero body bytes. It counts as a hit
+	// (the cache spared the handler) with its own bucket and latency
+	// distribution — a 304 is cheaper than a body hit and the split shows
+	// it.
+	OutcomeNotModified Outcome = "not-modified"
 )
 
 // HeaderOutcome is the response header carrying the request outcome, used by
@@ -51,8 +58,12 @@ type InteractionStats struct {
 	Name string
 
 	Requests     uint64
-	Hits         uint64 // strong-consistency cache hits (including coalesced)
+	Hits         uint64 // strong-consistency cache hits (including coalesced and 304s)
 	SemanticHits uint64 // hits under a semantic TTL window
+	// NotModified counts hits answered 304 via If-None-Match (subset of
+	// Hits): the cache was consulted, the validator matched, zero body
+	// bytes moved.
+	NotModified  uint64
 	Coalesced    uint64 // misses served by a concurrent flight (subset of Hits/SemanticHits)
 	RemoteHits   uint64 // local misses served by a cluster peer
 	FragmentHits uint64 // pages whose every cacheable fragment came from the cache
@@ -64,6 +75,12 @@ type InteractionStats struct {
 	DegradedWrites uint64
 	Uncacheable    uint64
 	Errors         uint64
+	// SendFailures counts requests whose response could not be fully
+	// written to the client (reset connection, gone peer). They are in
+	// Requests and here, but in no outcome bucket and no latency series:
+	// a duration measured against a dead client says nothing about
+	// service time and would silently pollute the percentiles.
+	SendFailures uint64
 
 	// FragmentsServed / FragmentsTotal count cacheable fragments served from
 	// the cache vs considered, across all fragment-assembled responses.
@@ -177,6 +194,8 @@ func (s *InteractionStats) add(o *InteractionStats) {
 	s.Requests += o.Requests
 	s.Hits += o.Hits
 	s.SemanticHits += o.SemanticHits
+	s.NotModified += o.NotModified
+	s.SendFailures += o.SendFailures
 	s.Coalesced += o.Coalesced
 	s.RemoteHits += o.RemoteHits
 	s.FragmentHits += o.FragmentHits
@@ -205,6 +224,7 @@ var outcomeClasses = [...]Outcome{
 	OutcomeHit, OutcomeSemanticHit, OutcomeCoalesced, OutcomeRemoteHit,
 	OutcomeFragmentHit, OutcomeAssembled, OutcomeMiss, OutcomeWrite,
 	OutcomeWriteDegraded, OutcomeUncacheable, OutcomeNoCache, OutcomeError,
+	OutcomeNotModified,
 }
 
 // classIndex maps an outcome to its histogram slot. A switch, not a map:
@@ -233,6 +253,8 @@ func classIndex(o Outcome) int {
 		return 9
 	case OutcomeNoCache:
 		return 10
+	case OutcomeNotModified:
+		return 12
 	default:
 		return 11 // OutcomeError and anything unrecognised
 	}
@@ -244,6 +266,8 @@ type counters struct {
 	requests       atomic.Uint64
 	hits           atomic.Uint64
 	semanticHits   atomic.Uint64
+	notModified    atomic.Uint64
+	sendFailures   atomic.Uint64
 	coalesced      atomic.Uint64
 	remoteHits     atomic.Uint64
 	fragmentHits   atomic.Uint64
@@ -287,6 +311,8 @@ func (c *counters) snapshot(name string) InteractionStats {
 		Requests:         c.requests.Load(),
 		Hits:             c.hits.Load(),
 		SemanticHits:     c.semanticHits.Load(),
+		NotModified:      c.notModified.Load(),
+		SendFailures:     c.sendFailures.Load(),
 		Coalesced:        c.coalesced.Load(),
 		RemoteHits:       c.remoteHits.Load(),
 		FragmentHits:     c.fragmentHits.Load(),
@@ -393,7 +419,25 @@ func (s *Stats) RecordServed(name string, outcome Outcome, d time.Duration, inva
 		c.uncacheable.Add(1)
 	case OutcomeError:
 		c.errors.Add(1)
+	case OutcomeNotModified:
+		// A 304 is a hit whose transfer was elided by revalidation: it
+		// counts towards HitRate and keeps its own bucket/latency series so
+		// the 304-vs-body-hit cost split is visible.
+		c.hits.Add(1)
+		c.notModified.Add(1)
+		c.hitNs.Add(int64(d))
 	}
+}
+
+// RecordSendFailure accounts a request whose response could not be fully
+// written to the client. The request lands in no outcome bucket and —
+// deliberately — in no latency histogram: the duration of a failed send
+// measures the client's death, not service time, and must not skew the
+// percentiles the latency records report.
+func (s *Stats) RecordSendFailure(name string) {
+	c := s.get(name)
+	c.requests.Add(1)
+	c.sendFailures.Add(1)
 }
 
 // RecordCoalesced accounts a miss that was served by a concurrent flight's

@@ -296,27 +296,6 @@ func (rb *responseBuffer) contentType() string {
 	return "text/html; charset=utf-8"
 }
 
-// replay sends the captured response to the real writer with the outcome
-// header.
-func (rb *responseBuffer) replay(rw http.ResponseWriter, outcome Outcome) {
-	for k, vs := range rb.header {
-		for _, v := range vs {
-			rw.Header().Add(k, v)
-		}
-	}
-	rw.Header().Set(HeaderOutcome, string(outcome))
-	rw.WriteHeader(rb.status)
-	_, _ = rw.Write(rb.body.Bytes())
-}
-
-// servePage writes a cached page view to the client.
-func servePage(rw http.ResponseWriter, pg cache.Page, outcome Outcome) {
-	rw.Header().Set("Content-Type", pg.ContentType)
-	rw.Header().Set(HeaderOutcome, string(outcome))
-	rw.WriteHeader(http.StatusOK)
-	_, _ = rw.Write(pg.Body)
-}
-
 // aroundAdvice implements Fig. 10: surround a read interaction with a cache
 // check, bypassing the handler on a hit and inserting the page (with its
 // dependency information) on a miss.
@@ -337,8 +316,8 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 		start := time.Now()
 		key := w.pageKey(r)
 		if pg, ok := w.cache.Lookup(key); ok {
-			servePage(rw, pg, hitOutcome)
-			w.stats.RecordServed(h.Name, hitOutcome, time.Since(start), 0, len(pg.Body), len(pg.Body))
+			sv := w.servePage(rw, r, pg, hitOutcome)
+			w.recordServe(h.Name, sv, time.Since(start), true)
 			return
 		}
 		if w.cache.ForceMiss() {
@@ -367,8 +346,8 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 				if w.cache.Contains(key) {
 					if pg, ok := w.cache.Lookup(key); ok {
 						w.publishFlight(f, key, pg)
-						servePage(rw, pg, hitOutcome)
-						w.stats.RecordServed(h.Name, hitOutcome, time.Since(start), 0, len(pg.Body), len(pg.Body))
+						sv := w.servePage(rw, r, pg, hitOutcome)
+						w.recordServe(h.Name, sv, time.Since(start), true)
 						return
 					}
 				}
@@ -379,8 +358,8 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 				if w.remote != nil {
 					if pg, ok := w.remote.Fetch(r.Context(), key); ok {
 						w.publishFlight(f, key, pg)
-						servePage(rw, pg, OutcomeRemoteHit)
-						w.stats.RecordServed(h.Name, OutcomeRemoteHit, time.Since(start), 0, len(pg.Body), len(pg.Body))
+						sv := w.servePage(rw, r, pg, OutcomeRemoteHit)
+						w.recordServe(h.Name, sv, time.Since(start), true)
 						return
 					}
 				}
@@ -396,8 +375,17 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 				return
 			}
 			if f.shared && w.cache.Epoch() == f.epoch {
-				servePage(rw, f.page, OutcomeCoalesced)
-				w.stats.RecordCoalesced(h.Name, h.TTL > 0, time.Since(start), len(f.page.Body))
+				sv := w.servePage(rw, r, f.page, OutcomeCoalesced)
+				switch {
+				case sv.err != nil:
+					w.stats.RecordSendFailure(h.Name)
+				case sv.outcome == OutcomeNotModified:
+					// The follower's conditional request revalidated against
+					// the flight's page: a 304, not a coalesced body serve.
+					w.stats.RecordServed(h.Name, OutcomeNotModified, time.Since(start), 0, 0, 0)
+				default:
+					w.stats.RecordCoalesced(h.Name, h.TTL > 0, time.Since(start), sv.bytes)
+				}
 				return
 			}
 			// The leader's response was not shareable (error, failed read,
@@ -406,8 +394,8 @@ func (w *Woven) aroundAdvice(h servlet.HandlerInfo) http.Handler {
 			// removed, and a follower must observe post-invalidation state.
 			// Re-check the cache, then compete to lead a fresh flight.
 			if pg, ok := w.cache.Lookup(key); ok {
-				servePage(rw, pg, hitOutcome)
-				w.stats.RecordServed(h.Name, hitOutcome, time.Since(start), 0, len(pg.Body), len(pg.Body))
+				sv := w.servePage(rw, r, pg, hitOutcome)
+				w.recordServe(h.Name, sv, time.Since(start), true)
 				return
 			}
 		}
@@ -453,6 +441,11 @@ func (w *Woven) leadMiss(rw http.ResponseWriter, r *http.Request, h servlet.Hand
 	defer rb.release()
 	h.Fn(rb, r.WithContext(ctx))
 	outcome := OutcomeMiss
+	// storedPg, when the generation was inserted and survived the epoch
+	// guard, is the stored entry: the choke point serves the first response
+	// with the entry's validator and negotiated encoding, so clients can
+	// revalidate (and caches vary) from the very first transfer.
+	var storedPg cache.Page
 	if rb.status != http.StatusOK {
 		outcome = OutcomeError
 	} else if !rec.ReadFailed() && len(rec.Writes()) == 0 {
@@ -486,6 +479,7 @@ func (w *Woven) leadMiss(rw http.ResponseWriter, r *http.Request, h servlet.Hand
 				w.cache.InvalidateKey(key)
 				w.flightAborts.Add(1)
 			} else {
+				storedPg = stored
 				if f != nil {
 					f.page = stored
 					f.shared = true
@@ -502,10 +496,14 @@ func (w *Woven) leadMiss(rw http.ResponseWriter, r *http.Request, h servlet.Hand
 	// A "read" handler that wrote must still invalidate (defensive: the
 	// weaving rules misclassified it).
 	invalidated, _ := w.applyInvalidations(rec)
-	rb.replay(rw, outcome)
+	sv := w.serveCaptured(rw, r, rb, outcome, storedPg)
+	if sv.err != nil {
+		w.stats.RecordSendFailure(h.Name)
+		return
+	}
 	// Byte accounting covers cache-governed 200s only (as in the fragment
 	// path): error responses would skew the cached-byte fraction.
-	bytesOut := rb.body.Len()
+	bytesOut := sv.bytes
 	if outcome == OutcomeError {
 		bytesOut = 0
 	}
@@ -532,7 +530,11 @@ func (w *Woven) afterAdvice(h servlet.HandlerInfo) http.Handler {
 			// availability trade per request instead of hiding it.
 			outcome = OutcomeWriteDegraded
 		}
-		rb.replay(rw, outcome)
+		sv := w.serveCaptured(rw, r, rb, outcome, cache.Page{})
+		if sv.err != nil {
+			w.stats.RecordSendFailure(h.Name)
+			return
+		}
 		w.stats.Record(h.Name, outcome, time.Since(start), invalidated)
 	})
 }

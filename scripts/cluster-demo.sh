@@ -7,7 +7,12 @@
 #   1. the cluster served traffic with a non-zero cache hit rate, and every
 #      node serves a non-empty /metrics (per-handler counters with real
 #      counts, latency histograms, per-peer health) on its admin port;
+#   1c. an open-loop run (fixed arrival schedule, latency measured from the
+#      intended send time — free of coordinated omission) reports a p99;
 #   2. a page cached on node A is HIT on re-request (local caching works);
+#   2b. the serve path works end to end: a gzip-negotiated response carries
+#      Content-Encoding: gzip + Vary, the page has a strong ETag, and an
+#      If-None-Match revalidation answers 304 with a zero-byte body;
 #   3. a write on node B removes that page from node A before the write's
 #      response returns (strong cluster-wide invalidation, §3.2);
 #   4. the regenerated page is visible from node C as a hit or remote-hit
@@ -25,6 +30,7 @@
 #      invalidates it cluster-wide.
 #
 # Knobs: CLUSTER_DURATION (default 5s), CLUSTER_CLIENTS (default 30),
+# OPENLOOP_RATE (default 200 req/s for the open-loop phase),
 # MAX_BYTES (optional page-cache budget + admission filter for every node),
 # SHARED_DB (path to a sqlite database file all three nodes share; empty =
 # per-process in-memory databases, which exercises only the cache tier),
@@ -82,6 +88,7 @@ start_node() {
     -listen-peer "127.0.0.1:${PEER_PORTS[$i]}" \
     -peers "$(IFS=,; echo "${peers[*]}")" \
     -metrics-listen "127.0.0.1:${METRICS_PORTS[$i]}" \
+    -encodings gzip -etag \
     "${GOVERN_FLAGS[@]}" "${DB_FLAGS[@]}" &
   PIDS[$i]=$!
 }
@@ -136,6 +143,24 @@ for i in 0 1 2; do
 done
 echo "cluster-demo: /metrics non-empty on all nodes OK"
 
+# Assertion 1c: the open-loop mode — requests depart on a fixed arrival
+# schedule and latency is measured from each request's intended send time,
+# so a slow response cannot suppress the arrivals behind it (coordinated
+# omission). The caches are warm from the closed-loop run; the phase must
+# report its schedule and a p99 from the intended-send clock.
+OL_RATE="${OPENLOOP_RATE:-200}"
+echo "open-loop phase: $OL_RATE req/s fixed schedule for 2s"
+OL_OUT=$(bin/loadgen \
+  -targets "http://localhost:${HTTP_PORTS[0]},http://localhost:${HTTP_PORTS[1]},http://localhost:${HTTP_PORTS[2]}" \
+  -app rubis -clients "$CLIENTS" -openloop -rate "$OL_RATE" -duration 2s) \
+  || fail "open-loop loadgen exited non-zero"
+echo "$OL_OUT"
+echo "$OL_OUT" | grep -q '^open-loop: offered' \
+  || fail "open-loop run did not report its arrival schedule"
+OL_P99=$(echo "$OL_OUT" | sed -n 's/.*p99 \([^ ]*\).*/\1/p')
+[ -n "$OL_P99" ] || fail "open-loop run did not report a p99 latency"
+echo "cluster-demo: open-loop p99 $OL_P99 OK"
+
 # outcome <url> prints the X-Autowebcache header of one request.
 outcome() {
   curl -si "$1" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-autowebcache"{print $2}'
@@ -151,6 +176,27 @@ PAGE="/viewItem?itemId=7"
 outcome "$N1$PAGE" >/dev/null
 WARM=$(outcome "$N1$PAGE")
 [ "$WARM" = "hit" ] || fail "expected warm hit on node1, got '$WARM'"
+
+# Assertion 2b: the serve path end to end, from the outside. The nodes run
+# with -encodings gzip -etag, and /browseCategories (20 categories of
+# repetitive HTML) is comfortably compressible, so a client that accepts
+# gzip must get the once-compressed variant with the Vary marker; every
+# cached page carries a strong ETag; and revalidating with that ETag must
+# answer 304 with a zero-byte body.
+BROWSE="/browseCategories"
+curl -s -o /dev/null "$N1$BROWSE" # prime
+GZ_HDRS=$(curl -s -D - -o /dev/null -H 'Accept-Encoding: gzip' "$N1$BROWSE" | tr -d '\r')
+echo "$GZ_HDRS" | grep -qi '^content-encoding: gzip$' \
+  || fail "gzip-accepting client was not served the gzip variant of $BROWSE"
+echo "$GZ_HDRS" | grep -qi '^vary: accept-encoding$' \
+  || fail "gzip response is missing Vary: Accept-Encoding"
+ETAG=$(echo "$GZ_HDRS" | awk -F': ' 'tolower($1)=="etag"{print $2}')
+[ -n "$ETAG" ] || fail "cached page $BROWSE carries no ETag"
+COND=$(curl -s -o /dev/null -w '%{http_code} %{size_download}' \
+  -H "If-None-Match: $ETAG" "$N1$BROWSE")
+[ "$COND" = "304 0" ] \
+  || fail "If-None-Match revalidation returned '$COND', want '304 0' (zero-byte 304)"
+echo "cluster-demo: serve path OK (gzip negotiated, ETag $ETAG revalidated as zero-byte 304)"
 
 # Assertion 3: a write on node 2 must invalidate node 1's cached page
 # before the write's response returns — the next read on node 1 has to
