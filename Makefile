@@ -2,8 +2,8 @@ GO ?= go
 
 # make bench writes this PR's benchmark record; the gate diffs a fresh run
 # against the committed baseline of the previous PR.
-BENCH_OUT ?= BENCH_9.json
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_OUT ?= BENCH_10.json
+BENCH_BASELINE ?= BENCH_9.json
 
 # cluster-demo knobs.
 CLUSTER_DURATION ?= 5s

@@ -193,6 +193,67 @@ func TestInstrumentedHitPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestAdminL2Metrics scrapes the disk-tier families in both wiring states:
+// without an L2 store every awc_cache_l2_* series is present and zero (the
+// series set is deterministic from wiring, not traffic), and with one
+// attached the tier-movement counters and occupancy gauges agree with the
+// cache's own Snapshot().
+func TestAdminL2Metrics(t *testing.T) {
+	// No store attached: series exist, all zero.
+	rt, err := autowebcache.New(newDB(t), autowebcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scrapeAdmin(t, autowebcache.NewAdmin().WatchCache(rt.Cache()))
+	for _, series := range []string{
+		"awc_cache_l2_demotions_total", "awc_cache_l2_promotions_total",
+		"awc_cache_l2_hits_total", "awc_cache_l2_restored_entries_total",
+		"awc_cache_l2_entries", "awc_cache_l2_bytes", "awc_cache_l2_file_bytes",
+	} {
+		if v, ok := sc.Value(series); !ok || v != 0 {
+			t.Errorf("without L2: %s = %v, %v; want 0, present", series, v, ok)
+		}
+	}
+
+	// Store attached under a tight L1 budget: demotions and disk puts flow.
+	rt2, err := autowebcache.New(newDB(t), autowebcache.Config{
+		PageCache: autowebcache.PageCacheConfig{
+			MaxBytes: 8 << 10,
+			L2Path:   t.TempDir(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	h, err := rt2.Weave(buildApp(t, rt2.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, h, "/add?note="+strings.Repeat("x", 2048))
+	for i := 0; i < 32; i++ {
+		get(t, h, fmt.Sprintf("/list?page=%d", i))
+	}
+	st := rt2.Cache().Snapshot()
+	if st.Demotions == 0 {
+		t.Fatalf("no demotions under an 8 KiB budget: %+v", st)
+	}
+	sc = scrapeAdmin(t, autowebcache.NewAdmin().WatchCache(rt2.Cache()))
+	for series, want := range map[string]float64{
+		"awc_cache_l2_demotions_total": float64(st.Demotions),
+		"awc_cache_l2_puts_total":      float64(st.L2.Puts),
+		"awc_cache_l2_entries":         float64(st.L2.Entries),
+		"awc_cache_l2_bytes":           float64(st.L2.Bytes),
+	} {
+		if got, ok := sc.Value(series); !ok || got != want {
+			t.Errorf("%s = %v, %v; want %v", series, got, ok, want)
+		}
+	}
+	if v, _ := sc.Value("awc_cache_l2_entries"); v == 0 {
+		t.Error("demotions recorded but the disk tier reports no entries")
+	}
+}
+
 // reservePorts grabs n distinct loopback TCP ports and releases them, so a
 // test can hand concrete peer addresses to a cluster before the nodes bind.
 func reservePorts(t *testing.T, n int) []string {

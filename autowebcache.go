@@ -46,6 +46,7 @@ import (
 
 	"autowebcache/internal/analysis"
 	"autowebcache/internal/cache"
+	"autowebcache/internal/cache/l2"
 	"autowebcache/internal/cluster"
 	"autowebcache/internal/datasource"
 	"autowebcache/internal/memdb"
@@ -181,6 +182,17 @@ type PageCacheConfig struct {
 	// of two (0 picks GOMAXPROCS rounded likewise). Higher values reduce
 	// contention between concurrent request goroutines.
 	Shards int
+	// L2Path enables the disk (SSD) tier: a directory where pages evicted
+	// from the in-memory tier are demoted instead of discarded, and from
+	// which a restart recovers its working set warm. Invalidations sweep
+	// both tiers before the write returns, so the §3.2 guarantee is
+	// unchanged. Empty disables the tier. The Runtime owns the store:
+	// Runtime.Close spills the in-memory tier into it and closes it.
+	L2Path string
+	// L2MaxBytes bounds the disk tier's file footprint (0 = unbounded).
+	// When the budget is exceeded the oldest segment file is dropped whole
+	// — disk-tier loss is only ever extra misses, never staleness.
+	L2MaxBytes int64
 }
 
 // QueryCacheConfig stacks the back-end query-result cache under the page
@@ -315,6 +327,7 @@ type Runtime struct {
 	raw    Conn
 	engine *analysis.Engine
 	cache  *cache.Cache
+	l2     *l2.Store
 	qcache *qrcache.Conn
 	conn   Conn
 }
@@ -386,6 +399,15 @@ func NewFromConn(conn Conn, cfg Config) (*Runtime, error) {
 		rt.conn = base
 		return rt, nil
 	}
+	if cfg.PageCache.L2Path != "" {
+		rt.l2, err = l2.Open(l2.Options{
+			Dir:      cfg.PageCache.L2Path,
+			MaxBytes: cfg.PageCache.L2MaxBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	rt.cache, err = cache.New(cache.Options{
 		Engine:       engine,
 		MaxEntries:   cfg.PageCache.MaxEntries,
@@ -396,8 +418,12 @@ func NewFromConn(conn Conn, cfg Config) (*Runtime, error) {
 		Gzip:         cfg.Serve.gzipEnabled(),
 		GzipMinBytes: cfg.Serve.GzipMinBytes,
 		ETags:        cfg.Serve.ETags,
+		L2:           rt.l2,
 	})
 	if err != nil {
+		if rt.l2 != nil {
+			rt.l2.Close()
+		}
 		return nil, err
 	}
 	rt.conn = weave.NewConn(base, engine)
@@ -418,13 +444,22 @@ func (rt *Runtime) DB() *DB { return rt.db }
 // through, so bootstrap queries don't pollute the analysis.
 func (rt *Runtime) RawConn() Conn { return rt.raw }
 
-// Close releases backend resources for drivers that hold any (file handles,
-// connection pools). The memdb backend holds none; Close is then a no-op.
+// Close releases the Runtime's resources. With a disk cache tier
+// configured it first spills the in-memory tier into the store and closes
+// it — snapshot written, journal durable — so the next boot serves the
+// working set warm; then it closes backend drivers that hold resources
+// (file handles, connection pools). The memdb backend holds none.
 func (rt *Runtime) Close() error {
-	if c, ok := rt.raw.(datasource.Closer); ok {
-		return c.Close()
+	var firstErr error
+	if rt.cache != nil {
+		firstErr = rt.cache.Close()
 	}
-	return nil
+	if c, ok := rt.raw.(datasource.Closer); ok {
+		if err := c.Close(); firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Cache returns the page cache (nil when Disabled).
@@ -507,7 +542,7 @@ func (rt *Runtime) Cluster(handler *Woven, cfg ClusterConfig) (*ClusterNode, err
 	default:
 		return nil, fmt.Errorf("autowebcache: unknown invalidation mode %q (strong, async)", cfg.Invalidation)
 	}
-	node, err := cluster.New(cluster.Config{
+	clcfg := cluster.Config{
 		Listen:           cfg.ListenPeer,
 		Advertise:        cfg.Advertise,
 		Peers:            cfg.Peers,
@@ -519,7 +554,16 @@ func (rt *Runtime) Cluster(handler *Woven, cfg ClusterConfig) (*ClusterNode, err
 		StrictBroadcast:  cfg.StrictBroadcast,
 		ProbeInterval:    cfg.ProbeInterval,
 		FailureThreshold: cfg.FailureThreshold,
-	})
+	}
+	if rt.l2 != nil {
+		// The disk tier doubles as the invalidation-sequence journal, so a
+		// restarted node that provably missed nothing rejoins without the
+		// quarantine flush wiping its warm store. The conditional assignment
+		// matters: a nil *l2.Store in the interface field would read as
+		// non-nil to the node.
+		clcfg.SeqJournal = rt.l2
+	}
+	node, err := cluster.New(clcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -345,3 +345,64 @@ func TestFacadeFragments(t *testing.T) {
 		t.Fatalf("post-write body %q", body)
 	}
 }
+
+// TestFacadeTieredWarmRestart drives the disk tier end to end through the
+// façade: a runtime with PageCache.L2Path spills its pages on Close, and a
+// fresh runtime over the same directory serves the first request straight
+// from the store — proven by pointing it at an EMPTY database, which the
+// warm hit must never touch. A write then invalidates the promoted page and
+// the regenerated body reflects the new database, not the old cache.
+func TestFacadeTieredWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := autowebcache.Config{
+		Strategy:  autowebcache.ExtraQuery,
+		PageCache: autowebcache.PageCacheConfig{L2Path: dir, L2MaxBytes: 1 << 20},
+	}
+
+	rt, err := autowebcache.New(newDB(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rt.Weave(buildApp(t, rt.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, h, "/add?note=hello")
+	warmBody := get(t, h, "/list").Body.String()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over an empty database: the page must come back warm.
+	rt2, err := autowebcache.New(newDB(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	h2, err := rt2.Weave(buildApp(t, rt2.Conn()), autowebcache.Rules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := get(t, h2, "/list")
+	if rr.Header().Get("X-Autowebcache") != "hit" {
+		t.Fatalf("restart outcome %q, want hit (served from the disk tier)", rr.Header().Get("X-Autowebcache"))
+	}
+	if rr.Body.String() != warmBody {
+		t.Fatalf("warm body %q, want %q", rr.Body.String(), warmBody)
+	}
+	st := rt2.Cache().Stats()
+	if st.Promotions == 0 || st.L2.RestoredEntries == 0 {
+		t.Fatalf("warm serve did not come through the store: %+v", st)
+	}
+
+	// A write invalidates the promoted page; the regenerated body reads the
+	// (empty, then one-row) new database — never the pre-restart cache.
+	get(t, h2, "/add?note=fresh")
+	rr = get(t, h2, "/list")
+	if rr.Header().Get("X-Autowebcache") != "miss" {
+		t.Fatalf("post-write outcome %q, want miss", rr.Header().Get("X-Autowebcache"))
+	}
+	if want := "1: fresh\n"; rr.Body.String() != want {
+		t.Fatalf("post-write body %q, want %q", rr.Body.String(), want)
+	}
+}

@@ -207,8 +207,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *openloop {
-		if *rate <= 0 {
-			return fmt.Errorf("-openloop needs a positive -rate, got %v", *rate)
+		if !validRate(*rate) {
+			return fmt.Errorf("-openloop needs a positive finite -rate, got %v", *rate)
 		}
 		ol := runOpenLoop(*clients, *duration, *rate, *seed, attempt)
 		report(out, stats)

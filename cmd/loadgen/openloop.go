@@ -9,11 +9,21 @@ package main
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
 	"time"
 )
+
+// validRate reports whether r is usable as an open-loop arrival rate:
+// positive and finite. NaN fails every comparison, so a bare `r <= 0`
+// rejection lets it through into the interval arithmetic (a NaN interval
+// makes every departure time NaN-driven garbage); +Inf schedules a zero
+// interval with an overflowing request count.
+func validRate(r float64) bool {
+	return !math.IsNaN(r) && !math.IsInf(r, 0) && r > 0
+}
 
 // openLoopResult is one open-loop run's latency sample and throughput.
 type openLoopResult struct {

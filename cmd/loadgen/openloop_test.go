@@ -132,3 +132,33 @@ func TestOpenLoopAgainstLiveServer(t *testing.T) {
 		t.Fatal("zero -rate accepted")
 	}
 }
+
+func TestOpenLoopRejectsNonFiniteRates(t *testing.T) {
+	// flag.Float64 happily parses "NaN" and "+Inf"; NaN in particular slips
+	// past a plain `rate <= 0` check because NaN fails every comparison.
+	for _, bad := range []string{"NaN", "+Inf", "-Inf", "-1"} {
+		var out strings.Builder
+		if err := run([]string{"-openloop", "-rate", bad}, &out); err == nil {
+			t.Fatalf("-rate %s accepted", bad)
+		}
+	}
+}
+
+func TestOpenLoopAllSendsFailPrintsWithoutPanic(t *testing.T) {
+	res := runOpenLoop(2, 20*time.Millisecond, 500, 1,
+		func(client, reqNum int, rng *rand.Rand, intended time.Time) bool {
+			return false
+		})
+	if res.failures != res.scheduled || len(res.latencies) != 0 {
+		t.Fatalf("failures=%d scheduled=%d latencies=%d",
+			res.failures, res.scheduled, len(res.latencies))
+	}
+	var out strings.Builder
+	res.print(&out) // must not index into the empty latency sample
+	if !strings.Contains(out.String(), "send failures") {
+		t.Fatalf("failure count missing from report:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "p50") {
+		t.Fatalf("percentile line printed with no successful sends:\n%s", out.String())
+	}
+}

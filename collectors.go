@@ -201,12 +201,75 @@ func declareCacheFamilies(g *telemetry.Gatherer) {
 		"cache")
 }
 
-// WatchCache exports the page cache under cache="page".
+// l2Counter maps one disk-tier counter family to the cache.Stats field
+// (tier-movement counters) or embedded l2.Stats field it mirrors. The
+// families exist only for the page cache — the query tier has no disk tier
+// — so they carry no cache label. They are declared and emitted on every
+// scrape, zeros without an attached store, keeping the series set
+// deterministic from wiring.
+type l2Counter struct {
+	name string
+	help string
+	get  func(*CacheStats) uint64
+}
+
+var l2Counters = []l2Counter{
+	{"awc_cache_l2_demotions_total", "Evictions that landed in the disk tier instead of discarding. Mirrors cache.Stats.Demotions.",
+		func(s *CacheStats) uint64 { return s.Demotions }},
+	{"awc_cache_l2_promotions_total", "Disk-tier hits admitted back into the memory tier. Mirrors cache.Stats.Promotions.",
+		func(s *CacheStats) uint64 { return s.Promotions }},
+	{"awc_cache_l2_promote_aborts_total", "Promotions abandoned because an invalidation or flush raced them. Mirrors cache.Stats.PromoteAborts.",
+		func(s *CacheStats) uint64 { return s.PromoteAborts }},
+	{"awc_cache_l2_hits_total", "Disk-tier reads that found a live record. Mirrors cache.Stats.L2.Hits.",
+		func(s *CacheStats) uint64 { return s.L2.Hits }},
+	{"awc_cache_l2_misses_total", "Disk-tier reads that found nothing (or a corrupt record). Mirrors cache.Stats.L2.Misses.",
+		func(s *CacheStats) uint64 { return s.L2.Misses }},
+	{"awc_cache_l2_expirations_total", "Disk records discarded on expiry, at read or boot. Mirrors cache.Stats.L2.Expirations.",
+		func(s *CacheStats) uint64 { return s.L2.Expirations }},
+	{"awc_cache_l2_puts_total", "Demotions appended to the disk tier. Mirrors cache.Stats.L2.Puts.",
+		func(s *CacheStats) uint64 { return s.L2.Puts }},
+	{"awc_cache_l2_removes_total", "Disk-tier keys tombstoned by invalidation. Mirrors cache.Stats.L2.Removes.",
+		func(s *CacheStats) uint64 { return s.L2.Removes }},
+	{"awc_cache_l2_flushes_total", "Full disk-tier flushes. Mirrors cache.Stats.L2.Flushes.",
+		func(s *CacheStats) uint64 { return s.L2.Flushes }},
+	{"awc_cache_l2_segments_dropped_total", "Sealed segment files dropped for the disk byte budget. Mirrors cache.Stats.L2.SegmentsDropped.",
+		func(s *CacheStats) uint64 { return s.L2.SegmentsDropped }},
+	{"awc_cache_l2_dropped_records_total", "Live keys lost to segment drops. Mirrors cache.Stats.L2.DroppedRecords.",
+		func(s *CacheStats) uint64 { return s.L2.DroppedRecords }},
+	{"awc_cache_l2_journal_syncs_total", "Fsyncs of the disk tier's invalidation journal. Mirrors cache.Stats.L2.JournalSyncs.",
+		func(s *CacheStats) uint64 { return s.L2.JournalSyncs }},
+	{"awc_cache_l2_torn_tails_total", "Torn file tails truncated during crash recovery. Mirrors cache.Stats.L2.TornTails.",
+		func(s *CacheStats) uint64 { return s.L2.TornTails }},
+	{"awc_cache_l2_restored_entries_total", "Live keys restored by the last boot (warm-restart size). Mirrors cache.Stats.L2.RestoredEntries.",
+		func(s *CacheStats) uint64 { return s.L2.RestoredEntries }},
+	{"awc_cache_l2_snapshots_total", "Disk-tier index snapshots written. Mirrors cache.Stats.L2.Snapshots.",
+		func(s *CacheStats) uint64 { return s.L2.Snapshots }},
+	{"awc_cache_l2_cold_starts_total", "Boots that had to discard the disk tier (corrupt or incomplete state). Mirrors cache.Stats.L2.ColdStarts.",
+		func(s *CacheStats) uint64 { return s.L2.ColdStarts }},
+}
+
+// WatchCache exports the page cache under cache="page", plus the disk-tier
+// (L2) families.
 func (a *Admin) WatchCache(c *PageCache) *Admin {
 	a.pcache = c
 	a.reg.Collect(func(g *telemetry.Gatherer) {
 		declareCacheFamilies(g)
+		for _, lc := range l2Counters {
+			g.Declare(lc.name, telemetry.TypeCounter, lc.help)
+		}
+		g.Declare("awc_cache_l2_entries", telemetry.TypeGauge,
+			"Live keys in the disk-tier index. Mirrors cache.Stats.L2.Entries.")
+		g.Declare("awc_cache_l2_bytes", telemetry.TypeGauge,
+			"Framed record bytes of live disk-tier entries. Mirrors cache.Stats.L2.Bytes.")
+		g.Declare("awc_cache_l2_file_bytes", telemetry.TypeGauge,
+			"Total disk-tier segment file bytes, including dead records awaiting segment drop. Mirrors cache.Stats.L2.FileBytes.")
 		st := c.Snapshot()
+		for _, lc := range l2Counters {
+			g.Value(lc.name, float64(lc.get(&st)))
+		}
+		g.Value("awc_cache_l2_entries", float64(st.L2.Entries))
+		g.Value("awc_cache_l2_bytes", float64(st.L2.Bytes))
+		g.Value("awc_cache_l2_file_bytes", float64(st.L2.FileBytes))
 		for _, cc := range cacheCounters {
 			if v, ok := cc.page(&st); ok {
 				g.Value(cc.name, float64(v), "page")

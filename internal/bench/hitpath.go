@@ -510,6 +510,34 @@ func HitPathRecords() ([]HitPathRecord, error) {
 	out = append(out, record("http-304", httpBench(inmReq),
 		"If-None-Match revalidation answered 304, zero body bytes"))
 
+	// page-hit-l2: the warm L1 hit with a disk tier attached. The store is
+	// only probed on the miss path, so attachment must leave the hit path at
+	// 0 allocs/op — the same contract page-hit records without a tier.
+	l2HitRec, err := l2HitRecord()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, l2HitRec)
+
+	// l2-promote-hit: L1 misses served from the disk tier under a byte
+	// budget that keeps most of the working set disk-resident — each lookup
+	// pays the store pread + promotion, and the promotion's eviction victim
+	// demotes back. The steady-state cost of an SSD-sized working set.
+	promRec, err := l2PromoteRecord()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, promRec)
+
+	// warm-restart: one full boot of a 512-entry disk tier — snapshot +
+	// journal replay into the in-memory index — plus the clean close that
+	// makes the next boot equally warm.
+	restartRec, err := warmRestartRecord()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, restartRec)
+
 	// The sqlite records run LAST on purpose: qr-miss-sqlite churns ~58 KiB
 	// per op, and on small machines the GC pressure it leaves behind would
 	// inflate any memdb record measured after it in the same process.

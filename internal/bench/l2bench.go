@@ -1,0 +1,148 @@
+package bench
+
+// Disk-tier (L2) hit-path records: the no-regression guard on the L1 hit
+// with a store attached, the steady-state promote/demote churn of a
+// disk-resident working set, and the warm-restart boot cost.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"autowebcache/internal/analysis"
+	"autowebcache/internal/cache"
+	"autowebcache/internal/cache/l2"
+	"autowebcache/internal/memdb"
+)
+
+// newTieredCache builds a page cache with a disk tier in a temp directory,
+// pre-loaded with nKeys 1 KiB pages exactly like newHitPathCacheOpts. The
+// returned cleanup closes the cache (spilling into the store) and removes
+// the directory.
+func newTieredCache(nKeys int, maxBytes int64) (*cache.Cache, []string, func(), error) {
+	dir, err := os.MkdirTemp("", "awc-bench-l2")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	store, err := l2.Open(l2.Options{Dir: dir, SnapshotInterval: -1})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+	c, keys, err := newHitPathCacheOpts(nKeys, cache.Options{
+		Shards: 8, MaxBytes: maxBytes, L2: store,
+	})
+	if err != nil {
+		store.Close()
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+	cleanup := func() {
+		c.Close() // spills L1 and closes the store
+		os.RemoveAll(dir)
+	}
+	return c, keys, cleanup, nil
+}
+
+// l2HitRecord measures the warm L1 hit with a disk tier attached: the
+// budget is large enough that every key stays L1-resident, so the store
+// must never be touched and the hit must stay 0 allocs/op.
+func l2HitRecord() (HitPathRecord, error) {
+	c, keys, cleanup, err := newTieredCache(512, 16<<20)
+	if err != nil {
+		return HitPathRecord{}, err
+	}
+	defer cleanup()
+	mask := len(keys) - 1
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		i := 0
+		for n := 0; n < b.N; n++ {
+			if _, ok := c.Lookup(keys[i&mask]); !ok {
+				b.Fatal("unexpected miss")
+			}
+			i += 7
+		}
+	})
+	return record("page-hit-l2", r, "warm L1 Lookup with a disk tier attached; store untouched on the hit path"), nil
+}
+
+// l2PromoteRecord measures the disk-tier serve path: a 64 KiB L1 budget
+// over a 512 KiB working set keeps ~7/8 of the keys disk-resident, so a
+// sequential walk is dominated by store reads, promotions, and the
+// demotions their eviction victims pay.
+func l2PromoteRecord() (HitPathRecord, error) {
+	c, keys, cleanup, err := newTieredCache(512, 64<<10)
+	if err != nil {
+		return HitPathRecord{}, err
+	}
+	defer cleanup()
+	if st := c.Snapshot(); st.Demotions == 0 {
+		return HitPathRecord{}, fmt.Errorf("fixture never demoted: %+v", st)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		i := 0
+		for n := 0; n < b.N; n++ {
+			if _, ok := c.Lookup(keys[i%len(keys)]); !ok {
+				b.Fatal("tiered lookup missed both tiers")
+			}
+			i++
+		}
+	})
+	st := c.Snapshot()
+	note := fmt.Sprintf("sequential walk of a 512 KiB set under a 64 KiB L1 budget; %d promotions, %d demotions over the run",
+		st.Promotions, st.Demotions)
+	return record("l2-promote-hit", r, note), nil
+}
+
+// warmRestartRecord measures one disk-tier boot: Open replays the snapshot
+// and journal into the in-memory index, and the clean Close re-snapshots so
+// every iteration boots the same way a restarted server would.
+func warmRestartRecord() (HitPathRecord, error) {
+	dir, err := os.MkdirTemp("", "awc-bench-restart")
+	if err != nil {
+		return HitPathRecord{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := l2.Open(l2.Options{Dir: dir, SnapshotInterval: -1})
+	if err != nil {
+		return HitPathRecord{}, err
+	}
+	body := make([]byte, 1024)
+	for i := 0; i < 512; i++ {
+		if _, err := store.Put(fmt.Sprintf("/page?x=%d", i), body, "text/html", []analysis.Query{
+			{SQL: "SELECT a FROM t WHERE b = ?", Args: []memdb.Value{int64(i)}},
+		}, time.Time{}); err != nil {
+			store.Close()
+			return HitPathRecord{}, err
+		}
+	}
+	if err := store.Close(); err != nil {
+		return HitPathRecord{}, err
+	}
+	var bootErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			s, err := l2.Open(l2.Options{Dir: dir, SnapshotInterval: -1})
+			if err != nil {
+				bootErr = err
+				b.Fatal(err)
+			}
+			if st := s.Snapshot(); st.RestoredEntries != 512 {
+				bootErr = fmt.Errorf("restored %d entries, want 512", st.RestoredEntries)
+				s.Close()
+				b.Fatal(bootErr)
+			}
+			if err := s.Close(); err != nil {
+				bootErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if bootErr != nil {
+		return HitPathRecord{}, bootErr
+	}
+	return record("warm-restart", r, "one boot of a 512-entry disk tier: snapshot+journal replay, then clean close"), nil
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"autowebcache/internal/analysis"
+	"autowebcache/internal/cache/l2"
 	"autowebcache/internal/datasource"
 	"autowebcache/internal/stripe"
 	"autowebcache/internal/tinylfu"
@@ -121,6 +122,15 @@ type Options struct {
 	// insert so conditional requests (If-None-Match) on hits are answered
 	// 304 straight from the cache with zero body bytes.
 	ETags bool
+	// L2, when set, attaches a disk tier under the byte-budgeted L1:
+	// eviction demotes entries (body, deps, remaining TTL) into the store
+	// instead of discarding them, an L1 miss probes the store and promotes
+	// a hit back, and InvalidateWrite/Flush sweep both tiers before
+	// returning, so the §3.2 contract holds for disk-resident pages too.
+	// The dependency table stays the single source of truth across tiers.
+	// The cache takes ownership of the store: Close spills resident pages
+	// into it and closes it.
+	L2 *l2.Store
 }
 
 // Page is the caller-facing view of one cached page: the stored body slice
@@ -187,6 +197,10 @@ type Entry struct {
 	// probation (new insert, first eviction tier), true = protected
 	// (promoted on first hit, evicted only when probation is empty).
 	protected bool
+	// l2lsn, when non-zero, is the LSN of the disk-tier record this entry
+	// was promoted from. If the record is still current at demotion time
+	// the body need not be rewritten to disk.
+	l2lsn uint64
 }
 
 // Accounted per-entry overheads, approximating the Go-side cost of the maps,
@@ -288,6 +302,13 @@ type Stats struct {
 	// Bytes): what the content-encoding variants currently cost on top of
 	// the identity bodies.
 	VariantBytes int64
+
+	// Tier-movement counters, non-zero only with an attached L2 store.
+	Demotions     uint64 // evictions that landed in the disk tier instead of discarding
+	Promotions    uint64 // disk-tier hits admitted back into L1
+	PromoteAborts uint64 // promotions abandoned because an invalidation raced them
+	// L2 is the attached disk tier's own counters (zero without one).
+	L2 l2.Stats
 
 	// Per-segment occupancy and eviction splits. Under segmented eviction
 	// (byte governance with LRU/LFU) entries start in probation and move to
@@ -465,6 +486,15 @@ type Cache struct {
 	writesSeen       atomic.Uint64
 	admissionRejects atomic.Uint64
 	oversizeRejects  atomic.Uint64
+	demotions        atomic.Uint64
+	promotions       atomic.Uint64
+	promoteAborts    atomic.Uint64
+	// flushing counts in-progress FlushLocal sweeps. While it is non-zero,
+	// evictions discard instead of demoting and promotions abort instead of
+	// linking: either could otherwise carry a pre-flush page across the gap
+	// between the L1 sweep and the store flush and resurrect it after the
+	// flush has returned.
+	flushing atomic.Int32
 
 	// remote, when set, fans invalidation traffic out to cluster peers.
 	remote atomic.Value // remoteBox
@@ -515,6 +545,17 @@ func New(opts Options) (*Cache, error) {
 	}
 	for i := range c.depShards {
 		c.depShards[i].deps = make(map[string]*depTemplate)
+	}
+	if opts.L2 != nil {
+		// Rebuild the dependency links for disk-resident pages restored by
+		// the store's warm boot, so a write arriving before any promotion
+		// still finds and invalidates them. New() is single-threaded, so
+		// taking dependency shard locks directly is safe here.
+		opts.L2.Range(func(key string, deps []analysis.Query) {
+			for _, d := range deps {
+				c.addDepLocked(d, key)
+			}
+		})
 	}
 	return c, nil
 }
@@ -633,11 +674,24 @@ func (c *Cache) hitEntry(key string) (*Entry, bool) {
 // stored entry: its body is shared and immutable (see Page), so the hit
 // path performs no allocation.
 func (c *Cache) Lookup(key string) (Page, bool) {
-	e, ok := c.hitEntry(key)
+	e, ok := c.lookupEntry(key)
 	if !ok {
 		return Page{}, false
 	}
 	return e.page(), true
+}
+
+// lookupEntry is hitEntry extended with the disk tier: an L1 miss probes
+// L2 and promotes a hit back into L1 (see promote). The L1 hit path is
+// untouched — with or without a store attached it stays allocation-free.
+// A promoted serve still counts as an L1 miss; the store's own hit counter
+// records the tier that answered.
+func (c *Cache) lookupEntry(key string) (*Entry, bool) {
+	e, ok := c.hitEntry(key)
+	if !ok && c.opts.L2 != nil && !c.opts.ForceMiss {
+		return c.promote(key)
+	}
+	return e, ok
 }
 
 // page is the zero-copy caller-facing view of the entry, variants included.
@@ -658,7 +712,7 @@ func (e *Entry) page() Page {
 // like Lookup. The returned View shares the stored immutable slices; see
 // View for the ownership contract.
 func (c *Cache) Export(key string) (View, bool) {
-	e, ok := c.hitEntry(key)
+	e, ok := c.lookupEntry(key)
 	if !ok {
 		return View{}, false
 	}
@@ -731,6 +785,7 @@ func (c *Cache) TryInsert(key string, body []byte, contentType string, deps []an
 				c.bytesUsed.Add(delta)
 			}
 			c.insertEntryLocked(s, e)
+			c.dropStaleL2Locked(key)
 			s.mu.Unlock()
 			c.inserts.Add(1)
 			return stored, true
@@ -757,6 +812,7 @@ func (c *Cache) TryInsert(key string, body []byte, contentType string, deps []an
 		c.entries.Add(-1)
 	}
 	c.insertEntryLocked(s, e)
+	c.dropStaleL2Locked(key)
 	s.mu.Unlock()
 	c.inserts.Add(1)
 	return stored, true
@@ -1009,12 +1065,31 @@ func (c *Cache) InvalidateWriteLocal(w analysis.WriteCapture) (int, error) {
 	for key := range victims {
 		s := c.pageShard(key)
 		s.mu.Lock()
-		if el, ok := s.pages[key]; ok {
+		el, inL1 := s.pages[key]
+		if inL1 {
 			c.removeEntryLocked(s, el)
 			c.invalidations.Add(1)
 			n++
 		}
+		if c.opts.L2 != nil {
+			// Tombstone the disk copy under the same shard lock that removed
+			// the L1 entry, so a racing promotion's locked recheck cannot
+			// slip a stale body back in between the two removals.
+			if deps, was := c.opts.L2.Remove(key); was && !inL1 {
+				c.unlinkDeps(key, deps)
+				c.invalidations.Add(1)
+				n++
+			}
+		}
 		s.mu.Unlock()
+	}
+	if c.opts.L2 != nil {
+		// §3.2 across restarts: the tombstones must be durable before the
+		// writer's response is released, or a crash could resurrect the
+		// swept pages at the next boot.
+		if err := c.opts.L2.Sync(); err != nil {
+			return n, err
+		}
 	}
 	return n, nil
 }
@@ -1025,12 +1100,26 @@ func (c *Cache) InvalidateWriteLocal(w analysis.WriteCapture) (int, error) {
 func (c *Cache) InvalidateKey(key string) bool {
 	s := c.pageShard(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.pages[key]
-	if !ok {
+	el, inL1 := s.pages[key]
+	if inL1 {
+		c.removeEntryLocked(s, el)
+	}
+	removed := inL1
+	if c.opts.L2 != nil {
+		if deps, was := c.opts.L2.Remove(key); was {
+			if !inL1 {
+				c.unlinkDeps(key, deps)
+			}
+			removed = true
+		}
+	}
+	s.mu.Unlock()
+	if !removed {
 		return false
 	}
-	c.removeEntryLocked(s, el)
+	if c.opts.L2 != nil {
+		_ = c.opts.L2.Sync()
+	}
 	c.invalidations.Add(1)
 	return true
 }
@@ -1054,6 +1143,16 @@ func (c *Cache) Flush() {
 // point for flushes arriving from a peer.
 func (c *Cache) FlushLocal() {
 	c.recordEvent(c.epoch.Add(1), nil)
+	// The flushing flag closes the tier-crossing races for the duration of
+	// the two-phase sweep: an eviction demoting a pre-flush page after the
+	// store flush, or a promotion re-linking a disk copy into an
+	// already-swept shard, would carry that page past the flush. While the
+	// flag is up, demotions degrade to removals and promotions abort; the
+	// shard locks order every such transition against the sweep below, so
+	// a transition that ran before the flag was visible is cleaned up by
+	// whichever phase comes after it.
+	c.flushing.Add(1)
+	defer c.flushing.Add(-1)
 	for i := range c.pageShards {
 		s := &c.pageShards[i]
 		s.mu.Lock()
@@ -1064,6 +1163,21 @@ func (c *Cache) FlushLocal() {
 			c.removeEntryLocked(s, s.prot.Front())
 		}
 		s.mu.Unlock()
+	}
+	if c.opts.L2 != nil {
+		// Disk tier second: any demotion that slipped in ahead of the flag
+		// left its L1 entry removed above and its disk copy dies here, with
+		// the flush marker made durable before FlushAll returns.
+		if dropped, err := c.opts.L2.FlushAll(); err == nil {
+			for _, d := range dropped {
+				s := c.pageShard(d.Key)
+				s.mu.Lock()
+				if _, inL1 := s.pages[d.Key]; !inL1 {
+					c.unlinkDeps(d.Key, d.Deps)
+				}
+				s.mu.Unlock()
+			}
+		}
 	}
 }
 
@@ -1188,9 +1302,15 @@ func (c *Cache) Snapshot() Stats {
 		AdmissionRejects:   c.admissionRejects.Load(),
 		OversizeRejects:    c.oversizeRejects.Load(),
 		GzipCompressions:   c.gzipCompressions.Load(),
+		Demotions:          c.demotions.Load(),
+		Promotions:         c.promotions.Load(),
+		PromoteAborts:      c.promoteAborts.Load(),
 		Entries:            int(c.entries.Load()),
 		Bytes:              c.bytesUsed.Load(),
 		VariantBytes:       c.variantBytes.Load(),
+	}
+	if c.opts.L2 != nil {
+		st.L2 = c.opts.L2.Snapshot()
 	}
 	st.EvictionsProbation = st.Evictions - st.EvictionsProtected
 	for i := range c.pageShards {
@@ -1239,6 +1359,15 @@ func (c *Cache) detachEntryLocked(s *pageShard, el *list.Element) {
 // its successor. All other removals go through detachEntryLocked.
 func (c *Cache) unlinkEntryLocked(s *pageShard, el *list.Element) {
 	e := el.Value.(*Entry)
+	c.unlinkShardLocked(s, el, e)
+	c.unlinkDeps(e.Key, e.Deps)
+}
+
+// unlinkShardLocked is the shard-local half of unlinkEntryLocked: lists,
+// page map and per-shard byte counters, leaving the dependency table alone.
+// Demotion uses it directly — the disk copy keeps its dependency links, so
+// the dependency table stays the single source of truth for both tiers.
+func (c *Cache) unlinkShardLocked(s *pageShard, el *list.Element, e *Entry) {
 	if e.protected {
 		s.prot.Remove(el)
 		s.protBytes.Add(-e.cost)
@@ -1250,13 +1379,20 @@ func (c *Cache) unlinkEntryLocked(s *pageShard, el *list.Element) {
 		c.variantBytes.Add(-int64(len(e.Gzip)))
 	}
 	delete(s.pages, e.Key)
-	for _, d := range e.Deps {
+}
+
+// unlinkDeps clears key's links from the given dependency instances,
+// dropping instances (and templates) that no longer back any page. Called
+// with a page shard lock held (dependency shard locks nest inside) or, for
+// keys resident in neither tier, with no page lock at all.
+func (c *Cache) unlinkDeps(key string, deps []analysis.Query) {
+	for _, d := range deps {
 		ds := c.depShard(d.SQL)
 		ds.mu.Lock()
 		if dt := ds.deps[d.SQL]; dt != nil {
 			ak := argsKey(d.Args)
 			if inst := dt.instances[ak]; inst != nil {
-				delete(inst.pages, e.Key)
+				delete(inst.pages, key)
 				if len(inst.pages) == 0 {
 					dt.removeInstance(ak, inst)
 				}
@@ -1348,25 +1484,37 @@ func (c *Cache) scanSegment(protected bool) *pick {
 	return best
 }
 
-// evictPick re-locks the picked shard and evicts the victim. It reports
-// whether a page was removed.
+// evictPick re-locks the picked shard and evicts the victim — demoting it
+// into the disk tier when one is attached. It reports whether a page was
+// removed.
 func (c *Cache) evictPick(best *pick) bool {
 	s := best.shard
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	// The victim may have been removed (or, for LRU, touched) since the
 	// scan; evicting whatever entry now holds the key is still sound — any
 	// resident entry is a valid victim — but a vanished key means retry.
 	el, ok := s.pages[best.key]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
-	fromProtected := el.Value.(*Entry).protected
-	c.removeEntryLocked(s, el)
+	e := el.Value.(*Entry)
+	fromProtected := e.protected
+	var dropped []l2.Dropped
+	if c.opts.L2 != nil {
+		dropped = c.demoteLocked(s, el, e)
+	} else {
+		c.removeEntryLocked(s, el)
+	}
 	c.evictions.Add(1)
 	if fromProtected {
 		c.evictionsProt.Add(1)
 	}
+	s.mu.Unlock()
+	// Keys the disk tier's byte budget pushed out ride back here; their
+	// dependency unlinking locks other page shards, so it must happen
+	// after this shard's lock is released.
+	c.processDropped(dropped)
 	return true
 }
 

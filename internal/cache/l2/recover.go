@@ -1,0 +1,490 @@
+// Boot-time recovery and snapshotting for the L2 store.
+//
+// The recovered state is the LSN-merge of three sources: the last complete
+// snapshot (index as of snapshot time T0), segment records appended after
+// each segment's snapshotted offset, and every journal generation on disk.
+// A key is live iff its newest record outranks every tombstone for the key
+// and the newest flush marker, and its TTL has not lapsed. Any file may end
+// in a torn tail (crash mid-append); the tail is truncated and counted,
+// never trusted.
+//
+// Snapshot protocol: the journal is rotated to a fresh generation *first*,
+// inside the same critical section that copies the index — so every
+// invalidation after the copy lands in a generation the next boot replays
+// in full, and a key present in the snapshot but tombstoned a microsecond
+// later still dies at replay. The snapshot file is written to a temp path,
+// fsync'd and renamed; old journal generations are deleted only after the
+// rename succeeds.
+//
+// Two boots refuse to trust the files: a snapshot that exists but does not
+// parse, and journal generations whose oldest is not generation zero while
+// no snapshot exists (a snapshot must have existed and deleted the earlier
+// generations — without it, replay could resurrect tombstoned entries).
+// Both cases discard the tier and start cold: safe, never stale.
+package l2
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"autowebcache/internal/analysis"
+)
+
+type snapEntry struct {
+	key       string
+	lsn       uint64
+	segID     uint64
+	off       int64
+	size      int64
+	expiresAt int64
+	deps      []analysis.Query
+}
+
+type snapState struct {
+	lsn        uint64
+	segNext    uint64
+	journalGen uint64
+	ownSeq     uint64
+	applied    map[string]uint64
+	scanned    map[uint64]int64 // segment id → offset covered by the index
+	entries    []snapEntry
+}
+
+// candidate is the newest segment record seen for a key during recovery,
+// before tombstone/flush/TTL filtering.
+type candidate struct {
+	lsn       uint64
+	segID     uint64
+	off       int64
+	size      int64
+	expiresAt int64
+	deps      []analysis.Query
+}
+
+func (s *Store) recover() error {
+	segIDs, genIDs, haveSnap, err := s.listFiles()
+	if err != nil {
+		return err
+	}
+	os.Remove(s.snapPath() + ".tmp") // stray temp from a crashed snapshot
+
+	var snap *snapState
+	if haveSnap {
+		snap, err = readSnapshot(s.snapPath())
+		if err != nil {
+			s.logf("l2: snapshot unreadable (%v): discarding tier, starting cold", err)
+			return s.coldStart(segIDs, genIDs)
+		}
+	} else if len(genIDs) > 0 && genIDs[0] > 0 {
+		s.logf("l2: journal generations start at %d with no snapshot: discarding tier, starting cold", genIDs[0])
+		return s.coldStart(segIDs, genIDs)
+	}
+
+	cands := make(map[string]candidate)
+	scanned := map[uint64]int64{}
+	if snap != nil {
+		scanned = snap.scanned
+		for _, e := range snap.entries {
+			cands[e.key] = candidate{
+				lsn: e.lsn, segID: e.segID, off: e.off, size: e.size,
+				expiresAt: e.expiresAt, deps: e.deps,
+			}
+		}
+		s.lsn = snap.lsn
+		s.segNext = snap.segNext
+		s.journalGen = snap.journalGen
+		s.ownSeq = snap.ownSeq
+		for k, v := range snap.applied {
+			s.applied[k] = v
+		}
+	}
+
+	// Scan segment tails (everything past each snapshotted offset).
+	segByID := make(map[uint64]*segment, len(segIDs))
+	for _, id := range segIDs {
+		size, err := s.scanSegment(id, scanned[id], cands)
+		if err != nil {
+			return err
+		}
+		r, err := os.Open(s.segPath(id))
+		if err != nil {
+			return fmt.Errorf("l2: reopen segment %d: %w", id, err)
+		}
+		seg := &segment{id: id, r: r, size: size}
+		segByID[id] = seg
+		s.segs = append(s.segs, seg)
+		s.fileBytes += size
+		if id >= s.segNext {
+			s.segNext = id + 1
+		}
+	}
+
+	// Replay every journal generation in order.
+	tomb := make(map[string]uint64)
+	var flushLSN uint64
+	for _, gen := range genIDs {
+		if err := s.replayJournal(gen, tomb, &flushLSN); err != nil {
+			return err
+		}
+		if gen >= s.journalGen {
+			s.journalGen = gen + 1
+		}
+	}
+
+	// Materialise the index: newest record per key, minus tombstoned,
+	// flushed, expired and orphaned (segment gone) entries.
+	now := s.clock().UnixNano()
+	for key, c := range cands {
+		if tomb[key] > c.lsn || flushLSN > c.lsn {
+			continue
+		}
+		seg, ok := segByID[c.segID]
+		if !ok || c.off+c.size > seg.size {
+			continue // segment dropped after the snapshot, or inside a torn tail
+		}
+		if c.expiresAt != 0 && c.expiresAt <= now {
+			s.expirations.Add(1)
+			continue
+		}
+		s.index[key] = &irec{
+			lsn: c.lsn, seg: seg, off: c.off, size: c.size,
+			expiresAt: c.expiresAt, deps: c.deps,
+		}
+		s.liveBytes += c.size
+	}
+	s.restored.Store(uint64(len(s.index)))
+
+	// A shrunk byte budget is applied before the cache rebuilds dependency
+	// links, so boot-dropped keys simply never get links.
+	s.enforceBudgetLocked()
+
+	return s.openJournal()
+}
+
+// scanSegment walks one segment file from offset from, recording newest
+// candidates, and truncates a torn tail in place. Returns the valid size.
+func (s *Store) scanSegment(id uint64, from int64, cands map[string]candidate) (int64, error) {
+	path := s.segPath(id)
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("l2: open segment %d: %w", id, err)
+	}
+	validEnd, torn, err := scanFrames(f, from, func(payload []byte, off, size int64) error {
+		rec, err := decodeEntry(payload)
+		if err != nil {
+			// A complete, checksummed frame that does not decode is not a
+			// torn tail; skip it rather than dropping everything after it.
+			s.logf("l2: segment %d: undecodable record at %d: %v", id, off, err)
+			return nil
+		}
+		if old, ok := cands[rec.key]; !ok || rec.lsn > old.lsn {
+			cands[rec.key] = candidate{
+				lsn: rec.lsn, segID: id, off: off, size: size,
+				expiresAt: rec.expiresAt, deps: rec.deps,
+			}
+		}
+		if rec.lsn > s.lsn {
+			s.lsn = rec.lsn
+		}
+		return nil
+	})
+	f.Close()
+	if err != nil {
+		return 0, fmt.Errorf("l2: scan segment %d: %w", id, err)
+	}
+	if torn {
+		s.tornTails.Add(1)
+		s.logf("l2: segment %d: truncating torn tail at %d", id, validEnd)
+		if err := os.Truncate(path, validEnd); err != nil {
+			return 0, fmt.Errorf("l2: truncate segment %d: %w", id, err)
+		}
+	}
+	return validEnd, nil
+}
+
+// replayJournal applies one journal generation to the recovery maps and
+// truncates its torn tail, if any.
+func (s *Store) replayJournal(gen uint64, tomb map[string]uint64, flushLSN *uint64) error {
+	path := s.journalPath(gen)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("l2: open journal %d: %w", gen, err)
+	}
+	validEnd, torn, err := scanFrames(f, 0, func(payload []byte, off, size int64) error {
+		r := reader{b: payload}
+		switch t := r.u8(); t {
+		case recTombstone:
+			lsn := r.u64()
+			n := int(r.u32())
+			for i := 0; i < n && r.err == nil; i++ {
+				key := r.str()
+				if r.err == nil && lsn > tomb[key] {
+					tomb[key] = lsn
+				}
+			}
+			if lsn > s.lsn {
+				s.lsn = lsn
+			}
+		case recFlush:
+			if lsn := r.u64(); r.err == nil {
+				if lsn > *flushLSN {
+					*flushLSN = lsn
+				}
+				if lsn > s.lsn {
+					s.lsn = lsn
+				}
+			}
+		case recApplied:
+			origin := r.str()
+			seq := r.u64()
+			if r.err == nil && seq > s.applied[origin] {
+				s.applied[origin] = seq
+			}
+		case recOwnSeq:
+			if seq := r.u64(); r.err == nil && seq > s.ownSeq {
+				s.ownSeq = seq
+			}
+		default:
+			s.logf("l2: journal %d: unknown record type %d at %d", gen, t, off)
+		}
+		if r.err != nil {
+			s.logf("l2: journal %d: malformed record at %d: %v", gen, off, r.err)
+		}
+		return nil
+	})
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("l2: replay journal %d: %w", gen, err)
+	}
+	if torn {
+		s.tornTails.Add(1)
+		s.logf("l2: journal %d: truncating torn tail at %d", gen, validEnd)
+		if err := os.Truncate(path, validEnd); err != nil {
+			return fmt.Errorf("l2: truncate journal %d: %w", gen, err)
+		}
+	}
+	return nil
+}
+
+// openJournal starts the generation this process will append to. Recovery
+// never appends to an inherited file: a fresh generation sidesteps any
+// interaction between truncation and the new append stream.
+func (s *Store) openJournal() error {
+	f, err := os.OpenFile(s.journalPath(s.journalGen), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("l2: open journal: %w", err)
+	}
+	s.journal = f
+	return nil
+}
+
+// coldStart discards every tier file and initialises an empty store. Cold
+// is always safe: the database is the source of truth and serves the
+// refill; only warmth is lost.
+func (s *Store) coldStart(segIDs, genIDs []uint64) error {
+	for _, id := range segIDs {
+		os.Remove(s.segPath(id))
+	}
+	for _, gen := range genIDs {
+		os.Remove(s.journalPath(gen))
+	}
+	os.Remove(s.snapPath())
+	s.coldBoots.Add(1)
+	s.journalGen = 0
+	return s.openJournal()
+}
+
+// listFiles enumerates the store directory into sorted segment and journal
+// generation ids.
+func (s *Store) listFiles() (segIDs, genIDs []uint64, haveSnap bool, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("l2: read dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case name == "snapshot.l2s":
+			haveSnap = true
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".l2"):
+			if id, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".l2"), 10, 64); perr == nil {
+				segIDs = append(segIDs, id)
+			}
+		case strings.HasPrefix(name, "journal-") && strings.HasSuffix(name, ".l2j"):
+			if id, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".l2j"), 10, 64); perr == nil {
+				genIDs = append(genIDs, id)
+			}
+		}
+	}
+	sort.Slice(segIDs, func(i, j int) bool { return segIDs[i] < segIDs[j] })
+	sort.Slice(genIDs, func(i, j int) bool { return genIDs[i] < genIDs[j] })
+	return segIDs, genIDs, haveSnap, nil
+}
+
+// --- snapshot writing ----------------------------------------------------
+
+// WriteSnapshot rotates the journal to a fresh generation and persists the
+// live index (metadata, every entry, completeness trailer) via
+// temp-file + fsync + rename. Old journal generations are deleted only
+// after the rename lands. Also runs periodically from the snapshot loop
+// and once at Close.
+func (s *Store) WriteSnapshot() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	// Rotate first: every journal record after this critical section lands
+	// in a generation the next boot replays in full.
+	if err := s.syncJournalLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	newGen := s.journalGen + 1
+	nj, err := os.OpenFile(s.journalPath(newGen), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("l2: rotate journal: %w", err)
+	}
+	oldJournal := s.journal
+	oldGen := s.journalGen
+	s.journal = nj
+	s.journalGen = newGen
+	s.journalDirty = false
+
+	// Encode the index as of this instant.
+	p := []byte{recSnapMeta}
+	p = appendU64(p, s.lsn)
+	p = appendU64(p, s.segNext)
+	p = appendU64(p, newGen)
+	p = appendU64(p, s.ownSeq)
+	p = appendU32(p, uint32(len(s.applied)))
+	origins := make([]string, 0, len(s.applied))
+	for o := range s.applied {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	for _, o := range origins {
+		p = appendStr(p, o)
+		p = appendU64(p, s.applied[o])
+	}
+	p = appendU32(p, uint32(len(s.segs)))
+	for _, seg := range s.segs {
+		p = appendU64(p, seg.id)
+		p = appendI64(p, seg.size)
+	}
+	buf := appendFrame(nil, p)
+	count := uint64(len(s.index))
+	for key, r := range s.index {
+		p = p[:0]
+		p = append(p, recSnapEntry)
+		p = appendStr(p, key)
+		p = appendU64(p, r.lsn)
+		p = appendU64(p, r.seg.id)
+		p = appendI64(p, r.off)
+		p = appendI64(p, r.size)
+		p = appendI64(p, r.expiresAt)
+		p = appendDeps(p, r.deps)
+		buf = appendFrame(buf, p)
+	}
+	p = p[:0]
+	p = append(p, recSnapDone)
+	p = appendU64(p, count)
+	buf = appendFrame(buf, p)
+	s.mu.Unlock()
+
+	oldJournal.Close()
+
+	tmp := s.snapPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("l2: snapshot temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("l2: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("l2: snapshot fsync: %w", err)
+	}
+	f.Close()
+	if err := os.Rename(tmp, s.snapPath()); err != nil {
+		return fmt.Errorf("l2: snapshot rename: %w", err)
+	}
+	if d, derr := os.Open(s.dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	// The snapshot now covers everything up to the rotation point; earlier
+	// generations are redundant.
+	for gen := uint64(0); gen <= oldGen; gen++ {
+		os.Remove(filepath.Join(s.dir, fmt.Sprintf("journal-%08d.l2j", gen)))
+	}
+	s.snaps.Add(1)
+	return nil
+}
+
+// readSnapshot parses a snapshot file, requiring a meta section first and a
+// trailer whose count matches the entries read — anything less is treated
+// as corruption by the caller.
+func readSnapshot(path string) (*snapState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap := &snapState{applied: map[string]uint64{}, scanned: map[uint64]int64{}}
+	sawMeta, sawDone := false, false
+	var doneCount uint64
+	_, torn, err := scanFrames(f, 0, func(payload []byte, off, size int64) error {
+		r := reader{b: payload}
+		switch t := r.u8(); {
+		case t == recSnapMeta && !sawMeta:
+			snap.lsn = r.u64()
+			snap.segNext = r.u64()
+			snap.journalGen = r.u64()
+			snap.ownSeq = r.u64()
+			for i, n := 0, int(r.u32()); i < n && r.err == nil; i++ {
+				o := r.str()
+				snap.applied[o] = r.u64()
+			}
+			for i, n := 0, int(r.u32()); i < n && r.err == nil; i++ {
+				id := r.u64()
+				snap.scanned[id] = r.i64()
+			}
+			sawMeta = true
+		case t == recSnapEntry && sawMeta && !sawDone:
+			e := snapEntry{
+				key:   r.str(),
+				lsn:   r.u64(),
+				segID: r.u64(),
+				off:   r.i64(),
+				size:  r.i64(),
+			}
+			e.expiresAt = r.i64()
+			e.deps = r.deps()
+			if r.err == nil {
+				snap.entries = append(snap.entries, e)
+			}
+		case t == recSnapDone && sawMeta && !sawDone:
+			doneCount = r.u64()
+			sawDone = true
+		default:
+			return fmt.Errorf("l2: snapshot record type %d out of order at %d", t, off)
+		}
+		return r.err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if torn || !sawMeta || !sawDone || doneCount != uint64(len(snap.entries)) {
+		return nil, fmt.Errorf("l2: snapshot incomplete (torn=%v meta=%v done=%v count=%d/%d)",
+			torn, sawMeta, sawDone, len(snap.entries), doneCount)
+	}
+	return snap, nil
+}

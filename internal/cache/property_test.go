@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"autowebcache/internal/analysis"
+	"autowebcache/internal/cache/l2"
 	"autowebcache/internal/memdb"
 )
 
@@ -229,8 +230,10 @@ func (u *propUniverse) checkFlush(t *testing.T, c *Cache) {
 
 // runPropertyHarness drives one cache configuration with G concurrent
 // mutator goroutines (inserts + lookups) while the main goroutine fires
-// writes and flushes, checking the invariant after every one.
-func runPropertyHarness(t *testing.T, opts Options, seed int64, writes int) {
+// writes and flushes, checking the invariant after every one. It returns
+// the cache and the key universe so variants can run post-run checks
+// (e.g. the tiered restart epilogue).
+func runPropertyHarness(t *testing.T, opts Options, seed int64, writes int) (*Cache, *propUniverse) {
 	t.Helper()
 	eng, err := analysis.NewEngine(analysis.StrategyWhereMatch, nil)
 	if err != nil {
@@ -296,6 +299,7 @@ func runPropertyHarness(t *testing.T, opts Options, seed int64, writes int) {
 	if st.Hits == 0 || st.WritesSeen == 0 {
 		t.Fatalf("degenerate run: %+v", st)
 	}
+	return c, u
 }
 
 func propWriteCount(t *testing.T) int {
@@ -325,6 +329,51 @@ func TestPropertyConsistencyByteGoverned(t *testing.T) {
 	// A tight byte budget with TinyLFU admission: admission rejections and
 	// probation churn must never resurrect a write-dependent entry.
 	runPropertyHarness(t, Options{MaxBytes: 8 << 10, Admission: true}, seed, propWriteCount(t))
+}
+
+// TestPropertyConsistencyTiered runs the harness with the disk tier under a
+// tight L1 budget, so demotions, promotions and promotion aborts interleave
+// with every invalidation — the §3.2 invariant must hold no matter which
+// tier a page is resident in when the write lands. A restart epilogue then
+// pins the warm-boot half of the contract: after a clean shutdown the store
+// serves each key's final settled generation or nothing; a superseded body
+// must never come back through promotion.
+func TestPropertyConsistencyTiered(t *testing.T) {
+	seed := propSeed(t) + 3
+	t.Logf("seed %d (override with AWC_PROP_SEED)", seed)
+	dir := t.TempDir()
+	store, err := l2.Open(l2.Options{Dir: dir, SnapshotInterval: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, u := runPropertyHarness(t, Options{MaxBytes: 8 << 10, L2: store}, seed, propWriteCount(t))
+	st := c.Stats()
+	if st.Demotions == 0 || st.L2.Hits == 0 {
+		t.Fatalf("tiered run never exercised the disk tier: %+v", st)
+	}
+	eng := c.Engine()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err = l2.Open(l2.Options{Dir: dir, SnapshotInterval: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := New(Options{Engine: eng, MaxBytes: 8 << 10, L2: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	for i := range u.keys {
+		pg, ok := warm.Lookup(u.keys[i])
+		if !ok {
+			continue
+		}
+		if g, want := parseGen(t, pg.Body), u.settled[i].Load(); g != want {
+			t.Errorf("restart resurrection: key %s served gen %d, final settled gen is %d", u.keys[i], g, want)
+		}
+	}
 }
 
 // TestPropertyExactInvalidation pins the model-engine agreement the harness

@@ -90,9 +90,32 @@ type Config struct {
 	// WrapListener wraps the peer listener after binding (fault injection,
 	// tests); nil = none.
 	WrapListener func(net.Listener) net.Listener
+	// SeqJournal, when set, persists the node's invalidation-sequencing
+	// state — the per-origin applied counters and this node's own
+	// completed-broadcast watermark — and restores it at construction, so a
+	// node restarting with a warm cache tier rejoins without a quarantine
+	// flush when it provably missed nothing. The disk cache tier
+	// (cache/l2.Store) implements this; nil keeps the pre-journal behavior:
+	// every restart looks like a gap and the first peer watermark forces a
+	// flush. Writes are buffered — losing the latest records merely makes
+	// the next boot conservative (quarantine), never stale.
+	SeqJournal SeqJournal
 	// Logf receives peer state transitions — logged once per transition,
 	// never per failed call. nil = the standard library logger.
 	Logf func(format string, args ...any)
+}
+
+// SeqJournal persists invalidation-sequencing watermarks across restarts.
+// RecordApplied is called after a peer invalidation (or flush, or covering
+// quarantine) has been applied locally; RecordBroadcast after one of this
+// node's own broadcasts completes. RestoreSeqs returns the journaled state
+// at boot. Implementations must tolerate duplicate and regressing calls
+// (monotonic guard) and must never block on durable I/O — the caller is on
+// the invalidation hot path.
+type SeqJournal interface {
+	RecordApplied(origin string, seq uint64)
+	RecordBroadcast(seq uint64)
+	RestoreSeqs() (applied map[string]uint64, ownSeq uint64)
 }
 
 // Defaults for the health machinery (overridable via Config).
@@ -258,13 +281,26 @@ func New(cfg Config) (*Node, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Node{
+	n := &Node{
 		cfg:       cfg,
 		peers:     make(map[string]*peer),
 		applied:   make(map[string]uint64),
 		logf:      logf,
 		stopProbe: make(chan struct{}),
-	}, nil
+	}
+	if cfg.SeqJournal != nil {
+		// Warm rejoin: resume the applied counters and own-broadcast
+		// watermark where the journal left them. A peer watermark ahead of
+		// the restored counter still quarantines — only invalidations the
+		// journal proves were applied are skipped.
+		applied, own := cfg.SeqJournal.RestoreSeqs()
+		for origin, seq := range applied {
+			n.applied[origin] = seq
+		}
+		n.seqNext = own
+		n.seqDone.Store(own)
+	}
+	return n, nil
 }
 
 // Start listens on the configured address, builds the ring from self +
@@ -570,7 +606,12 @@ func (n *Node) broadcast(typ byte, mkMeta func(seq uint64) any, op string) error
 	defer n.bcastMu.Unlock()
 	n.seqNext++
 	seq := n.seqNext
-	defer n.seqDone.Store(seq)
+	defer func() {
+		n.seqDone.Store(seq)
+		if n.cfg.SeqJournal != nil {
+			n.cfg.SeqJournal.RecordBroadcast(seq)
+		}
+	}()
 	n.mu.Lock()
 	peers := make([]*peer, 0, len(n.peers))
 	for _, p := range n.peers {
@@ -635,6 +676,17 @@ func (n *Node) advanceApplied(origin string, seq uint64, watermark bool) (gap bo
 	}
 	n.applied[origin] = seq
 	return gap
+}
+
+// recordApplied persists an applied-counter advance to the sequence
+// journal, after the corresponding invalidation (or covering flush) has
+// been applied locally — journaling first would let a crash between the
+// two claim an application that never happened.
+func (n *Node) recordApplied(origin string, seq uint64) {
+	if n.cfg.SeqJournal == nil || origin == "" || origin == n.self || seq == 0 {
+		return
+	}
+	n.cfg.SeqJournal.RecordApplied(origin, seq)
 }
 
 // quarantine drops every cached page and result set: a sequence gap from
@@ -748,6 +800,7 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 			// the missed ones, so quarantine — and the flush subsumes this
 			// capture's own sweep.
 			pages := n.quarantine(m.Origin, m.Seq)
+			n.recordApplied(m.Origin, m.Seq)
 			n.invApplied.Add(1)
 			n.pagesRemoved.Add(uint64(pages))
 			return msgInvResp, invRespMeta{Pages: pages}, nil, nil
@@ -765,6 +818,7 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 		if n.cfg.QueryCache != nil {
 			results = n.cfg.QueryCache.InvalidateCapture(w)
 		}
+		n.recordApplied(m.Origin, m.Seq)
 		n.invApplied.Add(1)
 		n.pagesRemoved.Add(uint64(pages))
 		n.resultsRemoved.Add(uint64(results))
@@ -783,6 +837,7 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 		if n.cfg.QueryCache != nil {
 			n.cfg.QueryCache.Flush()
 		}
+		n.recordApplied(m.Origin, m.Seq)
 		n.flushApplied.Add(1)
 		return msgFlushResp, flushRespMeta{OK: true}, nil, nil
 
@@ -799,6 +854,7 @@ func (n *Node) handleFrame(typ byte, meta, body []byte) (byte, any, []byte, erro
 		if n.advanceApplied(m.Origin, m.Seq, true) {
 			n.invEpoch.Add(1)
 			n.quarantine(m.Origin, m.Seq)
+			n.recordApplied(m.Origin, m.Seq)
 		}
 		var applied uint64
 		if m.Origin != "" {

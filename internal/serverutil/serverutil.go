@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"autowebcache"
@@ -32,6 +33,10 @@ type Flags struct {
 	MaxBytes  *string
 	Admission *bool
 	Fragments *bool
+	// L2 and L2MaxBytes configure the disk cache tier: a directory for
+	// demoted pages (warm restarts) and its file-footprint budget.
+	L2         *string
+	L2MaxBytes *string
 	// Encodings and ETag select the serve-path representation: which
 	// content-encoding variants the cache builds at insert, and whether
 	// entries carry strong validators for 304 revalidation.
@@ -52,14 +57,16 @@ type Flags struct {
 // Register declares the shared flags on fs.
 func Register(fs *flag.FlagSet, defaultAddr string) *Flags {
 	return &Flags{
-		Addr:      fs.String("addr", defaultAddr, "listen address"),
-		DB:        fs.String("db", "memdb", "database backend DSN: memdb, memdb:<name>, or sqlite:<path> (file shared across processes)"),
-		NoCache:   fs.Bool("nocache", false, "serve the uncached baseline"),
-		MaxBytes:  fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)"),
-		Admission: fs.Bool("admission", false, "gate inserts with a TinyLFU admission filter under byte-budget pressure (requires -max-bytes)"),
-		Fragments: fs.Bool("fragments", false, "fragment-granular (ESI-style) caching: assemble pages from per-fragment cache hits"),
-		Encodings: fs.String("encodings", "", "comma-separated content-encodings to cache and serve (e.g. gzip); empty = identity only"),
-		ETag:      fs.Bool("etag", false, "precompute strong ETags at insert and answer If-None-Match revalidations with 304"),
+		Addr:       fs.String("addr", defaultAddr, "listen address"),
+		DB:         fs.String("db", "memdb", "database backend DSN: memdb, memdb:<name>, or sqlite:<path> (file shared across processes)"),
+		NoCache:    fs.Bool("nocache", false, "serve the uncached baseline"),
+		MaxBytes:   fs.String("max-bytes", "", "page-cache memory budget (e.g. 64m, 1gib; empty = unbounded)"),
+		Admission:  fs.Bool("admission", false, "gate inserts with a TinyLFU admission filter under byte-budget pressure (requires -max-bytes)"),
+		Fragments:  fs.Bool("fragments", false, "fragment-granular (ESI-style) caching: assemble pages from per-fragment cache hits"),
+		L2:         fs.String("l2", "", "disk cache tier directory: evicted pages demote to disk and restarts boot warm (empty disables)"),
+		L2MaxBytes: fs.String("l2-max-bytes", "", "disk tier file budget (e.g. 2gib; empty = unbounded); requires -l2"),
+		Encodings:  fs.String("encodings", "", "comma-separated content-encodings to cache and serve (e.g. gzip); empty = identity only"),
+		ETag:       fs.Bool("etag", false, "precompute strong ETags at insert and answer If-None-Match revalidations with 304"),
 
 		ListenPeer:       fs.String("listen-peer", "", "cluster peer-protocol listen address (enables the peer tier)"),
 		Peers:            fs.String("peers", "", "comma-separated peer addresses of the other cluster nodes"),
@@ -80,10 +87,21 @@ func (f *Flags) Config() (autowebcache.Config, error) {
 	if err != nil {
 		return autowebcache.Config{}, err
 	}
+	l2Budget, err := autowebcache.ParseByteSize(*f.L2MaxBytes)
+	if err != nil {
+		return autowebcache.Config{}, err
+	}
+	if *f.L2 == "" && *f.L2MaxBytes != "" {
+		return autowebcache.Config{}, fmt.Errorf("-l2-max-bytes requires -l2")
+	}
 	return autowebcache.Config{
 		Disabled:  *f.NoCache,
 		Admission: *f.Admission,
-		PageCache: autowebcache.PageCacheConfig{MaxBytes: budget},
+		PageCache: autowebcache.PageCacheConfig{
+			MaxBytes:   budget,
+			L2Path:     *f.L2,
+			L2MaxBytes: l2Budget,
+		},
 		Serve: autowebcache.ServeConfig{
 			Encodings: splitList(*f.Encodings),
 			ETags:     *f.ETag,
@@ -158,7 +176,11 @@ func (f *Flags) Serve(rt *autowebcache.Runtime, handler *autowebcache.Woven, ban
 	}
 
 	srv := &http.Server{Addr: *f.Addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the process supervisor's stop signal) must take the same
+	// graceful path as Ctrl-C: with a disk cache tier attached, only a
+	// graceful exit spills the in-memory tier and closes the journal, which
+	// is what makes the next boot warm.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -181,6 +203,19 @@ func (f *Flags) Serve(rt *autowebcache.Runtime, handler *autowebcache.Woven, ban
 	}
 	if node != nil {
 		log.Printf("cluster stats at exit: %+v", node.Stats())
+	}
+	// Detach the peer tier before spilling: a peer invalidation landing
+	// mid-spill would race the store shutdown. Node.Close is idempotent, so
+	// the deferred close above stays as the error-path safety net.
+	if node != nil {
+		node.Close()
+	}
+	// Spill the cache into the disk tier (when one is attached), sync and
+	// close its journal, and release the backend — the step that makes the
+	// next boot warm.
+	if err := rt.Close(); err != nil {
+		log.Printf("runtime close: %v", err)
+		return err
 	}
 	return nil
 }

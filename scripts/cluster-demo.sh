@@ -29,6 +29,18 @@
 #      warm path: its cache fills again and a write on node 1 still
 #      invalidates it cluster-wide.
 #
+#   7. (KILL_RESTART only, nodes run with a disk cache tier) node 3 is
+#      SIGTERMed — the graceful path that spills the memory tier and closes
+#      the journal — and restarted:
+#   7a. nothing was written while it was down, so its first request for a
+#      page cached before the stop is a warm HIT served from the disk tier
+#      without executing the handler (zero database queries), and its
+#      metrics show disk-tier promotions and restored entries;
+#   7b. it is stopped again, a write on node 1 invalidates that page while
+#      node 3 is down, and after the restart the rejoin gap detection must
+#      quarantine-flush the warm tier (gap_flushes >= 1) so the pre-write
+#      page is regenerated, never served stale from disk.
+#
 # Knobs: CLUSTER_DURATION (default 5s), CLUSTER_CLIENTS (default 30),
 # OPENLOOP_RATE (default 200 req/s for the open-loop phase),
 # MAX_BYTES (optional page-cache budget + admission filter for every node),
@@ -70,10 +82,19 @@ if [ -n "$SHARED_DB" ]; then
   echo "nodes share one database: $SHARED_DB"
 fi
 
+# The kill/restart phase runs every node with a disk cache tier so phase 7
+# can assert warm restarts; the base phases stay memory-only.
+L2_BASE=""
+if [ -n "${KILL_RESTART:-}" ]; then
+  L2_BASE=$(mktemp -d)
+  echo "disk cache tier enabled under $L2_BASE"
+fi
+
 PIDS=()
 cleanup() {
   for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null; done
   wait 2>/dev/null
+  [ -n "$L2_BASE" ] && rm -rf "$L2_BASE"
 }
 trap cleanup EXIT
 
@@ -84,13 +105,21 @@ start_node() {
   for j in 0 1 2; do
     [ "$j" != "$i" ] && peers+=("127.0.0.1:${PEER_PORTS[$j]}")
   done
+  local l2flags=()
+  [ -n "$L2_BASE" ] && l2flags=(-l2 "$L2_BASE/node$i")
   bin/rubis-server -addr ":${HTTP_PORTS[$i]}" \
     -listen-peer "127.0.0.1:${PEER_PORTS[$i]}" \
     -peers "$(IFS=,; echo "${peers[*]}")" \
     -metrics-listen "127.0.0.1:${METRICS_PORTS[$i]}" \
     -encodings gzip -etag \
-    "${GOVERN_FLAGS[@]}" "${DB_FLAGS[@]}" &
+    "${GOVERN_FLAGS[@]}" "${DB_FLAGS[@]}" "${l2flags[@]}" &
   PIDS[$i]=$!
+}
+
+# metric <admin-port> <series> prints one label-less series' value (empty if
+# the series is absent).
+metric() {
+  curl -sf "http://127.0.0.1:$1/metrics" | awk -v m="$2" '$1==m{print $2; exit}'
 }
 
 # wait_http <port> blocks until the node on <port> answers (or fails).
@@ -284,6 +313,59 @@ if [ -n "${KILL_RESTART:-}" ]; then
   done
   [ -n "$REJOINED" ] || fail "restarted node2 never rejoined the warm path (warm='$WARM2' write='$W2' after='$AFTER2')"
   echo "cluster-demo: kill/restart rejoin OK (node2 warm hit invalidated by node1's write)"
+
+  # 7a: warm restart off the disk tier. Prime a fresh page on node 3, stop
+  # it gracefully (SIGTERM spills the memory tier and closes the journal),
+  # restart, and the FIRST request must be a warm hit: the page promotes
+  # from disk, the handler never runs — zero database queries — and the
+  # node's metrics show the promotion and the restored index.
+  PAGE3="/viewItem?itemId=11"
+  outcome "$N3$PAGE3" >/dev/null
+  PRIMED_BODY=$(curl -s "$N3$PAGE3")
+  echo "cluster-demo: warm-restart phase: SIGTERM node3 (pid ${PIDS[2]})"
+  kill -TERM "${PIDS[2]}" 2>/dev/null
+  wait "${PIDS[2]}" 2>/dev/null
+  start_node 2
+  wait_http "${HTTP_PORTS[2]}"
+  WARM3=$(outcome "$N3$PAGE3")
+  [ "$WARM3" = "hit" ] \
+    || fail "first request after warm restart was '$WARM3', want 'hit' served from the disk tier"
+  WARM_BODY=$(curl -s "$N3$PAGE3")
+  [ "$WARM_BODY" = "$PRIMED_BODY" ] || fail "warm-restart body differs from the primed page"
+  PROMOTED=$(metric "${METRICS_PORTS[2]}" awc_cache_l2_promotions_total)
+  RESTORED=$(metric "${METRICS_PORTS[2]}" awc_cache_l2_restored_entries_total)
+  [ -n "$PROMOTED" ] && [ "${PROMOTED%.*}" -gt 0 ] \
+    || fail "restarted node3 reports no disk-tier promotions (got '$PROMOTED')"
+  [ -n "$RESTORED" ] && [ "${RESTORED%.*}" -gt 0 ] \
+    || fail "restarted node3 reports no restored disk-tier entries (got '$RESTORED')"
+  echo "cluster-demo: warm restart OK (first request hit from disk, $RESTORED entries restored, zero DB queries)"
+
+  # 7b: no stale serves after a missed write. Stop node 3 again, invalidate
+  # its warm page from node 1 while it is down, restart it: the rejoin gap
+  # detection must quarantine-flush the warm tier, so the pre-write page
+  # can never be served stale from disk.
+  echo "cluster-demo: missed-write phase: SIGTERM node3 again"
+  kill -TERM "${PIDS[2]}" 2>/dev/null
+  wait "${PIDS[2]}" 2>/dev/null
+  W3=$(outcome "$N1/storeBid?userId=3&itemId=11&bid=2002&qty=1")
+  case "$W3" in
+    write|write-degraded) ;;
+    *) fail "write on node1 with node3 down returned '$W3'" ;;
+  esac
+  start_node 2
+  wait_http "${HTTP_PORTS[2]}"
+  GAPPED=""
+  for _ in $(seq 1 40); do
+    GF=$(metric "${METRICS_PORTS[2]}" awc_cluster_gap_flushes_total)
+    if [ -n "$GF" ] && [ "${GF%.*}" -ge 1 ]; then GAPPED=1; break; fi
+    sleep 0.5
+  done
+  [ -n "$GAPPED" ] || fail "restarted node3 never quarantine-flushed after the missed write"
+  STALE=$(outcome "$N3$PAGE3")
+  if [ "$STALE" = "hit" ] || [ "$STALE" = "semantic-hit" ]; then
+    fail "node3 served the invalidated page warm from disk after rejoin ('$STALE')"
+  fi
+  echo "cluster-demo: rejoin quarantine OK (gap flush $GF, post-rejoin outcome '$STALE')"
 fi
 
 echo "cluster-demo: PASS"
